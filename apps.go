@@ -1,0 +1,205 @@
+package inano
+
+import (
+	"sort"
+
+	"inano/internal/tcpmodel"
+	"inano/internal/voip"
+)
+
+// RankByRTT orders destinations by predicted round-trip latency from src,
+// cheapest first. Destinations with no prediction sort last, in input
+// order. This backs "which peers are closest" decisions (Fig. 7).
+func (c *Client) RankByRTT(src Prefix, dsts []Prefix) []Prefix {
+	type scored struct {
+		p    Prefix
+		rtt  float64
+		ok   bool
+		rank int
+	}
+	ss := make([]scored, len(dsts))
+	for i, d := range dsts {
+		info := c.QueryPrefix(src, d)
+		ss[i] = scored{p: d, rtt: info.RTTMS, ok: info.Found, rank: i}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].ok != ss[j].ok {
+			return ss[i].ok
+		}
+		if !ss[i].ok {
+			return ss[i].rank < ss[j].rank
+		}
+		return ss[i].rtt < ss[j].rtt
+	})
+	out := make([]Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = s.p
+	}
+	return out
+}
+
+// BestReplica picks the replica predicted to minimize the download time of
+// sizeBytes for the client at src, using predicted latency and loss with
+// the PFTK TCP model (§7.1): short transfers are latency-dominated, long
+// ones loss-sensitive. ok is false when no replica has a prediction.
+func (c *Client) BestReplica(src Prefix, replicas []Prefix, sizeBytes int) (Prefix, bool) {
+	params := tcpmodel.DefaultParams()
+	best, bestT := Prefix(0), 0.0
+	found := false
+	for _, r := range replicas {
+		info := c.QueryPrefix(src, r)
+		if !info.Found {
+			continue
+		}
+		t := tcpmodel.TransferTimeMS(sizeBytes, info.RTTMS, info.LossRate, params)
+		if !found || t < bestT || (t == bestT && r < best) {
+			best, bestT, found = r, t, true
+		}
+	}
+	return best, found
+}
+
+// BestRelay picks a relay for a VoIP call from src to dst using the paper's
+// §7.2 strategy: take the k relays minimizing predicted end-to-end loss
+// through the relay, then among those the one minimizing end-to-end
+// latency. ok is false when no relay has predictions for both legs.
+func (c *Client) BestRelay(src, dst Prefix, relays []Prefix, k int) (Prefix, bool) {
+	if k <= 0 {
+		k = 10
+	}
+	type cand struct {
+		relay Prefix
+		loss  float64
+		rtt   float64
+	}
+	var cands []cand
+	for _, r := range relays {
+		if r == src || r == dst {
+			continue
+		}
+		leg1 := c.QueryPrefix(src, r)
+		leg2 := c.QueryPrefix(r, dst)
+		if !leg1.Found || !leg2.Found {
+			continue
+		}
+		cands = append(cands, cand{
+			relay: r,
+			loss:  1 - (1-leg1.LossRate)*(1-leg2.LossRate),
+			rtt:   leg1.RTTMS + leg2.RTTMS,
+		})
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].loss != cands[j].loss {
+			return cands[i].loss < cands[j].loss
+		}
+		return cands[i].relay < cands[j].relay
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	best := cands[0]
+	for _, cd := range cands[1:] {
+		if cd.rtt < best.rtt || (cd.rtt == best.rtt && cd.relay < best.relay) {
+			best = cd
+		}
+	}
+	return best.relay, true
+}
+
+// RelayMOS predicts the mean opinion score of a call from src to dst
+// relayed through relay.
+func (c *Client) RelayMOS(src, dst, relay Prefix) (float64, bool) {
+	leg1 := c.QueryPrefix(src, relay)
+	leg2 := c.QueryPrefix(relay, dst)
+	if !leg1.Found || !leg2.Found {
+		return 0, false
+	}
+	return voip.RelayScore(leg1.RTTMS, leg1.LossRate, leg2.RTTMS, leg2.LossRate), true
+}
+
+// RankDetours orders candidate detour nodes for recovering connectivity
+// from src to dst, maximizing path disjointness (§7.3): the (k+1)-th detour
+// minimizes first the PoP clusters and then the ASes shared with the direct
+// path and with the k previously chosen detours.
+func (c *Client) RankDetours(src, dst Prefix, candidates []Prefix) []Prefix {
+	direct := c.PredictForward(src, dst)
+	usedClusters := make(map[int32]int)
+	usedASes := make(map[ASN]int)
+	markPath := func(p Prediction) {
+		for _, cl := range p.Clusters {
+			usedClusters[int32(cl)]++
+		}
+		for _, a := range p.ASPath {
+			usedASes[a]++
+		}
+	}
+	if direct.Found {
+		markPath(direct)
+	}
+	type detourPath struct {
+		p      Prefix
+		via    Prediction // src -> detour
+		onward Prediction // detour -> dst
+		ok     bool
+	}
+	paths := make([]detourPath, 0, len(candidates))
+	for _, d := range candidates {
+		if d == src || d == dst {
+			continue
+		}
+		via := c.PredictForward(src, d)
+		onward := c.PredictForward(d, dst)
+		paths = append(paths, detourPath{p: d, via: via, onward: onward, ok: via.Found && onward.Found})
+	}
+	var out []Prefix
+	remaining := paths
+	for len(remaining) > 0 {
+		bestIdx, bestPoP, bestAS := -1, 1<<30, 1<<30
+		for i, dp := range remaining {
+			pop, as := 1<<29, 1<<29 // unpredictable detours rank behind predictable ones
+			if dp.ok {
+				pop, as = 0, 0
+				count := func(p Prediction, skipEnds int) {
+					cls := p.Clusters
+					asp := p.ASPath
+					// The endpoints' own attachment clusters/ASes are
+					// shared by construction; they carry no signal and
+					// would swamp the disjointness comparison.
+					if len(cls) > 2*skipEnds {
+						cls = cls[skipEnds : len(cls)-skipEnds]
+					}
+					if len(asp) > 2*skipEnds {
+						asp = asp[skipEnds : len(asp)-skipEnds]
+					}
+					for _, cl := range cls {
+						if usedClusters[int32(cl)] > 0 {
+							pop++
+						}
+					}
+					for _, a := range asp {
+						if usedASes[a] > 0 {
+							as++
+						}
+					}
+				}
+				count(dp.via, 1)
+				count(dp.onward, 1)
+			}
+			if pop < bestPoP || (pop == bestPoP && as < bestAS) ||
+				(pop == bestPoP && as == bestAS && bestIdx >= 0 && dp.p < remaining[bestIdx].p) {
+				bestIdx, bestPoP, bestAS = i, pop, as
+			}
+		}
+		chosen := remaining[bestIdx]
+		out = append(out, chosen.p)
+		if chosen.ok {
+			markPath(chosen.via)
+			markPath(chosen.onward)
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Command inano-build runs one day's measurement campaign against a
+// synthetic world and writes the resulting atlas (and, for day > 0, the
+// delta from the previous day) — the server side of §5.
+//
+// Usage:
+//
+//	inano-build [-scale tiny|medium|eval] [-seed N] [-day D] [-vps N] [-o atlas.bin] [-delta delta.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inano/internal/atlas"
+	"inano/sim"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "world scale: tiny, medium, or eval")
+	seed := flag.Int64("seed", 42, "world seed")
+	day := flag.Int("day", 0, "measurement day")
+	vps := flag.Int("vps", 60, "number of vantage points")
+	out := flag.String("o", "atlas.bin", "output atlas file")
+	deltaOut := flag.String("delta", "", "also write the delta from day-1 to this file")
+	flag.Parse()
+
+	var sc sim.Scale
+	switch *scale {
+	case "tiny":
+		sc = sim.Tiny
+	case "medium":
+		sc = sim.Medium
+	case "eval":
+		sc = sim.Eval
+	default:
+		fmt.Fprintf(os.Stderr, "inano-build: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	w := sim.NewWorld(sc, *seed)
+	fmt.Printf("world: %s\n", w.Top.Stats())
+	vpList := w.VantagePoints(*vps)
+	targets := w.EdgePrefixes()
+
+	build := func(d int) *atlas.Atlas {
+		c := w.Measure(sim.CampaignOptions{Day: d, VPs: vpList, Targets: targets})
+		return c.BuildAtlas()
+	}
+	a := build(*day)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := a.Encode(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("day %d atlas: %d clusters, %d links, %d tuples -> %s (%d bytes)\n",
+		*day, a.NumClusters, len(a.Links), len(a.Tuples), *out, a.EncodedSize())
+	for _, s := range a.SectionSizes() {
+		fmt.Printf("  %-38s %8d entries %8d bytes\n", s.Name, s.Entries, s.Compressed)
+	}
+
+	if *deltaOut != "" && *day > 0 {
+		prev := build(*day - 1)
+		d := atlas.Diff(prev, a)
+		df, err := os.Create(*deltaOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.Encode(df); err != nil {
+			fatal(err)
+		}
+		if err := df.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("delta day %d -> %d: %d entries -> %s (%d bytes)\n",
+			*day-1, *day, d.Entries(), *deltaOut, d.EncodedSize())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inano-build:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command inano-eval regenerates the paper's tables and figures against a
+// synthetic world and prints them in the layout of the paper's evaluation
+// section. See EXPERIMENTS.md for recorded runs.
+//
+// Usage:
+//
+//	inano-eval [-scale quick|medium|eval] [-seed N] [-exp all|table2|scaling|fig4|loss|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"inano/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "world scale: quick, medium, or eval")
+	seed := flag.Int64("seed", 42, "world seed")
+	exp := flag.String("exp", "all", "experiment to run (comma-separated), or all")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig(*seed)
+	case "medium":
+		cfg = experiments.MediumConfig(*seed)
+	case "eval":
+		cfg = experiments.EvalConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "inano-eval: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	fmt.Printf("# iPlane Nano evaluation — scale=%s seed=%d\n", *scale, *seed)
+	lab := experiments.NewLab(cfg)
+	fmt.Printf("world: %s\n", lab.W.Top.Stats())
+	fmt.Printf("campaign: %d vantage points x %d targets, %d validation sources\n\n",
+		len(lab.VPs), len(lab.Targets), len(lab.ValSrcs))
+
+	section := func(name string, f func() string) {
+		if !run(name) {
+			return
+		}
+		t0 := time.Now()
+		out := f()
+		fmt.Printf("%s\n[%s in %v]\n\n", out, name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("table2", func() string { return experiments.Table2AtlasSize(lab).Render() })
+	section("scaling", func() string { return experiments.VantagePointScaling(lab, 4, 20, 20).Render() })
+	section("fig4", func() string { return experiments.Fig4PathStationarity(lab).Render() })
+	section("loss", func() string { return experiments.LossStationarity(lab, 3000).Render() })
+	section("fig5", func() string { return experiments.Fig5Accuracy(lab).Render() })
+	section("fig6", func() string { return experiments.Fig6LatencyError(lab).Render() })
+	section("fig7", func() string { return experiments.Fig7ClosestRanking(lab).Render() })
+	section("fig8", func() string { return experiments.Fig8LossError(lab).Render() })
+	section("fig9", func() string {
+		a := experiments.Fig9CDN(lab, 30_000, 199, 5).Render()
+		b := experiments.Fig9CDN(lab, 1_500_000, 199, 5).Render()
+		return a + "\n" + b
+	})
+	section("fig10", func() string { return experiments.Fig10VoIP(lab, 1200).Render() })
+	section("fig11", func() string { return experiments.Fig11Detour(lab, 30, 8).Render() })
+
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,95 @@
+// Command inano-query loads an atlas and answers path queries locally —
+// the client side of §5 as a CLI.
+//
+// Usage:
+//
+//	inano-query -atlas atlas.bin 10.1.2.3 10.9.8.7
+//	inano-query -atlas atlas.bin -list        # show known prefixes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	inano "inano"
+	"inano/internal/netsim"
+)
+
+func main() {
+	atlasPath := flag.String("atlas", "atlas.bin", "atlas file produced by inano-build")
+	list := flag.Bool("list", false, "list prefixes with attachment clusters and exit")
+	flag.Parse()
+
+	f, err := os.Open(*atlasPath)
+	if err != nil {
+		fatal(err)
+	}
+	client, err := inano.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("atlas day %d loaded\n", client.Day())
+
+	if *list {
+		a := client.Atlas()
+		ps := make([]netsim.Prefix, 0, len(a.PrefixCluster))
+		for p := range a.PrefixCluster {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		for _, p := range ps {
+			fmt.Printf("%s -> cluster %d (AS%d)\n", p, a.PrefixCluster[p], a.PrefixAS[p])
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: inano-query -atlas atlas.bin <src-ip> <dst-ip>")
+		os.Exit(2)
+	}
+	src, err := parseIP(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	dst, err := parseIP(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	info := client.Query(src, dst)
+	if !info.Found {
+		fmt.Println("no prediction (prefix unknown or no policy-compliant path)")
+		os.Exit(1)
+	}
+	fmt.Printf("RTT estimate:   %.1f ms\n", info.RTTMS)
+	fmt.Printf("loss estimate:  %.2f%%\n", info.LossRate*100)
+	fmt.Printf("forward AS path: %v  (%.1f ms one-way over %d clusters)\n",
+		info.Fwd.ASPath, info.Fwd.LatencyMS, len(info.Fwd.Clusters))
+	fmt.Printf("reverse AS path: %v  (%.1f ms one-way over %d clusters)\n",
+		info.Rev.ASPath, info.Rev.LatencyMS, len(info.Rev.Clusters))
+}
+
+func parseIP(s string) (inano.IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return inano.IP(ip), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inano-query:", err)
+	os.Exit(1)
+}

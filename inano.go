@@ -1,0 +1,183 @@
+// Package inano is the client library of iPlane Nano: a lightweight Internet
+// path performance predictor for peer-to-peer applications (Madhyastha et
+// al., NSDI 2009).
+//
+// A Client loads the compact link-level atlas (a few megabytes), optionally
+// fetched from a peer-to-peer swarm, answers local queries for the
+// PoP-level path, latency, and loss rate between arbitrary end hosts, keeps
+// itself current by applying small daily deltas, and contributes its own
+// traceroutes to sharpen predictions for paths out of this host.
+//
+// Application helpers cover the paper's three case studies: CDN replica
+// selection (§7.1), VoIP relay selection (§7.2), and detour routing around
+// failures (§7.3).
+//
+//	client, err := inano.Load(atlasFile)
+//	info := client.Query(srcIP, dstIP)
+//	fmt.Println(info.RTTMS, info.LossRate, info.Fwd.ASPath)
+package inano
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"inano/internal/atlas"
+	"inano/internal/core"
+	"inano/internal/netsim"
+	"inano/internal/swarm"
+)
+
+// Re-exported identifier types, so applications need no internal imports.
+type (
+	// IP is an IPv4 address as a 32-bit word.
+	IP = netsim.IP
+	// Prefix is a /24 prefix identifier (IP >> 8).
+	Prefix = netsim.Prefix
+	// ASN is an autonomous system number.
+	ASN = netsim.ASN
+	// PathInfo is a bidirectional query answer.
+	PathInfo = core.PathInfo
+	// Prediction is a one-way predicted path.
+	Prediction = core.Prediction
+	// Options selects the prediction algorithm variant.
+	Options = core.Options
+	// Atlas is the in-memory atlas.
+	Atlas = atlas.Atlas
+	// Delta is a day-over-day atlas update.
+	Delta = atlas.Delta
+	// Manifest describes a swarmed atlas file.
+	Manifest = swarm.Manifest
+)
+
+// Client answers path queries from a local atlas. It is safe for concurrent
+// queries; mutating operations (ApplyDelta, AddTraceroutes) serialize
+// internally and rebuild the prediction engine.
+type Client struct {
+	mu     sync.RWMutex
+	atlas  *atlas.Atlas
+	engine *core.Engine
+	opts   core.Options
+	// nextLocalCluster allocates cluster IDs for interfaces discovered by
+	// local measurements.
+	localCluster map[Prefix]int32
+}
+
+// FromAtlas wraps an in-memory atlas with the full iNano configuration.
+func FromAtlas(a *atlas.Atlas) *Client {
+	return FromAtlasOptions(a, core.INanoOptions())
+}
+
+// FromAtlasOptions wraps an atlas with an explicit algorithm configuration
+// (used by evaluations to run ablations).
+func FromAtlasOptions(a *atlas.Atlas, opts core.Options) *Client {
+	return &Client{
+		atlas:        a,
+		engine:       core.New(a, opts),
+		opts:         opts,
+		localCluster: make(map[Prefix]int32),
+	}
+}
+
+// Load reads an encoded atlas (as produced by the build server or fetched
+// from the swarm).
+func Load(r io.Reader) (*Client, error) {
+	a, err := atlas.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromAtlas(a), nil
+}
+
+// FetchAtlas joins the swarm for the given manifest via a tracker, fetches
+// and verifies the atlas, and returns a ready client. This is the library's
+// startup path in §5 ("Fetching the Atlas").
+func FetchAtlas(ctx context.Context, trackerAddr string, m Manifest) (*Client, error) {
+	data, err := swarm.Fetch(ctx, trackerAddr, m)
+	if err != nil {
+		return nil, fmt.Errorf("inano: fetching atlas: %w", err)
+	}
+	return Load(bytesReader(data))
+}
+
+// Day returns the measurement day of the loaded atlas.
+func (c *Client) Day() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.atlas.Day
+}
+
+// Atlas returns the client's atlas. Treat it as read-only.
+func (c *Client) Atlas() *atlas.Atlas {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.atlas
+}
+
+// ApplyDelta applies an encoded daily update, keeping the atlas current
+// (§5, "Keeping Atlas Up-to-date"). The update is applied copy-on-write:
+// queries in flight keep reading the old snapshot.
+func (c *Client) ApplyDelta(r io.Reader) error {
+	d, err := atlas.DecodeDelta(r)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d.FromDay != c.atlas.Day {
+		return fmt.Errorf("inano: delta is day %d->%d but atlas is day %d", d.FromDay, d.ToDay, c.atlas.Day)
+	}
+	next := c.atlas.Clone()
+	next.Apply(d)
+	c.atlas = next
+	c.engine = core.New(next, c.opts)
+	return nil
+}
+
+// FetchDelta fetches an encoded delta from a swarm and applies it.
+func (c *Client) FetchDelta(ctx context.Context, trackerAddr string, m Manifest) error {
+	data, err := swarm.Fetch(ctx, trackerAddr, m)
+	if err != nil {
+		return fmt.Errorf("inano: fetching delta: %w", err)
+	}
+	return c.ApplyDelta(bytesReader(data))
+}
+
+// Query predicts forward and reverse paths between hosts and composes
+// end-to-end RTT and loss estimates.
+func (c *Client) Query(src, dst IP) PathInfo {
+	return c.QueryPrefix(netsim.PrefixOf(src), netsim.PrefixOf(dst))
+}
+
+// QueryPrefix is Query keyed by /24 prefixes.
+func (c *Client) QueryPrefix(src, dst Prefix) PathInfo {
+	c.mu.RLock()
+	e := c.engine
+	c.mu.RUnlock()
+	return e.Query(src, dst)
+}
+
+// QueryBatch answers many queries; per §5 the API accepts "batches of
+// arbitrary sizes". Grouping by destination reuses prediction trees.
+func (c *Client) QueryBatch(pairs [][2]IP) []PathInfo {
+	ps := make([][2]Prefix, len(pairs))
+	for i, pr := range pairs {
+		ps[i] = [2]Prefix{netsim.PrefixOf(pr[0]), netsim.PrefixOf(pr[1])}
+	}
+	c.mu.RLock()
+	e := c.engine
+	c.mu.RUnlock()
+	return e.QueryBatch(ps)
+}
+
+// PredictForward predicts only the one-way path from src to dst.
+func (c *Client) PredictForward(src, dst Prefix) Prediction {
+	c.mu.RLock()
+	e := c.engine
+	c.mu.RUnlock()
+	return e.PredictForward(src, dst)
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -1,0 +1,520 @@
+package atlas
+
+import (
+	"math"
+	"sort"
+
+	"inano/internal/bgpsim"
+	"inano/internal/cluster"
+	"inano/internal/frontier"
+	"inano/internal/netsim"
+	"inano/internal/trace"
+)
+
+// BuildInput carries one day's measurements into the builder.
+//
+// Top and Day are consulted only by the *simulated measurement tools*
+// (physical-link annotation, BGP feed snapshots, late-exit detection) — the
+// stand-ins for probing real routers and reading RouteViews. All inference
+// operates on the observed traceroutes.
+type BuildInput struct {
+	Top   *netsim.Topology
+	Day   *bgpsim.Day
+	Meter *trace.Meter
+
+	// VPTraces are vantage-point traceroutes (the TO_DST plane).
+	VPTraces []trace.Traceroute
+	// ClientTraces are end-host-contributed traceroutes (FROM_SRC plane).
+	ClientTraces []trace.Traceroute
+	// BGPFeeds lists route-collector peer ASes whose tables seed
+	// 3-tuples and provider mappings (RouteViews/RIPE stand-in).
+	BGPFeeds []netsim.ASN
+
+	ClusterCfg cluster.Config
+	// Clusters optionally supplies a precomputed clustering (e.g. one
+	// stabilized against the previous day's via cluster.Stabilize, as the
+	// production server's persistent registry would). When nil, the
+	// builder clusters the observed interfaces itself.
+	Clusters *cluster.Clustering
+	// LossProbes is the probe-train length per link loss measurement.
+	LossProbes int
+	// Redundancy is the frontier assignment redundancy.
+	Redundancy int
+	// DegreeThreshold gates the 3-tuple check: tuples are only recorded
+	// and enforced when the middle AS has a degree above it (§4.3.2).
+	DegreeThreshold int
+}
+
+// DefaultFeeds picks the highest-degree ASes as BGP route collectors.
+func DefaultFeeds(top *netsim.Topology, n int) []netsim.ASN {
+	type dv struct {
+		asn netsim.ASN
+		deg int
+	}
+	ds := make([]dv, len(top.ASes))
+	for i := range top.ASes {
+		ds[i] = dv{top.ASes[i].ASN, len(top.ASAdj[i])}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].deg != ds[j].deg {
+			return ds[i].deg > ds[j].deg
+		}
+		return ds[i].asn < ds[j].asn
+	})
+	if n > len(ds) {
+		n = len(ds)
+	}
+	out := make([]netsim.ASN, n)
+	for i := 0; i < n; i++ {
+		out[i] = ds[i].asn
+	}
+	return out
+}
+
+// Build processes one day's measurements into an atlas.
+func Build(in BuildInput) *Atlas {
+	if in.LossProbes <= 0 {
+		in.LossProbes = 100
+	}
+	if in.Redundancy <= 0 {
+		in.Redundancy = 2
+	}
+	if in.DegreeThreshold <= 0 {
+		in.DegreeThreshold = 5
+	}
+	a := New()
+	a.Day = in.Day.DayNum()
+
+	// 1. Cluster every observed infrastructure interface (unless the
+	// caller supplied a registry-stabilized clustering).
+	cl := in.Clusters
+	if cl == nil {
+		var ifaces []netsim.IP
+		forEachTrace(in, func(tr *trace.Traceroute, _ bool) {
+			for _, h := range tr.Hops {
+				if h.IP != 0 {
+					ifaces = append(ifaces, h.IP)
+				}
+			}
+		})
+		cl = cluster.Cluster(in.Top, ifaces, in.ClusterCfg)
+	}
+	a.NumClusters = cl.NumClusters
+	a.ClusterAS = append([]netsim.ASN(nil), cl.ClusterAS...)
+
+	// 2. Extract directed cluster-level links from adjacent responsive
+	// hops, remembering which VP observed each (for frontier assignment)
+	// and an exemplar physical PoP pair (for the measurement tools).
+	type linkInfo struct {
+		planes    uint8
+		popA      netsim.PoPID
+		popB      netsim.PoPID
+		observers map[int]bool
+	}
+	links := make(map[uint64]*linkInfo)
+	vpIndex := make(map[netsim.Prefix]int)
+	for _, tr := range in.VPTraces {
+		if _, ok := vpIndex[tr.Src]; !ok {
+			vpIndex[tr.Src] = len(vpIndex)
+		}
+	}
+	forEachTrace(in, func(tr *trace.Traceroute, fromVP bool) {
+		plane := PlaneFromSrc
+		if fromVP {
+			plane = PlaneToDst
+		}
+		originAS := in.Top.PrefixOrigin[tr.Dst]
+		add := func(ip1, ip2 netsim.IP, c1, c2 cluster.ClusterID) *linkInfo {
+			k := LinkKey(c1, c2)
+			li := links[k]
+			if li == nil {
+				li = &linkInfo{
+					popA:      in.Top.RouterPoP(ip1),
+					popB:      in.Top.RouterPoP(ip2),
+					observers: make(map[int]bool),
+				}
+				links[k] = li
+			}
+			li.planes |= plane
+			if fromVP {
+				li.observers[vpIndex[tr.Src]] = true
+			}
+			return li
+		}
+		for i := 0; i+1 < len(tr.Hops); i++ {
+			ip1, ip2 := tr.Hops[i].IP, tr.Hops[i+1].IP
+			if ip1 == 0 || ip2 == 0 {
+				continue
+			}
+			c1, ok1 := cl.ClusterOf[ip1]
+			c2, ok2 := cl.ClusterOf[ip2]
+			if !ok1 || !ok2 || c1 == c2 {
+				continue
+			}
+			add(ip1, ip2, c1, c2)
+			// Access-tail reversal: links inside (or entering) the
+			// destination's origin AS also yield the reverse direction.
+			// Stubs never transit, so traceroutes can only ever *enter*
+			// them; without this, no path out of a stub-attached source
+			// is ever predictable. Physically these access tails are the
+			// same circuits in both directions, so the annotation holds.
+			if cl.ClusterAS[c2] == originAS && originAS != 0 {
+				add(ip2, ip1, c2, c1)
+			}
+		}
+	})
+
+	// 3. Frontier-assign links to vantage points and annotate.
+	keys := make([]uint64, 0, len(links))
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	observers := make([][]int, len(keys))
+	for i, k := range keys {
+		for vp := range links[k].observers {
+			observers[i] = append(observers[i], vp)
+		}
+		sort.Ints(observers[i])
+	}
+	assign := frontier.Assign(observers, in.Redundancy)
+	for i, k := range keys {
+		li := links[k]
+		phys := physicalLink(in.Top, li.popA, li.popB)
+		var lat float64
+		if len(assign[i]) > 0 && phys >= 0 {
+			// Assigned vantage points measure precisely; average the
+			// redundant samples.
+			sum := 0.0
+			for range assign[i] {
+				sum += in.Meter.MeasureLinkLatency(phys)
+			}
+			lat = sum / float64(len(assign[i]))
+		} else if phys >= 0 {
+			lat = in.Meter.CoarseLinkLatency(phys)
+		} else {
+			lat = 1.0 // adjacent clusters of one PoP pair we cannot place
+		}
+		a.Links = append(a.Links, Link{
+			From:      cluster.ClusterID(k >> 32),
+			To:        cluster.ClusterID(uint32(k)),
+			LatencyMS: float32(lat),
+			Planes:    li.planes,
+		})
+		if len(assign[i]) > 0 && phys >= 0 {
+			loss := in.Meter.MeasureLinkLoss(phys, li.popA, in.LossProbes)
+			if loss >= 0.005 {
+				a.Loss[k] = float32(loss)
+			}
+		}
+	}
+
+	// 4. Prefix attachment clusters: destinations vote with their last
+	// responsive infrastructure hop, sources with their first.
+	votes := make(map[netsim.Prefix]map[cluster.ClusterID]int)
+	addVote := func(p netsim.Prefix, c cluster.ClusterID) {
+		m := votes[p]
+		if m == nil {
+			m = make(map[cluster.ClusterID]int)
+			votes[p] = m
+		}
+		m[c]++
+	}
+	forEachTrace(in, func(tr *trace.Traceroute, _ bool) {
+		var first, last cluster.ClusterID = -1, -1
+		for _, h := range tr.Hops {
+			if h.IP == 0 {
+				continue
+			}
+			c, ok := cl.ClusterOf[h.IP]
+			if !ok {
+				continue
+			}
+			if first < 0 {
+				first = c
+			}
+			last = c
+		}
+		if first >= 0 {
+			addVote(tr.Src, first)
+		}
+		if tr.Reached && last >= 0 {
+			addVote(tr.Dst, last)
+		}
+	})
+	for p, vs := range votes {
+		best, bestN := cluster.ClusterID(-1), -1
+		for c, n := range vs {
+			if n > bestN || (n == bestN && c < best) {
+				best, bestN = c, n
+			}
+		}
+		a.PrefixCluster[p] = best
+	}
+
+	// 5. BGP origin table (full, as RouteViews provides).
+	for p, asn := range in.Top.PrefixOrigin {
+		a.PrefixAS[p] = asn
+	}
+
+	// 6. AS-level paths from traceroutes and BGP feeds.
+	uniq := make(map[string]*weightedPath)
+	addPath := func(p []netsim.ASN, w int) {
+		if len(p) < 1 {
+			return
+		}
+		k := asPathKey(p)
+		if u, ok := uniq[k]; ok {
+			u.count += w
+			return
+		}
+		uniq[k] = &weightedPath{path: p, count: w}
+	}
+	forEachTrace(in, func(tr *trace.Traceroute, _ bool) {
+		ips := make([]netsim.IP, 0, len(tr.Hops))
+		for _, h := range tr.Hops {
+			ips = append(ips, h.IP)
+		}
+		if p, ok := cluster.ASPathOf(ips, in.Top.PrefixOrigin); ok {
+			addPath(p, 1)
+		}
+	})
+	// BGP feeds advertise paths for every prefix targeted by the
+	// campaign (a full-table stand-in).
+	feedTargets := make(map[netsim.Prefix]bool)
+	for _, tr := range in.VPTraces {
+		feedTargets[tr.Dst] = true
+	}
+	feedList := make([]netsim.Prefix, 0, len(feedTargets))
+	for p := range feedTargets {
+		feedList = append(feedList, p)
+	}
+	sort.Slice(feedList, func(i, j int) bool { return feedList[i] < feedList[j] })
+	for _, p := range feedList {
+		for _, feed := range in.BGPFeeds {
+			if fp, ok := in.Day.ASPath(feed, p); ok {
+				addPath(fp, 1)
+			}
+		}
+	}
+	paths := make([]*weightedPath, 0, len(uniq))
+	for _, u := range uniq {
+		paths = append(paths, u)
+	}
+	sort.Slice(paths, func(i, j int) bool { return asPathKey(paths[i].path) < asPathKey(paths[j].path) })
+
+	// 7. AS degrees over the observed AS graph.
+	asAdj := make(map[netsim.ASN]map[netsim.ASN]bool)
+	addAdj := func(x, y netsim.ASN) {
+		m := asAdj[x]
+		if m == nil {
+			m = make(map[netsim.ASN]bool)
+			asAdj[x] = m
+		}
+		m[y] = true
+	}
+	for _, u := range paths {
+		for i := 0; i+1 < len(u.path); i++ {
+			addAdj(u.path[i], u.path[i+1])
+			addAdj(u.path[i+1], u.path[i])
+		}
+	}
+	for asn, nbs := range asAdj {
+		a.ASDegree[asn] = int32(len(nbs))
+	}
+
+	// 8. 3-tuples with commutative closure, recorded only when the middle
+	// AS clears the degree threshold (low-degree edge ASes are too poorly
+	// observed for the check to be sound, §4.3.2).
+	for _, u := range paths {
+		p := u.path
+		for i := 0; i+2 < len(p); i++ {
+			if int(a.ASDegree[p[i+1]]) <= in.DegreeThreshold {
+				continue
+			}
+			a.Tuples[PackTriple(p[i], p[i+1], p[i+2])] = true
+			a.Tuples[PackTriple(p[i+2], p[i+1], p[i])] = true
+		}
+	}
+
+	// 9. Preference tuples (§4.3.3): for each observed route, any
+	// equal-length alternative visible in the observed AS graph that
+	// diverges at position k yields a vote (r[k]: r[k+1] > alternative).
+	a.Prefs = inferPreferences(paths, asAdj)
+
+	// 10. Provider mappings: penultimate ASes of paths that terminate at
+	// the origin.
+	provSet := make(map[netsim.ASN]map[netsim.ASN]bool)
+	for _, u := range paths {
+		p := u.path
+		if len(p) < 2 {
+			continue
+		}
+		d, up := p[len(p)-1], p[len(p)-2]
+		m := provSet[d]
+		if m == nil {
+			m = make(map[netsim.ASN]bool)
+			provSet[d] = m
+		}
+		m[up] = true
+	}
+	for d, ups := range provSet {
+		list := make([]netsim.ASN, 0, len(ups))
+		for u := range ups {
+			list = append(list, u)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		a.Providers[d] = list
+	}
+
+	// 11. Gao relationship inference for the GRAPH baseline.
+	plain := make([][]netsim.ASN, len(paths))
+	for i, u := range paths {
+		plain[i] = u.path
+	}
+	a.Rels = cluster.InferRelationships(plain)
+
+	// 12. Late-exit detection (Spring et al. [54] stand-in): adjacencies
+	// present in the observed link set are tested against the ground
+	// truth with a 90% detection rate.
+	seenPairs := make(map[uint64]bool)
+	for _, l := range a.Links {
+		x, y := a.ClusterAS[l.From], a.ClusterAS[l.To]
+		if x != y && x != 0 && y != 0 {
+			seenPairs[netsim.ASPairKey(x, y)] = true
+		}
+	}
+	for k := range seenPairs {
+		if in.Top.LateExit[k] && detect(k, 0.9) {
+			a.LateExit[k] = true
+		}
+	}
+
+	sort.Slice(a.Links, func(i, j int) bool {
+		if a.Links[i].From != a.Links[j].From {
+			return a.Links[i].From < a.Links[j].From
+		}
+		return a.Links[i].To < a.Links[j].To
+	})
+	a.invalidateIndex()
+	return a
+}
+
+// forEachTrace visits VP traces (fromVP=true) then client traces.
+func forEachTrace(in BuildInput, f func(tr *trace.Traceroute, fromVP bool)) {
+	for i := range in.VPTraces {
+		f(&in.VPTraces[i], true)
+	}
+	for i := range in.ClientTraces {
+		f(&in.ClientTraces[i], false)
+	}
+}
+
+// physicalLink locates the lowest-latency ground-truth link joining two
+// PoPs, the target of the simulated link measurement tools. Returns -1 if
+// the PoPs are not directly joined (possible when clustering merged remote
+// interfaces; the builder then falls back to a default annotation).
+func physicalLink(top *netsim.Topology, a, b netsim.PoPID) netsim.LinkID {
+	if a < 0 || b < 0 {
+		return -1
+	}
+	best := netsim.LinkID(-1)
+	bestLat := math.Inf(1)
+	for _, adj := range top.AdjPoP[a] {
+		if adj.To == b && top.Links[adj.Link].LatencyMS < bestLat {
+			best, bestLat = adj.Link, top.Links[adj.Link].LatencyMS
+		}
+	}
+	return best
+}
+
+// asPathKey builds a compact string key for an AS path.
+func asPathKey(p []netsim.ASN) string {
+	b := make([]byte, 0, len(p)*4)
+	for _, a := range p {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return string(b)
+}
+
+// weightedPath is an observed AS path with its observation count.
+type weightedPath struct {
+	path  []netsim.ASN
+	count int
+}
+
+// inferPreferences implements §4.3.3. For every observed route r and
+// position k, an equal-length alternative exists through neighbor x of r[k]
+// when dist(x, dst) == len(r)-k-2 in the observed AS graph; each such
+// alternative casts a vote (r[k]: r[k+1] > x). A preference is kept only if
+// observed at least three times as often as its reverse.
+func inferPreferences(paths []*weightedPath, asAdj map[netsim.ASN]map[netsim.ASN]bool) map[uint64]bool {
+	// Hop distances from each destination AS over the observed graph.
+	dests := make(map[netsim.ASN]bool)
+	for _, u := range paths {
+		if len(u.path) >= 3 {
+			dests[u.path[len(u.path)-1]] = true
+		}
+	}
+	distTo := make(map[netsim.ASN]map[netsim.ASN]int32, len(dests))
+	for d := range dests {
+		distTo[d] = bfsDist(d, asAdj)
+	}
+	votes := make(map[uint64]int)
+	for _, u := range paths {
+		p := u.path
+		if len(p) < 3 {
+			continue
+		}
+		d := p[len(p)-1]
+		dist := distTo[d]
+		for k := 0; k+2 < len(p); k++ {
+			at, taken := p[k], p[k+1]
+			remaining := int32(len(p) - k - 2) // hops from the next AS to d
+			for x := range asAdj[at] {
+				if x == taken || (k > 0 && x == p[k-1]) {
+					continue
+				}
+				if dx, ok := dist[x]; ok && dx == remaining {
+					votes[PackTriple(at, taken, x)] += u.count
+				}
+			}
+		}
+	}
+	prefs := make(map[uint64]bool)
+	for k, n := range votes {
+		at, b, c := UnpackTriple(k)
+		rev := votes[PackTriple(at, c, b)]
+		if n >= 2 && n >= 3*rev {
+			prefs[k] = true
+		}
+	}
+	return prefs
+}
+
+func bfsDist(d netsim.ASN, asAdj map[netsim.ASN]map[netsim.ASN]bool) map[netsim.ASN]int32 {
+	dist := map[netsim.ASN]int32{d: 0}
+	frontier := []netsim.ASN{d}
+	for h := int32(1); len(frontier) > 0; h++ {
+		var next []netsim.ASN
+		for _, x := range frontier {
+			for y := range asAdj[x] {
+				if _, ok := dist[y]; !ok {
+					dist[y] = h
+					next = append(next, y)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// detect is the deterministic coin for simulated tool detections.
+func detect(x uint64, p float64) bool {
+	h := x*0x9e3779b97f4a7c15 ^ 0xD37EC7
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return float64(h>>11)/float64(1<<53) < p
+}

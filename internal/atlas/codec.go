@@ -1,0 +1,570 @@
+package atlas
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// The wire format is a gzip stream over: magic, version, day, cluster count,
+// then one section per dataset. Sections carry sorted, delta-encoded varint
+// records; latencies quantize to 0.01 ms and loss rates to 0.01%, matching
+// the paper's "pocket-sized" representation goals.
+const (
+	atlasMagic   = "INANOATL"
+	atlasVersion = 1
+)
+
+// Section identifiers (also the keys of SectionSizes).
+const (
+	secClusterAS = iota
+	secLinks
+	secLoss
+	secPrefixCluster
+	secPrefixAS
+	secASDegree
+	secTuples
+	secPrefs
+	secProviders
+	secRels
+	secLateExit
+	numSections
+)
+
+// SectionName returns the human-readable dataset name used in Table 2.
+func SectionName(sec int) string {
+	switch sec {
+	case secClusterAS:
+		return "Cluster to AS"
+	case secLinks:
+		return "Inter-cluster links with latencies"
+	case secLoss:
+		return "Link loss rates"
+	case secPrefixCluster:
+		return "Prefix to cluster"
+	case secPrefixAS:
+		return "Prefix to AS"
+	case secASDegree:
+		return "AS degrees"
+	case secTuples:
+		return "AS three-tuples"
+	case secPrefs:
+		return "AS preferences"
+	case secProviders:
+		return "Provider mappings"
+	case secRels:
+		return "AS relationships"
+	case secLateExit:
+		return "Late-exit pairs"
+	default:
+		return fmt.Sprintf("section %d", sec)
+	}
+}
+
+type sectionWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *sectionWriter) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf.Write(tmp[:n])
+}
+
+type sectionReader struct {
+	r *bufio.Reader
+}
+
+func (r *sectionReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r.r)
+}
+
+// quantLat converts latency milliseconds to 0.01 ms wire units.
+func quantLat(ms float32) uint64 {
+	if ms < 0 {
+		return 0
+	}
+	return uint64(ms*100 + 0.5)
+}
+
+func unquantLat(u uint64) float32 { return float32(u) / 100 }
+
+// quantLoss converts a loss rate to 0.01% wire units.
+func quantLoss(l float32) uint64 {
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		l = 1
+	}
+	return uint64(l*10000 + 0.5)
+}
+
+func unquantLoss(u uint64) float32 { return float32(u) / 10000 }
+
+// encodeSection renders one dataset into w.
+func (a *Atlas) encodeSection(sec int, w *sectionWriter) {
+	switch sec {
+	case secClusterAS:
+		w.uvarint(uint64(len(a.ClusterAS)))
+		for _, asn := range a.ClusterAS {
+			w.uvarint(uint64(asn))
+		}
+	case secLinks:
+		w.uvarint(uint64(len(a.Links)))
+		prevFrom := uint64(0)
+		for _, l := range a.Links {
+			f := uint64(uint32(l.From))
+			w.uvarint(f - prevFrom) // Links are sorted by From
+			prevFrom = f
+			w.uvarint(uint64(uint32(l.To)))
+			w.uvarint(quantLat(l.LatencyMS))
+			w.uvarint(uint64(l.Planes))
+		}
+	case secLoss:
+		keys := sortedKeysF32(a.Loss)
+		w.uvarint(uint64(len(keys)))
+		prev := uint64(0)
+		for _, k := range keys {
+			w.uvarint(k - prev)
+			prev = k
+			w.uvarint(quantLoss(a.Loss[k]))
+		}
+	case secPrefixCluster:
+		keys := make([]netsim.Prefix, 0, len(a.PrefixCluster))
+		for p := range a.PrefixCluster {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.uvarint(uint64(len(keys)))
+		prev := uint64(0)
+		for _, p := range keys {
+			w.uvarint(uint64(p) - prev)
+			prev = uint64(p)
+			w.uvarint(uint64(uint32(a.PrefixCluster[p])))
+		}
+	case secPrefixAS:
+		keys := make([]netsim.Prefix, 0, len(a.PrefixAS))
+		for p := range a.PrefixAS {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.uvarint(uint64(len(keys)))
+		prev := uint64(0)
+		for _, p := range keys {
+			w.uvarint(uint64(p) - prev)
+			prev = uint64(p)
+			w.uvarint(uint64(a.PrefixAS[p]))
+		}
+	case secASDegree:
+		keys := make([]netsim.ASN, 0, len(a.ASDegree))
+		for asn := range a.ASDegree {
+			keys = append(keys, asn)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.uvarint(uint64(len(keys)))
+		prev := uint64(0)
+		for _, asn := range keys {
+			w.uvarint(uint64(asn) - prev)
+			prev = uint64(asn)
+			w.uvarint(uint64(a.ASDegree[asn]))
+		}
+	case secTuples:
+		writeSortedSet(w, a.Tuples)
+	case secPrefs:
+		writeSortedSet(w, a.Prefs)
+	case secProviders:
+		keys := make([]netsim.ASN, 0, len(a.Providers))
+		for asn := range a.Providers {
+			keys = append(keys, asn)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.uvarint(uint64(len(keys)))
+		prev := uint64(0)
+		for _, asn := range keys {
+			w.uvarint(uint64(asn) - prev)
+			prev = uint64(asn)
+			ps := a.Providers[asn]
+			w.uvarint(uint64(len(ps)))
+			pp := uint64(0)
+			for _, p := range ps { // builder keeps these sorted
+				w.uvarint(uint64(p) - pp)
+				pp = uint64(p)
+			}
+		}
+	case secRels:
+		keys := make([]uint64, 0, len(a.Rels))
+		for k := range a.Rels {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.uvarint(uint64(len(keys)))
+		prev := uint64(0)
+		for _, k := range keys {
+			w.uvarint(k - prev)
+			prev = k
+			w.uvarint(uint64(uint8(a.Rels[k])))
+		}
+	case secLateExit:
+		writeSortedSet(w, a.LateExit)
+	}
+}
+
+func sortedKeysF32(m map[uint64]float32) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedSet(m map[uint64]bool) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func writeSortedSet(w *sectionWriter, m map[uint64]bool) {
+	keys := sortedSet(m)
+	w.uvarint(uint64(len(keys)))
+	prev := uint64(0)
+	for _, k := range keys {
+		w.uvarint(k - prev)
+		prev = k
+	}
+}
+
+func readSet(r *sectionReader, into map[uint64]bool) error {
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += d
+		into[prev] = true
+	}
+	return nil
+}
+
+func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
+	switch sec {
+	case secClusterAS:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		a.ClusterAS = make([]netsim.ASN, n)
+		for i := range a.ClusterAS {
+			v, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.ClusterAS[i] = netsim.ASN(v)
+		}
+	case secLinks:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		a.Links = make([]Link, 0, n)
+		prevFrom := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			df, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prevFrom += df
+			to, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			lat, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			planes, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.Links = append(a.Links, Link{
+				From:      cluster.ClusterID(uint32(prevFrom)),
+				To:        cluster.ClusterID(uint32(to)),
+				LatencyMS: unquantLat(lat),
+				Planes:    uint8(planes),
+			})
+		}
+	case secLoss:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += d
+			q, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.Loss[prev] = unquantLoss(q)
+		}
+	case secPrefixCluster:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += d
+			c, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.PrefixCluster[netsim.Prefix(prev)] = cluster.ClusterID(uint32(c))
+		}
+	case secPrefixAS:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += d
+			asn, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.PrefixAS[netsim.Prefix(prev)] = netsim.ASN(asn)
+		}
+	case secASDegree:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += d
+			deg, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.ASDegree[netsim.ASN(prev)] = int32(deg)
+		}
+	case secTuples:
+		return readSet(r, a.Tuples)
+	case secPrefs:
+		return readSet(r, a.Prefs)
+	case secProviders:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += d
+			cnt, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			ps := make([]netsim.ASN, 0, cnt)
+			pp := uint64(0)
+			for j := uint64(0); j < cnt; j++ {
+				dp, err := r.uvarint()
+				if err != nil {
+					return err
+				}
+				pp += dp
+				ps = append(ps, netsim.ASN(pp))
+			}
+			a.Providers[netsim.ASN(prev)] = ps
+		}
+	case secRels:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += d
+			rel, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			a.Rels[prev] = netsim.Rel(int8(rel))
+		}
+	case secLateExit:
+		return readSet(r, a.LateExit)
+	}
+	return nil
+}
+
+// Encode writes the atlas as a gzip-compressed binary stream.
+func (a *Atlas) Encode(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write([]byte(atlasMagic)); err != nil {
+		return err
+	}
+	var hdr sectionWriter
+	hdr.uvarint(atlasVersion)
+	hdr.uvarint(uint64(a.Day))
+	hdr.uvarint(uint64(a.NumClusters))
+	if _, err := gz.Write(hdr.buf.Bytes()); err != nil {
+		return err
+	}
+	for sec := 0; sec < numSections; sec++ {
+		var sw sectionWriter
+		sw.uvarint(uint64(sec))
+		a.encodeSection(sec, &sw)
+		if _, err := gz.Write(sw.buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return gz.Close()
+}
+
+// Decode reads an atlas produced by Encode. It fails with a descriptive
+// error on malformed or truncated input.
+func Decode(r io.Reader) (*Atlas, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("atlas: not a compressed atlas: %w", err)
+	}
+	defer gz.Close()
+	br := bufio.NewReader(gz)
+	magic := make([]byte, len(atlasMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("atlas: truncated header: %w", err)
+	}
+	if string(magic) != atlasMagic {
+		return nil, fmt.Errorf("atlas: bad magic %q", magic)
+	}
+	sr := &sectionReader{r: br}
+	ver, err := sr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("atlas: truncated version: %w", err)
+	}
+	if ver != atlasVersion {
+		return nil, fmt.Errorf("atlas: unsupported version %d", ver)
+	}
+	a := New()
+	day, err := sr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("atlas: truncated day: %w", err)
+	}
+	a.Day = int(day)
+	nc, err := sr.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("atlas: truncated cluster count: %w", err)
+	}
+	a.NumClusters = int(nc)
+	for i := 0; i < numSections; i++ {
+		sec, err := sr.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("atlas: truncated at section %d: %w", i, err)
+		}
+		if sec >= numSections {
+			return nil, fmt.Errorf("atlas: unknown section id %d", sec)
+		}
+		if err := a.decodeSection(int(sec), sr); err != nil {
+			return nil, fmt.Errorf("atlas: section %s: %w", SectionName(int(sec)), err)
+		}
+	}
+	// Drain to EOF so the gzip checksum is verified and truncated
+	// trailers are caught.
+	if n, err := io.Copy(io.Discard, br); err != nil {
+		return nil, fmt.Errorf("atlas: corrupt stream trailer: %w", err)
+	} else if n != 0 {
+		return nil, fmt.Errorf("atlas: %d bytes of trailing garbage", n)
+	}
+	a.invalidateIndex()
+	return a, nil
+}
+
+// SectionSize describes one dataset's footprint (a row of Table 2).
+type SectionSize struct {
+	Name       string
+	Entries    int
+	Compressed int // bytes after per-section gzip
+}
+
+// SectionSizes reports per-dataset entry counts and compressed sizes, the
+// data behind Table 2.
+func (a *Atlas) SectionSizes() []SectionSize {
+	counts := a.Counts()
+	entries := []int{
+		secClusterAS:     len(a.ClusterAS),
+		secLinks:         counts.Links,
+		secLoss:          counts.Loss,
+		secPrefixCluster: counts.PrefixCluster,
+		secPrefixAS:      counts.PrefixAS,
+		secASDegree:      counts.ASDegree,
+		secTuples:        counts.Tuples,
+		secPrefs:         counts.Prefs,
+		secProviders:     counts.Providers,
+		secRels:          counts.Rels,
+		secLateExit:      counts.LateExit,
+	}
+	out := make([]SectionSize, 0, numSections)
+	for sec := 0; sec < numSections; sec++ {
+		var sw sectionWriter
+		a.encodeSection(sec, &sw)
+		var gzBuf bytes.Buffer
+		gz := gzip.NewWriter(&gzBuf)
+		gz.Write(sw.buf.Bytes()) //nolint:errcheck // bytes.Buffer cannot fail
+		gz.Close()               //nolint:errcheck
+		out = append(out, SectionSize{
+			Name:       SectionName(sec),
+			Entries:    entries[sec],
+			Compressed: gzBuf.Len(),
+		})
+	}
+	return out
+}
+
+// EncodedSize returns the total compressed atlas size in bytes.
+func (a *Atlas) EncodedSize() int {
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		return 0
+	}
+	return buf.Len()
+}

@@ -1,0 +1,325 @@
+package atlas
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+
+	"inano/internal/cluster"
+)
+
+// Delta is the day-over-day update shipped to clients. Per §6.2.3 only the
+// fast-changing datasets travel daily — links (with re-annotated
+// latencies), loss rates, and 3-tuples; everything else refreshes with the
+// monthly full atlas.
+type Delta struct {
+	FromDay, ToDay int
+
+	// UpLinks adds new links or re-annotates existing ones.
+	UpLinks []Link
+	// DelLinks removes links by LinkKey.
+	DelLinks []uint64
+
+	// UpLoss sets loss rates (keyed by LinkKey); DelLoss clears them.
+	UpLoss  map[uint64]float32
+	DelLoss []uint64
+
+	AddTuples []uint64
+	DelTuples []uint64
+}
+
+// Diff computes the delta that transforms old's daily datasets into new's.
+func Diff(old, next *Atlas) *Delta {
+	d := &Delta{FromDay: old.Day, ToDay: next.Day, UpLoss: make(map[uint64]float32)}
+
+	oldLinks := make(map[uint64]Link, len(old.Links))
+	for _, l := range old.Links {
+		oldLinks[LinkKey(l.From, l.To)] = l
+	}
+	for _, l := range next.Links {
+		k := LinkKey(l.From, l.To)
+		if prev, ok := oldLinks[k]; !ok || prev != l {
+			d.UpLinks = append(d.UpLinks, l)
+		}
+		delete(oldLinks, k)
+	}
+	for k := range oldLinks {
+		d.DelLinks = append(d.DelLinks, k)
+	}
+	sort.Slice(d.DelLinks, func(i, j int) bool { return d.DelLinks[i] < d.DelLinks[j] })
+
+	for k, v := range next.Loss {
+		// Comma-ok: a present-but-zero entry still differs from an
+		// absent one.
+		if ov, ok := old.Loss[k]; !ok || ov != v {
+			d.UpLoss[k] = v
+		}
+	}
+	for k := range old.Loss {
+		if _, ok := next.Loss[k]; !ok {
+			d.DelLoss = append(d.DelLoss, k)
+		}
+	}
+	sort.Slice(d.DelLoss, func(i, j int) bool { return d.DelLoss[i] < d.DelLoss[j] })
+
+	for k := range next.Tuples {
+		if !old.Tuples[k] {
+			d.AddTuples = append(d.AddTuples, k)
+		}
+	}
+	for k := range old.Tuples {
+		if !next.Tuples[k] {
+			d.DelTuples = append(d.DelTuples, k)
+		}
+	}
+	sort.Slice(d.AddTuples, func(i, j int) bool { return d.AddTuples[i] < d.AddTuples[j] })
+	sort.Slice(d.DelTuples, func(i, j int) bool { return d.DelTuples[i] < d.DelTuples[j] })
+	return d
+}
+
+// Entries returns the total record count of the delta.
+func (d *Delta) Entries() int {
+	return len(d.UpLinks) + len(d.DelLinks) + len(d.UpLoss) + len(d.DelLoss) +
+		len(d.AddTuples) + len(d.DelTuples)
+}
+
+// Apply updates a in place. Applying Diff(a, b) to a makes a's daily
+// datasets identical to b's.
+func (a *Atlas) Apply(d *Delta) {
+	del := make(map[uint64]bool, len(d.DelLinks))
+	for _, k := range d.DelLinks {
+		del[k] = true
+	}
+	up := make(map[uint64]Link, len(d.UpLinks))
+	for _, l := range d.UpLinks {
+		up[LinkKey(l.From, l.To)] = l
+	}
+	kept := a.Links[:0]
+	for _, l := range a.Links {
+		k := LinkKey(l.From, l.To)
+		if del[k] {
+			continue
+		}
+		if nl, ok := up[k]; ok {
+			l = nl
+			delete(up, k)
+		}
+		kept = append(kept, l)
+	}
+	a.Links = kept
+	for _, l := range d.UpLinks {
+		if _, ok := up[LinkKey(l.From, l.To)]; ok {
+			a.Links = append(a.Links, l)
+		}
+	}
+	sort.Slice(a.Links, func(i, j int) bool {
+		if a.Links[i].From != a.Links[j].From {
+			return a.Links[i].From < a.Links[j].From
+		}
+		return a.Links[i].To < a.Links[j].To
+	})
+
+	for _, k := range d.DelLoss {
+		delete(a.Loss, k)
+	}
+	for k, v := range d.UpLoss {
+		a.Loss[k] = v
+	}
+	for _, k := range d.DelTuples {
+		delete(a.Tuples, k)
+	}
+	for _, k := range d.AddTuples {
+		a.Tuples[k] = true
+	}
+	a.Day = d.ToDay
+	a.invalidateIndex()
+}
+
+const deltaMagic = "INANODLT"
+
+// Encode writes the delta as a gzip-compressed binary stream.
+func (d *Delta) Encode(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write([]byte(deltaMagic)); err != nil {
+		return err
+	}
+	var sw sectionWriter
+	sw.uvarint(atlasVersion)
+	sw.uvarint(uint64(d.FromDay))
+	sw.uvarint(uint64(d.ToDay))
+
+	sw.uvarint(uint64(len(d.UpLinks)))
+	prevFrom := uint64(0)
+	links := append([]Link(nil), d.UpLinks...)
+	sort.Slice(links, func(i, j int) bool {
+		return LinkKey(links[i].From, links[i].To) < LinkKey(links[j].From, links[j].To)
+	})
+	for _, l := range links {
+		f := uint64(uint32(l.From))
+		sw.uvarint(f - prevFrom)
+		prevFrom = f
+		sw.uvarint(uint64(uint32(l.To)))
+		sw.uvarint(quantLat(l.LatencyMS))
+		sw.uvarint(uint64(l.Planes))
+	}
+	writeDeltaKeys(&sw, d.DelLinks)
+
+	lossKeys := sortedKeysF32(d.UpLoss)
+	sw.uvarint(uint64(len(lossKeys)))
+	prev := uint64(0)
+	for _, k := range lossKeys {
+		sw.uvarint(k - prev)
+		prev = k
+		sw.uvarint(quantLoss(d.UpLoss[k]))
+	}
+	writeDeltaKeys(&sw, d.DelLoss)
+	writeDeltaKeys(&sw, d.AddTuples)
+	writeDeltaKeys(&sw, d.DelTuples)
+
+	if _, err := gz.Write(sw.buf.Bytes()); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+func writeDeltaKeys(sw *sectionWriter, keys []uint64) {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sw.uvarint(uint64(len(sorted)))
+	prev := uint64(0)
+	for _, k := range sorted {
+		sw.uvarint(k - prev)
+		prev = k
+	}
+}
+
+func readDeltaKeys(sr *sectionReader) ([]uint64, error) {
+	n, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		out = append(out, prev)
+	}
+	return out, nil
+}
+
+// DecodeDelta reads a delta produced by Encode.
+func DecodeDelta(r io.Reader) (*Delta, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("atlas: not a compressed delta: %w", err)
+	}
+	defer gz.Close()
+	br := bufio.NewReader(gz)
+	magic := make([]byte, len(deltaMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("atlas: truncated delta header: %w", err)
+	}
+	if string(magic) != deltaMagic {
+		return nil, fmt.Errorf("atlas: bad delta magic %q", magic)
+	}
+	sr := &sectionReader{r: br}
+	ver, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != atlasVersion {
+		return nil, fmt.Errorf("atlas: unsupported delta version %d", ver)
+	}
+	d := &Delta{UpLoss: make(map[uint64]float32)}
+	from, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	to, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	d.FromDay, d.ToDay = int(from), int(to)
+
+	n, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	prevFrom := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		df, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prevFrom += df
+		to, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		lat, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		planes, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		d.UpLinks = append(d.UpLinks, Link{
+			From:      cluster.ClusterID(uint32(prevFrom)),
+			To:        cluster.ClusterID(uint32(to)),
+			LatencyMS: unquantLat(lat),
+			Planes:    uint8(planes),
+		})
+	}
+	if d.DelLinks, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	n, err = sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		dk, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += dk
+		q, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		d.UpLoss[prev] = unquantLoss(q)
+	}
+	if d.DelLoss, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	if d.AddTuples, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	if d.DelTuples, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	if n, err := io.Copy(io.Discard, br); err != nil {
+		return nil, fmt.Errorf("atlas: corrupt delta trailer: %w", err)
+	} else if n != 0 {
+		return nil, fmt.Errorf("atlas: %d bytes of trailing garbage in delta", n)
+	}
+	return d, nil
+}
+
+// EncodedSize returns the compressed delta size in bytes.
+func (d *Delta) EncodedSize() int {
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		return 0
+	}
+	return buf.Len()
+}

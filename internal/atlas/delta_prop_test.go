@@ -1,0 +1,116 @@
+package atlas
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// makeRandomAtlas builds a small arbitrary atlas straight from an RNG —
+// independent of the builder pipeline, so the delta machinery is tested on
+// shapes the builder would never produce.
+func makeRandomAtlas(rng *rand.Rand, day int) *Atlas {
+	a := New()
+	a.Day = day
+	n := 20 + rng.Intn(30)
+	a.NumClusters = n
+	for i := 0; i < n; i++ {
+		a.ClusterAS = append(a.ClusterAS, netsim.ASN(1+rng.Intn(10)))
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 50+rng.Intn(100); i++ {
+		from := cluster.ClusterID(rng.Intn(n))
+		to := cluster.ClusterID(rng.Intn(n))
+		if from == to || seen[LinkKey(from, to)] {
+			continue
+		}
+		seen[LinkKey(from, to)] = true
+		a.Links = append(a.Links, Link{
+			From:      from,
+			To:        to,
+			LatencyMS: float32(rng.Intn(10000)) / 100,
+			Planes:    uint8(1 + rng.Intn(3)),
+		})
+		if rng.Float64() < 0.2 {
+			a.Loss[LinkKey(from, to)] = float32(rng.Intn(1000)) / 10000
+		}
+	}
+	sortLinks(a)
+	for i := 0; i < 100+rng.Intn(200); i++ {
+		a.Tuples[PackTriple(
+			netsim.ASN(1+rng.Intn(10)),
+			netsim.ASN(1+rng.Intn(10)),
+			netsim.ASN(1+rng.Intn(10)))] = true
+	}
+	a.invalidateIndex()
+	return a
+}
+
+func sortLinks(a *Atlas) {
+	for i := 1; i < len(a.Links); i++ {
+		for j := i; j > 0; j-- {
+			x, y := a.Links[j-1], a.Links[j]
+			if LinkKey(x.From, x.To) <= LinkKey(y.From, y.To) {
+				break
+			}
+			a.Links[j-1], a.Links[j] = y, x
+		}
+	}
+}
+
+// Diff/Apply must be exact on arbitrary atlases: applying Diff(a,b) to a
+// clone of a reproduces b's daily datasets, and the delta survives its
+// codec.
+func TestDiffApplyPropertyRandomAtlases(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := makeRandomAtlas(rng, 0)
+		b := makeRandomAtlas(rng, 1)
+		if b.NumClusters < a.NumClusters {
+			b.NumClusters = a.NumClusters
+		}
+		d := Diff(a, b)
+		got := a.Clone()
+		got.Apply(d)
+		if got.Day != b.Day || len(got.Links) != len(b.Links) {
+			return false
+		}
+		for i := range b.Links {
+			if got.Links[i] != b.Links[i] {
+				return false
+			}
+		}
+		if len(got.Loss) != len(b.Loss) || len(got.Tuples) != len(b.Tuples) {
+			return false
+		}
+		for k, v := range b.Loss {
+			if got.Loss[k] != v {
+				return false
+			}
+		}
+		for k := range b.Tuples {
+			if !got.Tuples[k] {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			return false
+		}
+		d2, err := DecodeDelta(&buf)
+		if err != nil {
+			return false
+		}
+		return len(d2.UpLinks) == len(d.UpLinks) &&
+			len(d2.DelLinks) == len(d.DelLinks) &&
+			len(d2.AddTuples) == len(d.AddTuples) &&
+			len(d2.DelTuples) == len(d.DelTuples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

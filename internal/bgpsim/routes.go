@@ -1,0 +1,360 @@
+package bgpsim
+
+import (
+	"sync"
+
+	"inano/internal/netsim"
+)
+
+// RouteClass is the local-preference class of a selected route.
+type RouteClass int8
+
+const (
+	// ClassNone means no route (unreachable).
+	ClassNone RouteClass = iota
+	// ClassOrigin marks the destination AS itself.
+	ClassOrigin
+	// ClassCustomer routes go through a customer (or sibling) and are the
+	// most preferred.
+	ClassCustomer
+	// ClassPeer routes go through a settlement-free peer.
+	ClassPeer
+	// ClassProvider routes go through a paid provider and are least
+	// preferred.
+	ClassProvider
+)
+
+// RouteTable holds, for one destination AS, every AS's selected route:
+// next-hop AS, AS-hop count, preference class, and the runner-up next hop
+// (the second-best equally-valid choice, used for traffic-engineering
+// deflections). Slices are indexed by ASN-1.
+type RouteTable struct {
+	Dst      netsim.ASN
+	NextHop  []netsim.ASN // 0 = no route (or origin)
+	Hops     []int32      // -1 = no route
+	Class    []RouteClass
+	RunnerUp []netsim.ASN // 0 = no alternative
+}
+
+// Day is the routing view for one simulated day.
+type Day struct {
+	sim       *Sim
+	day       int
+	quirkSalt []uint64
+
+	mu       sync.Mutex
+	tables   map[netsim.ASN]*RouteTable
+	te       map[netsim.Prefix]*teOverride
+	exitSalt map[uint64]uint64
+}
+
+// exitSaltFor chains per-day exit-noise re-rolls for one AS adjacency.
+func (v *Day) exitSaltFor(pairKey uint64) uint64 {
+	v.mu.Lock()
+	if s, ok := v.exitSalt[pairKey]; ok {
+		v.mu.Unlock()
+		return s
+	}
+	v.mu.Unlock()
+	s := v.sim
+	last := 0
+	for d := 1; d <= v.day; d++ {
+		if hashFloat(mix(uint64(s.seed), 0xee, pairKey, uint64(d))) < s.Cfg.ExitChurnPerDay {
+			last = d
+		}
+	}
+	salt := mix(uint64(s.seed), 0xef, pairKey, uint64(last))
+	v.mu.Lock()
+	v.exitSalt[pairKey] = salt
+	v.mu.Unlock()
+	return salt
+}
+
+type teOverride struct {
+	at   netsim.ASN // deflecting AS (0 = no deflection for this prefix)
+	next netsim.ASN // forced next hop at that AS
+}
+
+// DayNum returns the simulated day this view describes.
+func (v *Day) DayNum() int { return v.day }
+
+// Sim returns the owning simulator.
+func (v *Day) Sim() *Sim { return v.sim }
+
+// prefRank orders AS a's neighbors: lower is more preferred. The ordering is
+// an arbitrary-but-stable function of (a, neighbor, day-salt); it models the
+// unobservable local policy that iNano's §4.3.3 preference inference learns
+// from path observations.
+func (v *Day) prefRank(a, nb netsim.ASN) uint64 {
+	return mix(v.quirkSalt[a-1], uint64(nb), 0x17, 0)
+}
+
+// Table computes (or returns cached) the route table for destination AS d.
+func (v *Day) Table(d netsim.ASN) *RouteTable {
+	v.mu.Lock()
+	if t, ok := v.tables[d]; ok {
+		v.mu.Unlock()
+		return t
+	}
+	v.mu.Unlock()
+	t := v.computeTable(d)
+	v.mu.Lock()
+	v.tables[d] = t
+	v.mu.Unlock()
+	return t
+}
+
+// computeTable runs three-phase policy route selection for destination AS d,
+// the standard model of BGP decision making:
+//
+//	phase 1: customer routes climb provider (and sibling) edges — an AS
+//	         hears the routes its customers select;
+//	phase 2: peer routes — an AS hears its peers' customer routes, one
+//	         peering hop only (valley-free export);
+//	phase 3: provider routes descend to customers (and siblings).
+//
+// Within a class, selection is shortest AS path; ties break by the AS's
+// private preference ordering (prefRank). The no-self-export set filters the
+// direct edge to d for marked neighbors.
+func (v *Day) computeTable(d netsim.ASN) *RouteTable {
+	top := v.sim.Top
+	n := len(top.ASes)
+	t := &RouteTable{
+		Dst:      d,
+		NextHop:  make([]netsim.ASN, n),
+		Hops:     make([]int32, n),
+		Class:    make([]RouteClass, n),
+		RunnerUp: make([]netsim.ASN, n),
+	}
+	for i := range t.Hops {
+		t.Hops[i] = -1
+	}
+	t.Hops[d-1] = 0
+	t.Class[d-1] = ClassOrigin
+
+	// blocked reports whether x may not learn d's own prefixes directly
+	// from d (no-self-export transit engineering).
+	blocked := func(x, via netsim.ASN) bool {
+		return via == d && top.NoSelfExport[netsim.DirASPairKey(x, d)]
+	}
+
+	// Phase 1: customer routes, BFS by hop count (each wave settles hops
+	// equal to the wave number, so plain BFS is exact shortest-path).
+	frontier := []netsim.ASN{d}
+	for hops := int32(1); len(frontier) > 0; hops++ {
+		byAt := make(map[netsim.ASN][]netsim.ASN)
+		for _, x := range frontier {
+			for _, y := range top.ASAdj[x-1] {
+				r := top.RelOf(x, y) // what y is to x
+				if r != netsim.RelProvider && r != netsim.RelSibling {
+					continue
+				}
+				if t.Hops[y-1] >= 0 || blocked(y, x) {
+					continue
+				}
+				byAt[y] = append(byAt[y], x)
+			}
+		}
+		frontier = frontier[:0]
+		for at, vias := range byAt {
+			best, runner := selectBest(t, at, vias, v)
+			t.NextHop[at-1] = best
+			t.RunnerUp[at-1] = runner
+			t.Hops[at-1] = hops
+			t.Class[at-1] = ClassCustomer
+			frontier = append(frontier, at)
+		}
+	}
+
+	// Phase 2: peer routes — single step from customer-settled ASes.
+	{
+		byAt := make(map[netsim.ASN][]netsim.ASN)
+		for i := range top.ASes {
+			x := netsim.ASN(i + 1)
+			if t.Class[i] != ClassCustomer && t.Class[i] != ClassOrigin {
+				continue
+			}
+			for _, y := range top.ASAdj[i] {
+				if top.RelOf(x, y) != netsim.RelPeer {
+					continue
+				}
+				if t.Hops[y-1] >= 0 || blocked(y, x) {
+					continue
+				}
+				byAt[y] = append(byAt[y], x)
+			}
+		}
+		for at, vias := range byAt {
+			best, runner := selectBest(t, at, vias, v)
+			t.NextHop[at-1] = best
+			t.RunnerUp[at-1] = runner
+			t.Hops[at-1] = t.Hops[best-1] + 1
+			t.Class[at-1] = ClassPeer
+		}
+	}
+
+	// Phase 3: provider routes descend. Settled ASes have heterogeneous
+	// hop counts, so this is a bucketed Dijkstra: draining buckets in
+	// increasing hop order guarantees each AS settles at its true
+	// shortest provider-route length.
+	maxHops := int32(0)
+	for i := range t.Hops {
+		if t.Hops[i] > maxHops {
+			maxHops = t.Hops[i]
+		}
+	}
+	buckets := make([][]netsim.ASN, maxHops+2)
+	for i := range t.Hops {
+		if h := t.Hops[i]; h >= 0 {
+			buckets[h] = append(buckets[h], netsim.ASN(i+1))
+		}
+	}
+	for h := int32(0); h < int32(len(buckets)); h++ {
+		byAt := make(map[netsim.ASN][]netsim.ASN)
+		for _, x := range buckets[h] {
+			for _, y := range top.ASAdj[x-1] {
+				r := top.RelOf(x, y)
+				if r != netsim.RelCustomer && r != netsim.RelSibling {
+					continue // only customers/siblings hear x's full table
+				}
+				if t.Hops[y-1] >= 0 || blocked(y, x) {
+					continue
+				}
+				byAt[y] = append(byAt[y], x)
+			}
+		}
+		for at, vias := range byAt {
+			best, runner := selectBest(t, at, vias, v)
+			t.NextHop[at-1] = best
+			t.RunnerUp[at-1] = runner
+			t.Hops[at-1] = h + 1
+			t.Class[at-1] = ClassProvider
+			if int(h+1) >= len(buckets) {
+				buckets = append(buckets, nil)
+			}
+			buckets[h+1] = append(buckets[h+1], at)
+		}
+	}
+	return t
+}
+
+// selectBest picks the preferred next hop for AS `at` among candidate vias,
+// ordering by (hop count of via's route, at's private preference). It also
+// returns the runner-up, if any.
+func selectBest(t *RouteTable, at netsim.ASN, vias []netsim.ASN, v *Day) (best, runner netsim.ASN) {
+	betterThan := func(a, b netsim.ASN) bool {
+		ha, hb := t.Hops[a-1], t.Hops[b-1]
+		if ha != hb {
+			return ha < hb
+		}
+		return v.prefRank(at, a) < v.prefRank(at, b)
+	}
+	for _, via := range vias {
+		switch {
+		case best == 0 || betterThan(via, best):
+			best, runner = via, best
+		case via != best && (runner == 0 || betterThan(via, runner)):
+			runner = via
+		}
+	}
+	return best, runner
+}
+
+// teFor returns the traffic-engineering deflection for prefix p, computing
+// and caching it on first use. A deflected prefix forces one AS on its
+// routing tree to use its runner-up next hop; deflections that would create
+// forwarding loops are discarded.
+func (v *Day) teFor(p netsim.Prefix) *teOverride {
+	v.mu.Lock()
+	if o, ok := v.te[p]; ok {
+		v.mu.Unlock()
+		return o
+	}
+	v.mu.Unlock()
+
+	o := v.computeTE(p)
+	v.mu.Lock()
+	v.te[p] = o
+	v.mu.Unlock()
+	return o
+}
+
+func (v *Day) computeTE(p netsim.Prefix) *teOverride {
+	s := v.sim
+	// Chain per-day TE re-rolls like quirks.
+	last := 0
+	for d := 1; d <= v.day; d++ {
+		if hashFloat(mix(uint64(s.seed), 0xcc, uint64(p), uint64(d))) < s.Cfg.TEChurnPerDay {
+			last = d
+		}
+	}
+	salt := mix(uint64(s.seed), 0xcd, uint64(p), uint64(last))
+	if hashFloat(mix(salt, 1, 0, 0)) >= s.Cfg.TEFrac {
+		return &teOverride{}
+	}
+	origin, ok := s.Top.PrefixOrigin[p]
+	if !ok {
+		return &teOverride{}
+	}
+	t := v.Table(origin)
+	// Gather deflectable ASes: those with a recorded runner-up.
+	var deflectable []netsim.ASN
+	for i := range t.NextHop {
+		if t.RunnerUp[i] != 0 {
+			deflectable = append(deflectable, netsim.ASN(i+1))
+		}
+	}
+	if len(deflectable) == 0 {
+		return &teOverride{}
+	}
+	at := deflectable[int(mix(salt, 2, 0, 0)%uint64(len(deflectable)))]
+	forced := t.RunnerUp[at-1]
+	// Reject deflections that loop or dead-end.
+	cur, hops := at, 0
+	for cur != origin {
+		if hops++; hops > 64 {
+			return &teOverride{}
+		}
+		nh := t.NextHop[cur-1]
+		if cur == at {
+			nh = forced
+		}
+		if nh == 0 {
+			return &teOverride{}
+		}
+		cur = nh
+	}
+	return &teOverride{at: at, next: forced}
+}
+
+// ASPath returns the ground-truth AS-level path from srcAS to the origin of
+// dst, including both endpoints, honoring any traffic-engineering
+// deflection for dst. ok is false if srcAS has no route.
+func (v *Day) ASPath(srcAS netsim.ASN, dst netsim.Prefix) (path []netsim.ASN, ok bool) {
+	origin, exists := v.sim.Top.PrefixOrigin[dst]
+	if !exists {
+		return nil, false
+	}
+	if srcAS == origin {
+		return []netsim.ASN{origin}, true
+	}
+	t := v.Table(origin)
+	te := v.teFor(dst)
+	cur := srcAS
+	path = append(path, cur)
+	for cur != origin {
+		if len(path) > 64 {
+			return nil, false
+		}
+		nh := t.NextHop[cur-1]
+		if te.at == cur {
+			nh = te.next
+		}
+		if nh == 0 {
+			return nil, false
+		}
+		cur = nh
+		path = append(path, cur)
+	}
+	return path, true
+}

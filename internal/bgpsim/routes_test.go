@@ -1,0 +1,401 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+func testSim(t *testing.T, seed int64) *Sim {
+	t.Helper()
+	top := netsim.Generate(netsim.TestConfig(seed))
+	return New(top, DefaultConfig())
+}
+
+func TestAllPrefixesReachable(t *testing.T) {
+	s := testSim(t, 1)
+	day := s.Day(0)
+	srcs := sampleASNs(s.Top, 20)
+	for _, dst := range s.Top.EdgePrefixes {
+		for _, src := range srcs {
+			if _, ok := day.ASPath(src, dst); !ok {
+				t.Fatalf("AS %d cannot reach %v", src, dst)
+			}
+		}
+	}
+}
+
+func sampleASNs(top *netsim.Topology, n int) []netsim.ASN {
+	var out []netsim.ASN
+	step := len(top.ASes)/n + 1
+	for i := 0; i < len(top.ASes); i += step {
+		out = append(out, top.ASes[i].ASN)
+	}
+	return out
+}
+
+// Ground-truth AS paths must be valley-free: once the path crosses a
+// peer-to-peer or provider-to-customer edge, it may never again cross a
+// customer-to-provider or peer-to-peer edge. Sibling edges are transparent.
+func TestASPathsValleyFree(t *testing.T) {
+	s := testSim(t, 2)
+	day := s.Day(0)
+	srcs := sampleASNs(s.Top, 15)
+	checked := 0
+	for pi, dst := range s.Top.EdgePrefixes {
+		if pi%3 != 0 {
+			continue
+		}
+		for _, src := range srcs {
+			path, ok := day.ASPath(src, dst)
+			if !ok {
+				t.Fatalf("no path %d -> %v", src, dst)
+			}
+			assertValleyFree(t, s.Top, path)
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no paths checked")
+	}
+}
+
+func assertValleyFree(t *testing.T, top *netsim.Topology, path []netsim.ASN) {
+	t.Helper()
+	descended := false // crossed a p2c or p2p edge already
+	for i := 0; i+1 < len(path); i++ {
+		r := top.RelOf(path[i], path[i+1]) // what next is to cur
+		switch r {
+		case netsim.RelSibling:
+			// transparent
+		case netsim.RelProvider: // climbing up
+			if descended {
+				t.Fatalf("valley in path %v at %d->%d (climb after descend)", path, path[i], path[i+1])
+			}
+		case netsim.RelPeer:
+			if descended {
+				t.Fatalf("valley in path %v at %d->%d (peer after descend)", path, path[i], path[i+1])
+			}
+			descended = true
+		case netsim.RelCustomer:
+			descended = true
+		default:
+			t.Fatalf("path %v uses non-adjacent ASes %d -> %d", path, path[i], path[i+1])
+		}
+	}
+}
+
+func TestASPathNoLoops(t *testing.T) {
+	s := testSim(t, 3)
+	day := s.Day(0)
+	for pi, dst := range s.Top.EdgePrefixes {
+		if pi%5 != 0 {
+			continue
+		}
+		for _, src := range sampleASNs(s.Top, 10) {
+			path, ok := day.ASPath(src, dst)
+			if !ok {
+				continue
+			}
+			seen := make(map[netsim.ASN]bool, len(path))
+			for _, a := range path {
+				if seen[a] {
+					t.Fatalf("AS loop in path %v", path)
+				}
+				seen[a] = true
+			}
+		}
+	}
+}
+
+func TestRoutesDeterministicPerDay(t *testing.T) {
+	s1 := testSim(t, 4)
+	s2 := New(s1.Top, DefaultConfig())
+	d1, d2 := s1.Day(3), s2.Day(3)
+	for _, dst := range s1.Top.EdgePrefixes[:10] {
+		for _, src := range sampleASNs(s1.Top, 8) {
+			p1, ok1 := d1.ASPath(src, dst)
+			p2, ok2 := d2.ASPath(src, dst)
+			if ok1 != ok2 || !equalASPath(p1, p2) {
+				t.Fatalf("nondeterministic path %d->%v: %v vs %v", src, dst, p1, p2)
+			}
+		}
+	}
+}
+
+func equalASPath(a, b []netsim.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoutesChurnAcrossDays(t *testing.T) {
+	s := testSim(t, 5)
+	d0, d1 := s.Day(0), s.Day(1)
+	same, diff := 0, 0
+	for _, dst := range s.Top.EdgePrefixes {
+		for _, src := range sampleASNs(s.Top, 10) {
+			p0, _ := d0.ASPath(src, dst)
+			p1, _ := d1.ASPath(src, dst)
+			if equalASPath(p0, p1) {
+				same++
+			} else {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no routes changed across days; churn model inert")
+	}
+	if same == 0 {
+		t.Fatal("all routes changed across days; churn model too aggressive")
+	}
+	frac := float64(same) / float64(same+diff)
+	if frac < 0.5 {
+		t.Errorf("fraction of stable AS paths across days = %.2f, want >= 0.5 (AS routes are mostly stationary)", frac)
+	}
+}
+
+// PoP-level paths must churn more than AS paths (exit/IGP noise), which is
+// what drives the Fig. 4 stationarity experiment.
+func TestPoPPathChurnAcrossDays(t *testing.T) {
+	s := testSim(t, 5)
+	d0, d1 := s.Day(0), s.Day(1)
+	same, diff := 0, 0
+	eps := s.Top.EdgePrefixes
+	for i, dst := range eps {
+		src := eps[(i+17)%len(eps)]
+		if src == dst {
+			continue
+		}
+		p0, ok0 := d0.Route(src, dst)
+		p1, ok1 := d1.Route(src, dst)
+		if !ok0 || !ok1 {
+			continue
+		}
+		if equalPoPs(p0.PoPs(), p1.PoPs()) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("no PoP paths changed across days; exit churn inert")
+	}
+	if same == 0 {
+		t.Error("all PoP paths changed across days; exit churn too aggressive")
+	}
+}
+
+func equalPoPs(a, b []netsim.PoPID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPoPPathContiguity(t *testing.T) {
+	s := testSim(t, 6)
+	day := s.Day(0)
+	for pi, dst := range s.Top.EdgePrefixes {
+		if pi%4 != 0 {
+			continue
+		}
+		src := s.Top.EdgePrefixes[(pi+7)%len(s.Top.EdgePrefixes)]
+		p, ok := day.Route(src, dst)
+		if !ok {
+			t.Fatalf("no route %v -> %v", src, dst)
+		}
+		if p.Hops[0].Link != -1 {
+			t.Fatalf("first hop has entering link")
+		}
+		for i := 1; i < len(p.Hops); i++ {
+			l := s.Top.Links[p.Hops[i].Link]
+			prev, cur := p.Hops[i-1].PoP, p.Hops[i].PoP
+			if !(l.A == prev && l.B == cur || l.B == prev && l.A == cur) {
+				t.Fatalf("hop %d link %d does not join PoPs %d-%d", i, l.ID, prev, cur)
+			}
+		}
+		if last := p.Hops[len(p.Hops)-1].PoP; last != s.Top.PrefixHome[dst] {
+			t.Fatalf("path ends at PoP %d, want home %d", last, s.Top.PrefixHome[dst])
+		}
+		// The PoP-level AS sequence must match the AS path.
+		asPath, _ := day.ASPath(s.Top.PoPAS(p.Hops[0].PoP), dst)
+		var popAS []netsim.ASN
+		for _, h := range p.Hops {
+			a := s.Top.PoPAS(h.PoP)
+			if len(popAS) == 0 || popAS[len(popAS)-1] != a {
+				popAS = append(popAS, a)
+			}
+		}
+		if !equalASPath(asPath, popAS) {
+			t.Fatalf("PoP path AS sequence %v != AS path %v", popAS, asPath)
+		}
+	}
+}
+
+func TestPathAsymmetryExists(t *testing.T) {
+	s := testSim(t, 8)
+	day := s.Day(0)
+	asym := 0
+	total := 0
+	eps := s.Top.EdgePrefixes
+	for i := 0; i < len(eps) && total < 200; i += 2 {
+		src, dst := eps[i], eps[(i+11)%len(eps)]
+		if src == dst {
+			continue
+		}
+		fwd, ok1 := day.Route(src, dst)
+		rev, ok2 := day.Route(dst, src)
+		if !ok1 || !ok2 {
+			continue
+		}
+		total++
+		f := fwd.PoPs()
+		r := rev.PoPs()
+		if !reversedEqual(f, r) {
+			asym++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pairs measured")
+	}
+	if asym == 0 {
+		t.Error("no asymmetric routes; asymmetry model inert")
+	}
+}
+
+func reversedEqual(f, r []netsim.PoPID) bool {
+	if len(f) != len(r) {
+		return false
+	}
+	for i := range f {
+		if f[i] != r[len(r)-1-i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRTTPositiveAndSymmetricComposition(t *testing.T) {
+	s := testSim(t, 9)
+	day := s.Day(0)
+	eps := s.Top.EdgePrefixes
+	for i := 0; i < 50; i++ {
+		src, dst := eps[i%len(eps)], eps[(i*13+5)%len(eps)]
+		if src == dst {
+			continue
+		}
+		r1, ok := day.RTT(src, dst)
+		if !ok {
+			t.Fatalf("no RTT %v->%v", src, dst)
+		}
+		r2, _ := day.RTT(dst, src)
+		if r1 <= 0 {
+			t.Fatalf("RTT %v->%v = %v", src, dst, r1)
+		}
+		// RTT composes the same fwd+rev paths in either query order.
+		if diff := r1 - r2; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("RTT not query-order invariant: %v vs %v", r1, r2)
+		}
+	}
+}
+
+func TestLossBoundsAndChurn(t *testing.T) {
+	s := testSim(t, 10)
+	day := s.Day(0)
+	eps := s.Top.EdgePrefixes
+	someLoss := false
+	for i := 0; i < 100; i++ {
+		src, dst := eps[i%len(eps)], eps[(i*7+3)%len(eps)]
+		if src == dst {
+			continue
+		}
+		l, ok := day.FwdLoss(src, dst)
+		if !ok {
+			continue
+		}
+		if l < 0 || l >= 1 {
+			t.Fatalf("loss out of range: %v", l)
+		}
+		if l > 0 {
+			someLoss = true
+		}
+	}
+	if !someLoss {
+		t.Error("no lossy paths at all; loss model inert")
+	}
+	// Loss must churn across days for at least one link.
+	changed := false
+	for lid := range s.Top.Links {
+		l := netsim.LinkID(lid)
+		from := s.Top.Links[lid].A
+		if s.LinkLoss(l, from, 0) != s.LinkLoss(l, from, 5) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("no link loss changed between day 0 and day 5")
+	}
+}
+
+func TestRouteTableClasses(t *testing.T) {
+	s := testSim(t, 11)
+	day := s.Day(0)
+	dst := s.Top.EdgePrefixes[0]
+	origin := s.Top.PrefixOrigin[dst]
+	tab := day.Table(origin)
+	if tab.Class[origin-1] != ClassOrigin {
+		t.Fatalf("origin class = %v", tab.Class[origin-1])
+	}
+	counts := map[RouteClass]int{}
+	for i, c := range tab.Class {
+		counts[c]++
+		if c == ClassNone && tab.Hops[i] >= 0 {
+			t.Fatalf("AS %d has hops %d but no class", i+1, tab.Hops[i])
+		}
+	}
+	if counts[ClassProvider] == 0 {
+		t.Error("no provider-class routes; phase 3 inert")
+	}
+	// The next-hop of every routed AS must itself have a route with
+	// strictly fewer hops... except TE is not applied at table level, so
+	// plain consistency: next hop routed.
+	for i, nh := range tab.NextHop {
+		if nh == 0 {
+			continue
+		}
+		if tab.Hops[nh-1] < 0 {
+			t.Fatalf("AS %d routes via AS %d which has no route", i+1, nh)
+		}
+		if tab.Hops[nh-1] >= tab.Hops[i] {
+			t.Fatalf("AS %d (hops %d) routes via AS %d (hops %d)", i+1, tab.Hops[i], nh, tab.Hops[nh-1])
+		}
+	}
+}
+
+func TestTEDeflectionsExist(t *testing.T) {
+	s := testSim(t, 12)
+	day := s.Day(0)
+	deflected := 0
+	for _, p := range s.Top.EdgePrefixes {
+		if day.teFor(p).at != 0 {
+			deflected++
+		}
+	}
+	if deflected == 0 {
+		t.Error("no TE deflections in the whole world; TE model inert")
+	}
+}

@@ -1,0 +1,243 @@
+// Package cluster turns the interfaces observed in traceroutes into PoP
+// clusters, mirroring iNano's server-side processing: alias resolution
+// (grouping interfaces of one router), DNS-name location hints (grouping
+// routers of one PoP), and Gao-style AS relationship inference from
+// observed AS paths.
+//
+// The resolution *tools* are simulated against ground truth with
+// configurable success rates — exactly as real alias resolvers and DNS
+// parsers succeed only partially — so the resulting clustering is
+// realistically incomplete: some PoPs split into several clusters. The
+// returned Clustering exposes only inferred data to the atlas builder.
+package cluster
+
+import (
+	"sort"
+
+	"inano/internal/netsim"
+)
+
+// ClusterID identifies one inferred PoP cluster; IDs are dense in
+// [0, NumClusters).
+type ClusterID int32
+
+// Config tunes the simulated resolution tools.
+type Config struct {
+	// AliasProb is the probability that alias resolution successfully
+	// ties one observed interface to its router's canonical interface.
+	AliasProb float64
+	// DNSProb is the probability that an interface's reverse DNS name
+	// reveals its (AS, city) location.
+	DNSProb float64
+}
+
+// DefaultConfig matches the evaluation's resolution quality: most
+// interfaces resolve, a tail does not, so a few percent of PoPs split.
+func DefaultConfig() Config {
+	return Config{AliasProb: 0.85, DNSProb: 0.7}
+}
+
+// Clustering is the inferred interface-to-cluster mapping.
+type Clustering struct {
+	ClusterOf   map[netsim.IP]ClusterID
+	NumClusters int
+	// ClusterAS is the AS owning each cluster (from prefix origins, which
+	// BGP feeds provide comprehensively).
+	ClusterAS []netsim.ASN
+	// TruePoP is the majority ground-truth PoP per cluster. Used only by
+	// evaluation code to score clustering quality; the predictor never
+	// sees it.
+	TruePoP []netsim.PoPID
+}
+
+// dsu is a union-find structure over interface indices.
+type dsu struct {
+	parent []int32
+	rank   []int8
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+func (d *dsu) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+}
+
+// Cluster groups the observed infrastructure interfaces into PoP clusters.
+// top provides the ground truth that the simulated resolution tools consult;
+// the success of each resolution is a deterministic hash of the interface,
+// so repeated runs agree.
+func Cluster(top *netsim.Topology, ifaces []netsim.IP, cfg Config) *Clustering {
+	// Dedup and sort for determinism.
+	set := make(map[netsim.IP]bool, len(ifaces))
+	for _, ip := range ifaces {
+		if top.RouterPoP(ip) >= 0 {
+			set[ip] = true
+		}
+	}
+	all := make([]netsim.IP, 0, len(set))
+	for ip := range set {
+		all = append(all, ip)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	idx := make(map[netsim.IP]int32, len(all))
+	for i, ip := range all {
+		idx[ip] = int32(i)
+	}
+	d := newDSU(len(all))
+
+	// Alias resolution: each interface independently resolves to its
+	// router identity with AliasProb; resolved interfaces of one router
+	// merge via the router's first resolved interface.
+	routerAnchor := make(map[netsim.RouterID]int32)
+	// DNS hints: interfaces whose reverse name parses merge via their
+	// (AS, city) identity, which within an AS uniquely names a PoP.
+	type popKey struct {
+		as   netsim.ASN
+		city int
+	}
+	dnsAnchor := make(map[popKey]int32)
+
+	for i, ip := range all {
+		if succeeds(uint64(ip), 0xA11A5, cfg.AliasProb) {
+			rid := top.IfaceRouter[ip]
+			if a, ok := routerAnchor[rid]; ok {
+				d.union(int32(i), a)
+			} else {
+				routerAnchor[rid] = int32(i)
+			}
+		}
+		if succeeds(uint64(ip), 0xD0D0, cfg.DNSProb) {
+			pop := top.PoPs[top.RouterPoP(ip)]
+			k := popKey{as: pop.AS, city: pop.City}
+			if a, ok := dnsAnchor[k]; ok {
+				d.union(int32(i), a)
+			} else {
+				dnsAnchor[k] = int32(i)
+			}
+		}
+	}
+
+	// Assign dense cluster IDs in first-seen order.
+	c := &Clustering{ClusterOf: make(map[netsim.IP]ClusterID, len(all))}
+	rootID := make(map[int32]ClusterID)
+	popVotes := make([]map[netsim.PoPID]int, 0)
+	for i, ip := range all {
+		r := d.find(int32(i))
+		id, ok := rootID[r]
+		if !ok {
+			id = ClusterID(c.NumClusters)
+			rootID[r] = id
+			c.NumClusters++
+			c.ClusterAS = append(c.ClusterAS, 0)
+			popVotes = append(popVotes, make(map[netsim.PoPID]int))
+		}
+		c.ClusterOf[ip] = id
+		popVotes[id][top.RouterPoP(ip)]++
+	}
+	c.TruePoP = make([]netsim.PoPID, c.NumClusters)
+	for id, votes := range popVotes {
+		best, bestN := netsim.PoPID(-1), -1
+		for p, n := range votes {
+			if n > bestN || (n == bestN && p < best) {
+				best, bestN = p, n
+			}
+		}
+		c.TruePoP[id] = best
+		c.ClusterAS[id] = top.PoPAS(best)
+	}
+	return c
+}
+
+// Stabilize remaps cur's cluster IDs to agree with prev wherever the two
+// clusterings share interfaces, mirroring the production server's
+// persistent cluster registry: without it, every day's atlas would live in
+// a fresh ID space and day-over-day deltas would rewrite every link. Each
+// current cluster adopts the previous ID its member interfaces vote for
+// (majority, ties to the smaller ID, first claim wins); unmatched clusters
+// get fresh IDs above prev's space. The result may have unused IDs ("holes")
+// where previous clusters disappeared; NumClusters covers the full space.
+func Stabilize(cur, prev *Clustering) *Clustering {
+	if prev == nil {
+		return cur
+	}
+	votes := make([]map[ClusterID]int, cur.NumClusters)
+	for ip, c := range cur.ClusterOf {
+		if pc, ok := prev.ClusterOf[ip]; ok {
+			if votes[c] == nil {
+				votes[c] = make(map[ClusterID]int)
+			}
+			votes[c][pc]++
+		}
+	}
+	remap := make([]ClusterID, cur.NumClusters)
+	used := make(map[ClusterID]bool)
+	next := ClusterID(prev.NumClusters)
+	for c := 0; c < cur.NumClusters; c++ {
+		best, bestN := ClusterID(-1), 0
+		for pc, n := range votes[c] {
+			if used[pc] {
+				continue
+			}
+			if n > bestN || (n == bestN && (best < 0 || pc < best)) {
+				best, bestN = pc, n
+			}
+		}
+		if best < 0 {
+			best = next
+			next++
+		}
+		used[best] = true
+		remap[c] = best
+	}
+	out := &Clustering{
+		ClusterOf:   make(map[netsim.IP]ClusterID, len(cur.ClusterOf)),
+		NumClusters: int(next),
+	}
+	out.ClusterAS = make([]netsim.ASN, next)
+	out.TruePoP = make([]netsim.PoPID, next)
+	for i := range out.TruePoP {
+		out.TruePoP[i] = -1
+	}
+	for ip, c := range cur.ClusterOf {
+		out.ClusterOf[ip] = remap[c]
+	}
+	for c := 0; c < cur.NumClusters; c++ {
+		out.ClusterAS[remap[c]] = cur.ClusterAS[c]
+		out.TruePoP[remap[c]] = cur.TruePoP[c]
+	}
+	return out
+}
+
+// succeeds is the deterministic coin for one resolution attempt.
+func succeeds(x, salt uint64, p float64) bool {
+	h := x*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	return float64(h>>11)/float64(1<<53) < p
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// Cost metric (§4.2.1-§4.2.2). Selection cost is the strictly ordered pair
+// [accounted AS hops to the destination, intra-AS cost to exit the current
+// AS], packed into one word so the heap compares a single integer:
+//
+//	packed = H<<44 | E       E in 0.01 ms units, saturated
+//
+// A third, uncompared component P counts consecutive late-exit crossings
+// ("AS hops not yet accounted for"); a normal AS crossing folds P into H
+// and resets E, per the paper's ⊕ operator.
+const (
+	costHShift = 44
+	costEMask  = (1 << costHShift) - 1
+	infCost    = math.MaxUint64
+)
+
+func packCost(h uint32, e uint64) uint64 {
+	if e > costEMask {
+		e = costEMask
+	}
+	return uint64(h)<<costHShift | e
+}
+
+func costHops(c uint64) uint32 { return uint32(c >> costHShift) }
+
+// latUnits converts link latency to cost units (0.01 ms).
+func latUnits(ms float32) uint64 {
+	if ms <= 0 {
+		return 0
+	}
+	return uint64(ms*100 + 0.5)
+}
+
+// tree is the result of one backtracking run from a destination: for every
+// node, the best cost, the next node toward the destination, the pending
+// late-exit count, and the next AS on the selected path (for 3-tuple checks
+// and preference comparisons).
+type tree struct {
+	dstCluster cluster.ClusterID
+	originAS   netsim.ASN
+	cost       []uint64
+	next       []int32 // toward the destination; -1 at the destination/unreached
+	pend       []uint8
+	nextAS     []netsim.ASN
+}
+
+// heapItem orders by cost, then node id for determinism.
+type heapItem struct {
+	cost uint64
+	node int32
+}
+
+type costHeap []heapItem
+
+func (h costHeap) less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].node < h[j].node
+}
+
+func (h *costHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h).less(p, i) {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *costHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// run executes the backtracking Dijkstra from the destination cluster,
+// producing the full prediction tree. originAS is the destination prefix's
+// BGP origin, used by the provider check.
+func (e *Engine) run(dst cluster.ClusterID, originAS netsim.ASN) *tree {
+	n := e.numNodes()
+	t := &tree{
+		dstCluster: dst,
+		originAS:   originAS,
+		cost:       make([]uint64, n),
+		next:       make([]int32, n),
+		pend:       make([]uint8, n),
+		nextAS:     make([]netsim.ASN, n),
+	}
+	for i := range t.cost {
+		t.cost[i] = infCost
+		t.next[i] = -1
+	}
+	settled := make([]bool, n)
+	var h costHeap
+
+	start := e.nodeID(dst, planeToDst, stateDown)
+	t.cost[start] = 0
+	h.push(heapItem{0, start})
+
+	maxPhase := 1
+	if !e.opts.ThreeTuple {
+		maxPhase = 3 // GRAPH's customer -> peer -> provider frontier
+	}
+	for phase := 1; phase <= maxPhase; phase++ {
+		if phase > 1 {
+			// Later phases may only extend from already-settled nodes
+			// (their costs are final: better-preferred classes win
+			// regardless of length).
+			for id := int32(0); id < int32(n); id++ {
+				if settled[id] {
+					e.relaxFrom(t, &h, settled, id, phase)
+				}
+			}
+		}
+		for len(h) > 0 {
+			it := h.pop()
+			if settled[it.node] || it.cost != t.cost[it.node] {
+				continue // stale heap entry
+			}
+			settled[it.node] = true
+			e.relaxFrom(t, &h, settled, it.node, phase)
+		}
+	}
+	return t
+}
+
+// relaxFrom relaxes all backtracking edges out of node wid (that is, atlas
+// edges arriving at wid's cluster, plus the synthetic cross edges), gated to
+// the given preference phase.
+func (e *Engine) relaxFrom(t *tree, h *costHeap, settled []bool, wid int32, phase int) {
+	wc := e.nodeCluster(wid)
+	wPlane := e.nodePlane(wid)
+	wUD := e.nodeUD(wid)
+	wCost := t.cost[wid]
+	wPend := t.pend[wid]
+	wNextAS := t.nextAS[wid]
+
+	planeBit := uint8(1) // atlas.PlaneToDst
+	if wPlane == planeFromSrc {
+		planeBit = 2 // atlas.PlaneFromSrc
+	}
+
+	for i := range e.in[wc] {
+		ed := &e.in[wc][i]
+		if ed.planes&planeBit == 0 {
+			continue
+		}
+		var vUD int
+		edgePhase := 1
+		if e.opts.ThreeTuple {
+			vUD = stateUp
+			// Relationship-agnostic: validity comes from the observed
+			// export 3-tuples instead of the up/down construction.
+			if !e.tupleOK(ed, wNextAS) {
+				continue
+			}
+		} else {
+			var ok bool
+			vUD, edgePhase, ok = graphTransition(ed, wUD)
+			if !ok {
+				continue
+			}
+		}
+		if edgePhase > phase {
+			continue
+		}
+		if e.opts.Providers && !e.providerOK(ed, t.originAS) {
+			continue
+		}
+
+		vid := e.nodeID(ed.from, wPlane, vUD)
+		if settled[vid] {
+			continue
+		}
+		newCost, newPend := relaxCost(wCost, wPend, ed)
+		vNextAS := wNextAS
+		if !ed.sameAS {
+			vNextAS = ed.toAS
+		}
+		switch {
+		case newCost < t.cost[vid]:
+			t.cost[vid] = newCost
+			t.next[vid] = wid
+			t.pend[vid] = newPend
+			t.nextAS[vid] = vNextAS
+			h.push(heapItem{newCost, vid})
+		case newCost == t.cost[vid] && e.opts.Preferences &&
+			vNextAS != t.nextAS[vid] &&
+			e.a.Prefers(ed.fromAS, vNextAS, t.nextAS[vid]):
+			// Equal-cost candidate preferred by an inferred AS
+			// preference tuple replaces the incumbent (§4.3.3).
+			t.next[vid] = wid
+			t.pend[vid] = newPend
+			t.nextAS[vid] = vNextAS
+		}
+	}
+
+	// Synthetic zero-cost cross edges, both phase 1:
+	// up_c -> down_c (traffic turns from climbing to descending), and
+	// FROM_SRC_c -> TO_DST_c (client-contributed links feed the core).
+	relaxZero := func(vid int32) {
+		if vid < 0 || settled[vid] {
+			return
+		}
+		if wCost < t.cost[vid] {
+			t.cost[vid] = wCost
+			t.next[vid] = wid
+			t.pend[vid] = wPend
+			t.nextAS[vid] = wNextAS
+			h.push(heapItem{wCost, vid})
+		}
+	}
+	if !e.opts.ThreeTuple && wUD == stateDown {
+		relaxZero(e.nodeID(wc, wPlane, stateUp))
+	}
+	if e.opts.Asymmetry && wPlane == planeToDst {
+		relaxZero(e.nodeID(wc, planeFromSrc, wUD))
+	}
+}
+
+// relaxCost applies the ⊕ operator of §4.2 for edge ed traversed (in
+// traffic direction) from ed.from into the node whose cost is (wCost,
+// wPend).
+func relaxCost(wCost uint64, wPend uint8, ed *inEdge) (uint64, uint8) {
+	h := costHops(wCost)
+	eu := wCost & costEMask
+	switch {
+	case ed.sameAS:
+		return packCost(h, eu+latUnits(ed.lat)), wPend
+	case ed.late:
+		// Late exit: treated as an intra-AS edge, one more hop pending.
+		if wPend < math.MaxUint8 {
+			wPend++
+		}
+		return packCost(h, eu+latUnits(ed.lat)), wPend
+	default:
+		// Normal AS crossing: fold pending hops, reset exit cost.
+		return packCost(h+uint32(wPend)+1, 0), 0
+	}
+}
+
+// graphTransition maps an edge's inferred relationship onto the up/down
+// construction of §4.2.3 and the preference phase of §4.2.4. It returns the
+// up/down state required at the edge's source node given the state at its
+// target, the phase in which the edge becomes usable, and whether the
+// transition is legal at all.
+func graphTransition(ed *inEdge, wUD int) (vUD, phase int, ok bool) {
+	switch {
+	case ed.sameAS || ed.rel == netsim.RelSibling:
+		return wUD, 1, true
+	case ed.rel == netsim.RelProvider: // traffic climbs customer->provider
+		if wUD != stateUp {
+			return 0, 0, false
+		}
+		return stateUp, 3, true
+	case ed.rel == netsim.RelCustomer: // traffic descends provider->customer
+		if wUD != stateDown {
+			return 0, 0, false
+		}
+		return stateDown, 1, true
+	default: // peer, or unknown treated as peer (conservative export)
+		if wUD != stateDown {
+			return 0, 0, false
+		}
+		return stateUp, 2, true
+	}
+}
+
+// tupleOK applies the 3-tuple export check of §4.3.2 to extending a path
+// whose next AS after the edge's target is wNextAS.
+func (e *Engine) tupleOK(ed *inEdge, wNextAS netsim.ASN) bool {
+	if ed.sameAS || wNextAS == 0 {
+		return true
+	}
+	if ed.toAS == wNextAS || ed.fromAS == wNextAS || ed.fromAS == ed.toAS {
+		return true
+	}
+	if int(e.a.ASDegree[ed.toAS]) <= e.opts.DegreeThreshold {
+		return true // edge ASes are too poorly observed to enforce
+	}
+	return e.a.HasTuple(ed.fromAS, ed.toAS, wNextAS)
+}
+
+// providerOK applies the §4.3.4 provider check: an edge entering the
+// destination's origin AS must come from a recorded provider of that AS.
+func (e *Engine) providerOK(ed *inEdge, originAS netsim.ASN) bool {
+	if ed.sameAS || ed.toAS != originAS {
+		return true
+	}
+	provs := e.a.Providers[ed.toAS]
+	if len(provs) == 0 {
+		return true // no provider data: cannot enforce
+	}
+	for _, p := range provs {
+		if p == ed.fromAS {
+			return true
+		}
+	}
+	return false
+}

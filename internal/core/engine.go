@@ -1,0 +1,185 @@
+// Package core implements iNano's route prediction engine — the paper's
+// primary contribution (§4). Given the compact link-level atlas, it predicts
+// the cluster-level (PoP-level) path between arbitrary end hosts and
+// composes per-link annotations into end-to-end latency and loss estimates.
+//
+// Two algorithm families share one backtracking Dijkstra core:
+//
+//   - GRAPH (§4.2): valley-free routing enforced structurally by splitting
+//     every cluster into an "up" and a "down" node wired according to
+//     inferred AS relationships, with customer<peer<provider local
+//     preference imposed by a three-phase frontier, and late-exit pairs
+//     folded into the cost metric's pending-hop component.
+//
+//   - iNano (§4.3): GRAPH plus four refinements, each independently
+//     toggleable for the Fig. 5 ablation: the FROM_SRC/TO_DST plane split
+//     for route asymmetry, the relationship-agnostic 3-tuple export check
+//     (which replaces the up/down construction), observation-inferred AS
+//     preference tie-breaking, and the provider check at the destination.
+//
+// The route computation backtracks from the destination, so one run yields
+// predictions from every source to that destination; Engine caches these
+// per-destination trees for batch workloads.
+package core
+
+import (
+	"inano/internal/atlas"
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// Options selects the prediction algorithm variant. The zero value is the
+// plain GRAPH algorithm of §4.2.
+type Options struct {
+	// Asymmetry enables the FROM_SRC plane and the plane-crossing edges
+	// of §4.3.1. Without it, predictions use only vantage-point-observed
+	// links.
+	Asymmetry bool
+	// ThreeTuple replaces the valley-free up/down construction and the
+	// three-phase local preference with the observed-export 3-tuple check
+	// of §4.3.2 (relationship-agnostic routing).
+	ThreeTuple bool
+	// Preferences applies AS preference tuples as tie-breaks among
+	// equal-cost candidates (§4.3.3).
+	Preferences bool
+	// Providers rejects paths entering the destination AS through an AS
+	// never observed as its provider (§4.3.4).
+	Providers bool
+	// DegreeThreshold gates the 3-tuple check on the middle AS's degree;
+	// 0 means the paper's default of 5.
+	DegreeThreshold int
+	// TreeCacheSize bounds the per-destination prediction tree cache;
+	// 0 means a default of 4096 trees (a tree is a few slices over the
+	// node space, so even large caches stay in tens of megabytes).
+	TreeCacheSize int
+}
+
+// GraphOptions returns the configuration of the GRAPH baseline.
+func GraphOptions() Options { return Options{} }
+
+// INanoOptions returns the full iNano configuration (all refinements on).
+func INanoOptions() Options {
+	return Options{Asymmetry: true, ThreeTuple: true, Preferences: true, Providers: true}
+}
+
+// Engine answers path queries over one atlas snapshot. It is safe for
+// concurrent use.
+type Engine struct {
+	a    *atlas.Atlas
+	opts Options
+
+	numClusters int
+	planes      int // 1 (TO_DST only) or 2 (with FROM_SRC)
+	statesPerCl int // planes * (1 or 2 for up/down)
+
+	// in[w] lists the atlas edges arriving at cluster w (traffic
+	// direction v->w), used by the backtracking relaxation.
+	in [][]inEdge
+
+	trees *treeCache
+}
+
+// inEdge is one directed atlas link v->w viewed from w.
+type inEdge struct {
+	from    cluster.ClusterID
+	lat     float32
+	planes  uint8
+	fromAS  netsim.ASN
+	toAS    netsim.ASN
+	late    bool // late-exit AS pair
+	rel     netsim.Rel
+	sameAS  bool
+	lossIdx uint64 // LinkKey for loss lookup
+}
+
+// New builds an engine over a. The atlas must not be mutated while the
+// engine is in use; after applying a delta, build a new engine.
+func New(a *atlas.Atlas, opts Options) *Engine {
+	if opts.DegreeThreshold <= 0 {
+		opts.DegreeThreshold = 5
+	}
+	if opts.TreeCacheSize <= 0 {
+		opts.TreeCacheSize = 4096
+	}
+	e := &Engine{a: a, opts: opts, numClusters: a.NumClusters}
+	e.planes = 1
+	if opts.Asymmetry {
+		e.planes = 2
+	}
+	e.statesPerCl = e.planes
+	if !opts.ThreeTuple {
+		e.statesPerCl *= 2 // up/down doubling
+	}
+	e.in = make([][]inEdge, a.NumClusters)
+	for _, l := range a.Links {
+		if int(l.From) >= a.NumClusters || int(l.To) >= a.NumClusters {
+			continue // defensive: corrupt atlas rows are skipped
+		}
+		fa, ta := a.ClusterAS[l.From], a.ClusterAS[l.To]
+		e.in[l.To] = append(e.in[l.To], inEdge{
+			from:    l.From,
+			lat:     l.LatencyMS,
+			planes:  l.Planes,
+			fromAS:  fa,
+			toAS:    ta,
+			late:    fa != ta && a.LateExit[netsim.ASPairKey(fa, ta)],
+			rel:     a.RelOf(fa, ta), // what ta is to fa
+			sameAS:  fa == ta,
+			lossIdx: atlas.LinkKey(l.From, l.To),
+		})
+	}
+	e.trees = newTreeCache(opts.TreeCacheSize)
+	return e
+}
+
+// Atlas returns the engine's atlas snapshot.
+func (e *Engine) Atlas() *atlas.Atlas { return e.a }
+
+// Opts returns the engine's configuration.
+func (e *Engine) Opts() Options { return e.opts }
+
+// Node state encoding.
+//
+// GRAPH mode:  id = cluster*4 + plane*2 + ud   (ud: 0 = up, 1 = down)
+// iNano mode:  id = cluster*2 + plane
+//
+// plane: 0 = TO_DST, 1 = FROM_SRC. Backtracking starts at the destination's
+// down/TO_DST node and relaxes toward sources; a zero-cost cross edge lets
+// the search continue from a cluster's TO_DST node into its FROM_SRC node
+// (traffic flows FROM_SRC -> TO_DST).
+const (
+	planeToDst   = 0
+	planeFromSrc = 1
+	stateUp      = 0
+	stateDown    = 1
+)
+
+func (e *Engine) nodeID(c cluster.ClusterID, plane, ud int) int32 {
+	if e.opts.ThreeTuple {
+		return int32(c)*int32(e.planes) + int32(plane)
+	}
+	return int32(c)*int32(2*e.planes) + int32(plane)*2 + int32(ud)
+}
+
+func (e *Engine) nodeCluster(id int32) cluster.ClusterID {
+	if e.opts.ThreeTuple {
+		return cluster.ClusterID(id / int32(e.planes))
+	}
+	return cluster.ClusterID(id / int32(2*e.planes))
+}
+
+func (e *Engine) nodePlane(id int32) int {
+	if e.opts.ThreeTuple {
+		return int(id) % e.planes
+	}
+	return int(id) / 2 % e.planes
+}
+
+func (e *Engine) nodeUD(id int32) int {
+	if e.opts.ThreeTuple {
+		return stateUp
+	}
+	return int(id) % 2
+}
+
+func (e *Engine) numNodes() int { return e.numClusters * e.statesPerCl }

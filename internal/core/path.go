@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// Prediction is a one-way predicted path with composed link annotations.
+type Prediction struct {
+	Found bool
+	// Clusters is the predicted cluster-level path, source end first.
+	Clusters []cluster.ClusterID
+	// ASPath is the predicted AS-level path including the endpoint
+	// prefixes' origin ASes.
+	ASPath []netsim.ASN
+	// LatencyMS is the sum of atlas link latencies along the path.
+	LatencyMS float64
+	// LossRate is the composed one-way loss rate of the path's links.
+	LossRate float64
+}
+
+// PathInfo is the answer to a bidirectional path query: forward and reverse
+// predictions with end-to-end estimates (§3: "predicts the forward and
+// reverse paths ... and composes the properties of the inter-cluster
+// links").
+type PathInfo struct {
+	Found    bool
+	Fwd, Rev Prediction
+	// RTTMS is the predicted round-trip latency (forward + reverse).
+	RTTMS float64
+	// LossRate is the predicted round-trip loss rate.
+	LossRate float64
+}
+
+// treeCache bounds the per-destination prediction tree cache with FIFO
+// eviction; batch workloads that group queries by destination hit it almost
+// always.
+type treeCache struct {
+	mu    sync.Mutex
+	max   int
+	items map[uint64]*tree
+	order []uint64
+}
+
+func newTreeCache(max int) *treeCache {
+	return &treeCache{max: max, items: make(map[uint64]*tree)}
+}
+
+func treeKey(dst cluster.ClusterID, origin netsim.ASN) uint64 {
+	return uint64(uint32(dst))<<32 | uint64(origin)
+}
+
+func (c *treeCache) get(k uint64) *tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+func (c *treeCache) put(k uint64, t *tree) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[k]; ok {
+		return
+	}
+	if len(c.order) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, oldest)
+	}
+	c.items[k] = t
+	c.order = append(c.order, k)
+}
+
+// treeFor returns (building if needed) the prediction tree for a
+// destination cluster and origin AS.
+func (e *Engine) treeFor(dst cluster.ClusterID, origin netsim.ASN) *tree {
+	k := treeKey(dst, origin)
+	if t := e.trees.get(k); t != nil {
+		return t
+	}
+	t := e.run(dst, origin)
+	e.trees.put(k, t)
+	return t
+}
+
+// PredictForward predicts the one-way path from a host in src to a host in
+// dst. Found is false when either prefix has no attachment cluster in the
+// atlas or no policy-compliant path exists.
+func (e *Engine) PredictForward(src, dst netsim.Prefix) Prediction {
+	srcCl, okS := e.a.PrefixCluster[src]
+	dstCl, okD := e.a.PrefixCluster[dst]
+	if !okS || !okD {
+		return Prediction{}
+	}
+	t := e.treeFor(dstCl, e.a.PrefixAS[dst])
+	p := e.pathFrom(t, srcCl)
+	if !p.Found {
+		return p
+	}
+	p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
+	return p
+}
+
+// pathFrom extracts the predicted path from a source cluster out of a
+// prediction tree, preferring the FROM_SRC plane and falling back to
+// TO_DST-only (§4.3.1).
+func (e *Engine) pathFrom(t *tree, srcCl cluster.ClusterID) Prediction {
+	var startIDs []int32
+	if e.opts.Asymmetry {
+		startIDs = append(startIDs, e.nodeID(srcCl, planeFromSrc, stateUp))
+	}
+	startIDs = append(startIDs, e.nodeID(srcCl, planeToDst, stateUp))
+	var start int32 = -1
+	for _, id := range startIDs {
+		if t.cost[id] != infCost {
+			start = id
+			break
+		}
+	}
+	if start < 0 {
+		return Prediction{}
+	}
+	p := Prediction{Found: true}
+	deliver := 1.0
+	prevCl := cluster.ClusterID(-1)
+	steps := 0
+	for id := start; id >= 0; id = t.next[id] {
+		if steps++; steps > e.numNodes()+1 {
+			return Prediction{} // defensive: malformed tree must not hang
+		}
+		c := e.nodeCluster(id)
+		if c != prevCl {
+			if prevCl >= 0 {
+				if li := e.a.LinkAt(prevCl, c); li >= 0 {
+					l := &e.a.Links[li]
+					p.LatencyMS += float64(l.LatencyMS)
+					deliver *= 1 - e.a.LossOf(prevCl, c)
+				}
+			}
+			p.Clusters = append(p.Clusters, c)
+			prevCl = c
+		}
+	}
+	p.LossRate = 1 - deliver
+	return p
+}
+
+// asPath derives the AS-level path from a cluster path, bracketing it with
+// the endpoint prefixes' origin ASes when the attachment clusters sit in a
+// different AS (e.g. the stub's own routers never answered probes).
+func (e *Engine) asPath(clusters []cluster.ClusterID, srcAS, dstAS netsim.ASN) []netsim.ASN {
+	out := make([]netsim.ASN, 0, len(clusters)+2)
+	if srcAS != 0 {
+		out = append(out, srcAS)
+	}
+	for _, c := range clusters {
+		a := e.a.ClusterAS[c]
+		if a == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1] == a {
+			continue
+		}
+		out = append(out, a)
+	}
+	if dstAS != 0 && (len(out) == 0 || out[len(out)-1] != dstAS) {
+		out = append(out, dstAS)
+	}
+	return out
+}
+
+// Query predicts both directions between two prefixes and composes
+// end-to-end estimates.
+func (e *Engine) Query(src, dst netsim.Prefix) PathInfo {
+	fwd := e.PredictForward(src, dst)
+	rev := e.PredictForward(dst, src)
+	info := PathInfo{Fwd: fwd, Rev: rev}
+	if !fwd.Found || !rev.Found {
+		return info
+	}
+	info.Found = true
+	info.RTTMS = fwd.LatencyMS + rev.LatencyMS
+	info.LossRate = 1 - (1-fwd.LossRate)*(1-rev.LossRate)
+	return info
+}
+
+// QueryBatch answers many queries, grouping by destination so each
+// prediction tree is built once. Results align with the input order.
+func (e *Engine) QueryBatch(pairs [][2]netsim.Prefix) []PathInfo {
+	out := make([]PathInfo, len(pairs))
+	for i, pr := range pairs {
+		out[i] = e.Query(pr[0], pr[1])
+	}
+	return out
+}

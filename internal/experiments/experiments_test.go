@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// One lab shared across tests: building it is the expensive part.
+var testLab = NewLab(QuickConfig(7))
+
+func TestTable2AtlasSize(t *testing.T) {
+	r := Table2AtlasSize(testLab)
+	if r.AtlasBytes <= 0 || r.AtlasEntries <= 0 {
+		t.Fatalf("empty atlas: %+v", r)
+	}
+	if r.DeltaBytes <= 0 {
+		t.Fatal("empty delta")
+	}
+	if r.DeltaBytes >= r.AtlasBytes {
+		t.Errorf("delta (%d B) not smaller than atlas (%d B)", r.DeltaBytes, r.AtlasBytes)
+	}
+	if !strings.Contains(r.Render(), "Table 2") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestVantagePointScaling(t *testing.T) {
+	r := VantagePointScaling(testLab, 2, 8, 10)
+	if len(r.Points) == 0 {
+		t.Fatal("no scaling points")
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.Links < r.Base.Links {
+		t.Errorf("links shrank with more agents: %d -> %d", r.Base.Links, last.Links)
+	}
+	if r.ExtrapolatedLinks < last.Links {
+		t.Errorf("extrapolation below measurement")
+	}
+	_ = r.Render()
+}
+
+func TestFig4PathStationarity(t *testing.T) {
+	r := Fig4PathStationarity(testLab)
+	if r.Total == 0 {
+		t.Fatal("no path pairs compared")
+	}
+	if r.Identical <= 0 || r.Identical > 1 {
+		t.Errorf("identical fraction %v out of range", r.Identical)
+	}
+	if r.FracGE75 < r.FracGE90 {
+		t.Errorf("CDF inverted: >=0.75 (%v) < >=0.9 (%v)", r.FracGE75, r.FracGE90)
+	}
+	if r.Identical >= 0.999 {
+		t.Errorf("all paths identical across days; churn inert")
+	}
+	_ = r.Render()
+}
+
+func TestLossStationarity(t *testing.T) {
+	r := LossStationarity(testLab, 500)
+	if r.LossyPairs == 0 {
+		t.Skip("no lossy pairs in quick world")
+	}
+	for _, f := range []float64{r.StillLossy6, r.StillLossy12, r.StillLossy24} {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction out of range: %+v", r)
+		}
+	}
+	// Stationarity must not increase with the interval (modulo noise at
+	// tiny sample sizes).
+	if r.LossyPairs >= 30 && r.StillLossy24 > r.StillLossy6+0.15 {
+		t.Errorf("loss stationarity increases with interval: %+v", r)
+	}
+	_ = r.Render()
+}
+
+func TestFig5Accuracy(t *testing.T) {
+	r := Fig5Accuracy(testLab)
+	if r.Pairs == 0 {
+		t.Fatal("no validation pairs")
+	}
+	if len(r.Bars) != 8 {
+		t.Fatalf("got %d bars, want 8", len(r.Bars))
+	}
+	byName := map[string]AccuracyBar{}
+	for _, b := range r.Bars {
+		if b.Exact < 0 || b.Exact > 1 {
+			t.Fatalf("bar %s exact %v out of range", b.Name, b.Exact)
+		}
+		if b.Exact > b.LengthOnly+1e-9 {
+			t.Fatalf("bar %s exact (%v) above length match (%v)", b.Name, b.Exact, b.LengthOnly)
+		}
+		byName[b.Name] = b
+	}
+	// The paper's headline ordering: full iNano beats plain GRAPH.
+	if byName["iNano (+providers)"].Exact <= byName["GRAPH"].Exact-0.02 {
+		t.Errorf("iNano (%v) worse than GRAPH (%v)", byName["iNano (+providers)"].Exact, byName["GRAPH"].Exact)
+	}
+	if r.CoverageBound <= 0 || r.CoverageBound > 1 {
+		t.Errorf("coverage bound %v out of range", r.CoverageBound)
+	}
+	_ = r.Render()
+}
+
+func TestFig6LatencyError(t *testing.T) {
+	r := Fig6LatencyError(testLab)
+	if r.Pairs == 0 {
+		t.Fatal("no pairs")
+	}
+	for _, c := range r.CDFs {
+		if len(c.Errors) == 0 {
+			t.Fatalf("%s produced no estimates", c.Name)
+		}
+		if c.At(0.5) < 0 {
+			t.Fatalf("%s negative error", c.Name)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig7ClosestRanking(t *testing.T) {
+	r := Fig7ClosestRanking(testLab)
+	for t2, xs := range r.Intersection {
+		for _, x := range xs {
+			if x < 0 || x > 10 {
+				t.Fatalf("technique %s intersection %d out of range", r.Name[t2], x)
+			}
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig8LossError(t *testing.T) {
+	r := Fig8LossError(testLab)
+	if r.Pairs == 0 {
+		t.Fatal("no pairs")
+	}
+	for _, c := range r.CDFs {
+		if len(c.Errors) == 0 {
+			t.Fatalf("%s produced no loss estimates", c.Name)
+		}
+		if c.At(0.9) > 1 {
+			t.Fatalf("%s loss error above 1", c.Name)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig9CDN(t *testing.T) {
+	for _, size := range []int{30_000, 1_500_000} {
+		r := Fig9CDN(testLab, size, 10, 5)
+		if len(r.Strategies) != 6 {
+			t.Fatalf("got %d strategies", len(r.Strategies))
+		}
+		var opt, rnd []float64
+		for _, s := range r.Strategies {
+			if len(s.Times) == 0 {
+				t.Fatalf("strategy %s produced no downloads", s.Name)
+			}
+			switch s.Name {
+			case "optimal":
+				opt = s.Times
+			case "random":
+				rnd = s.Times
+			}
+		}
+		// Optimal must dominate random in the median.
+		if quantile(opt, 0.5) > quantile(rnd, 0.5)+1e-9 {
+			t.Errorf("size %d: optimal median above random", size)
+		}
+		_ = r.Render()
+	}
+}
+
+func TestFig10VoIP(t *testing.T) {
+	r := Fig10VoIP(testLab, 60)
+	if len(r.Strategies) != 4 {
+		t.Fatalf("got %d strategies", len(r.Strategies))
+	}
+	for _, s := range r.Strategies {
+		if len(s.Losses) == 0 {
+			t.Fatalf("strategy %s handled no calls", s.Name)
+		}
+		for _, l := range s.Losses {
+			if l < 0 || l > 1 {
+				t.Fatalf("loss %v out of range", l)
+			}
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig11Detour(t *testing.T) {
+	r := Fig11Detour(testLab, 6, 5)
+	if r.Cases == 0 {
+		t.Skip("no partitionable failures in quick world")
+	}
+	prev := 1.1
+	for n := 0; n < r.MaxDetours; n++ {
+		if r.UnreachableINano[n] > prev+1e-9 {
+			t.Fatalf("unreachability increased with more detours")
+		}
+		prev = r.UnreachableINano[n]
+		if r.UnreachableINano[n] < 0 || r.UnreachableRandom[n] > 1 {
+			t.Fatalf("fractions out of range")
+		}
+	}
+	_ = r.Render()
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"inano/internal/core"
+	"inano/internal/netsim"
+	"inano/internal/pathcomp"
+	"inano/internal/vivaldi"
+)
+
+// ErrorCDF is one technique's absolute-error distribution.
+type ErrorCDF struct {
+	Name   string
+	Errors []float64 // sorted ascending
+}
+
+// At returns the error at quantile p.
+func (c ErrorCDF) At(p float64) float64 { return quantile(c.Errors, p) }
+
+// FracBelow returns the CDF value at err.
+func (c ErrorCDF) FracBelow(err float64) float64 { return cdfFrac(c.Errors, err) }
+
+// Fig6Result reproduces Fig. 6: latency estimation error CDFs for iNano,
+// iPlane path composition, and Vivaldi.
+type Fig6Result struct {
+	CDFs  []ErrorCDF
+	Pairs int
+}
+
+// Fig7Result reproduces Fig. 7: per-source overlap between the predicted
+// and actual 10 closest destinations.
+type Fig7Result struct {
+	Name         []string
+	Intersection [][]int // per technique, per source
+}
+
+// Fig8Result reproduces Fig. 8: loss-rate estimation error CDFs.
+type Fig8Result struct {
+	CDFs  []ErrorCDF
+	Pairs int
+}
+
+// propertyHarness bundles the three predictors scored in Figs. 6-8.
+type propertyHarness struct {
+	lab    *Lab
+	dd     *DayData
+	engine *core.Engine
+	pa     *pathcomp.Atlas
+	space  *vivaldi.Space
+}
+
+func newPropertyHarness(l *Lab) *propertyHarness {
+	dd := l.Day(0)
+	h := &propertyHarness{
+		lab:    l,
+		dd:     dd,
+		engine: core.New(dd.Atlas, core.INanoOptions()),
+		pa:     dd.PathAtlas(),
+	}
+	// Vivaldi trains on the validation hosts plus their destinations with
+	// clean ground-truth RTTs — a generous version of the baseline.
+	hostSet := make(map[netsim.Prefix]bool)
+	for _, vp := range dd.Validation {
+		hostSet[vp.Src] = true
+		hostSet[vp.Dst] = true
+	}
+	hosts := make([]netsim.Prefix, 0, len(hostSet))
+	for p := range hostSet {
+		hosts = append(hosts, p)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	if len(hosts) > 400 {
+		hosts = hosts[:400]
+	}
+	h.space = vivaldi.Train(hosts, func(a, b netsim.Prefix) (float64, bool) {
+		return dd.Day.RTT(a, b)
+	}, vivaldi.DefaultParams(l.Cfg.Seed))
+	return h
+}
+
+func (h *propertyHarness) estimates(p VPair) (inano, pc, viv float64, okI, okP, okV bool) {
+	info := h.engine.Query(p.Src, p.Dst)
+	inano, okI = info.RTTMS, info.Found
+	pc, _, okP = h.pa.Query(p.Src, p.Dst, pathcomp.Options{})
+	viv, okV = h.space.Estimate(p.Src, p.Dst)
+	return
+}
+
+// Fig6LatencyError scores RTT estimates on the validation pairs.
+func Fig6LatencyError(l *Lab) Fig6Result {
+	h := newPropertyHarness(l)
+	var eI, eP, eV []float64
+	n := 0
+	for _, vp := range h.dd.Validation {
+		truth, ok := h.dd.Day.RTT(vp.Src, vp.Dst)
+		if !ok {
+			continue
+		}
+		n++
+		inano, pc, viv, okI, okP, okV := h.estimates(vp)
+		if okI {
+			eI = append(eI, math.Abs(inano-truth))
+		}
+		if okP {
+			eP = append(eP, math.Abs(pc-truth))
+		}
+		if okV {
+			eV = append(eV, math.Abs(viv-truth))
+		}
+	}
+	sort.Float64s(eI)
+	sort.Float64s(eP)
+	sort.Float64s(eV)
+	return Fig6Result{
+		Pairs: n,
+		CDFs: []ErrorCDF{
+			{Name: "iNano", Errors: eI},
+			{Name: "path composition", Errors: eP},
+			{Name: "Vivaldi", Errors: eV},
+		},
+	}
+}
+
+// Render formats Fig. 6 as quantile rows.
+func (r Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 6: latency estimation error (ms) over %d pairs\n", r.Pairs)
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s %10s\n", "technique", "p25", "median", "p75", "p90", "<=20ms")
+	for _, c := range r.CDFs {
+		fmt.Fprintf(&b, "%-18s %8.1f %8.1f %8.1f %8.1f %9.0f%%\n",
+			c.Name, c.At(0.25), c.At(0.5), c.At(0.75), c.At(0.9), c.FracBelow(20)*100)
+	}
+	fmt.Fprintf(&b, "(paper medians: iNano 11ms, path composition 6ms, Vivaldi 20ms; iNano best in tail)\n")
+	return b.String()
+}
+
+// Fig7ClosestRanking scores each technique's ability to identify the 10
+// closest destinations per source.
+func Fig7ClosestRanking(l *Lab) Fig7Result {
+	h := newPropertyHarness(l)
+	// Group validation destinations per source.
+	bySrc := make(map[netsim.Prefix][]netsim.Prefix)
+	for _, vp := range h.dd.Validation {
+		bySrc[vp.Src] = append(bySrc[vp.Src], vp.Dst)
+	}
+	res := Fig7Result{Name: []string{"iNano", "path composition", "Vivaldi"}}
+	res.Intersection = make([][]int, 3)
+	srcs := make([]netsim.Prefix, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		dsts := bySrc[src]
+		if len(dsts) < 12 {
+			continue
+		}
+		trueTop := topK(dsts, 10, func(d netsim.Prefix) (float64, bool) {
+			return h.dd.Day.RTT(src, d)
+		})
+		preds := []func(netsim.Prefix) (float64, bool){
+			func(d netsim.Prefix) (float64, bool) {
+				info := h.engine.Query(src, d)
+				return info.RTTMS, info.Found
+			},
+			func(d netsim.Prefix) (float64, bool) {
+				rtt, _, ok := h.pa.Query(src, d, pathcomp.Options{})
+				return rtt, ok
+			},
+			func(d netsim.Prefix) (float64, bool) { return h.space.Estimate(src, d) },
+		}
+		for t, pred := range preds {
+			predTop := topK(dsts, 10, pred)
+			res.Intersection[t] = append(res.Intersection[t], intersect(trueTop, predTop))
+		}
+	}
+	return res
+}
+
+func topK(dsts []netsim.Prefix, k int, metric func(netsim.Prefix) (float64, bool)) []netsim.Prefix {
+	type sc struct {
+		p netsim.Prefix
+		v float64
+	}
+	var ss []sc
+	for _, d := range dsts {
+		if v, ok := metric(d); ok {
+			ss = append(ss, sc{d, v})
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].v != ss[j].v {
+			return ss[i].v < ss[j].v
+		}
+		return ss[i].p < ss[j].p
+	})
+	if len(ss) > k {
+		ss = ss[:k]
+	}
+	out := make([]netsim.Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = s.p
+	}
+	return out
+}
+
+func intersect(a, b []netsim.Prefix) int {
+	set := make(map[netsim.Prefix]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	n := 0
+	for _, p := range b {
+		if set[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats Fig. 7.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7: overlap of predicted vs actual 10 closest destinations per source\n")
+	for t, name := range r.Name {
+		xs := r.Intersection[t]
+		if len(xs) == 0 {
+			fmt.Fprintf(&b, "%-18s (no sources)\n", name)
+			continue
+		}
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		fs := make([]float64, len(xs))
+		for i, x := range xs {
+			fs[i] = float64(x)
+		}
+		fmt.Fprintf(&b, "%-18s mean %.1f/10  median %.0f/10  >=7: %.0f%% of sources\n",
+			name, float64(sum)/float64(len(xs)), quantile(fs, 0.5), (1-cdfFrac(fs, 6.99))*100)
+	}
+	fmt.Fprintf(&b, "(paper: iNano ~ path-based, both clearly above Vivaldi)\n")
+	return b.String()
+}
+
+// Fig8LossError scores loss-rate estimates (coordinates cannot predict
+// loss, so only iNano and path composition compete).
+func Fig8LossError(l *Lab) Fig8Result {
+	h := newPropertyHarness(l)
+	var eI, eP []float64
+	n := 0
+	for _, vp := range h.dd.Validation {
+		truth, ok := h.dd.Day.RTLoss(vp.Src, vp.Dst)
+		if !ok {
+			continue
+		}
+		n++
+		info := h.engine.Query(vp.Src, vp.Dst)
+		if info.Found {
+			eI = append(eI, math.Abs(info.LossRate-truth))
+		}
+		if _, loss, ok := h.pa.Query(vp.Src, vp.Dst, pathcomp.Options{}); ok {
+			eP = append(eP, math.Abs(loss-truth))
+		}
+	}
+	sort.Float64s(eI)
+	sort.Float64s(eP)
+	return Fig8Result{
+		Pairs: n,
+		CDFs: []ErrorCDF{
+			{Name: "iNano", Errors: eI},
+			{Name: "path composition", Errors: eP},
+		},
+	}
+}
+
+// Render formats Fig. 8.
+func (r Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8: loss-rate estimation error over %d pairs\n", r.Pairs)
+	fmt.Fprintf(&b, "%-18s %8s %8s %10s\n", "technique", "median", "p90", "<=0.10")
+	for _, c := range r.CDFs {
+		fmt.Fprintf(&b, "%-18s %8.3f %8.3f %9.0f%%\n", c.Name, c.At(0.5), c.At(0.9), c.FracBelow(0.10)*100)
+	}
+	fmt.Fprintf(&b, "(paper: >80%% of paths within 0.10 for both; iNano approximates path-based)\n")
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inano/internal/netsim"
+)
+
+// Fig4Result reproduces Fig. 4: the distribution of PoP-level path
+// similarity between the same (vantage point, destination) pairs measured
+// on consecutive days, using the Jaccard similarity on the sets of PoPs.
+type Fig4Result struct {
+	// Bins[i] counts paths with similarity in [i*0.05, (i+1)*0.05); the
+	// last bin includes 1.0.
+	Bins      [20]int
+	Total     int
+	FracGE75  float64
+	FracGE90  float64
+	Identical float64
+}
+
+// Fig4PathStationarity compares day-0 and day-1 measured paths.
+func Fig4PathStationarity(l *Lab) Fig4Result {
+	d0 := l.Day(0)
+	d1 := l.Day(1)
+	// Index day-1 traces by (src,dst).
+	idx := make(map[uint64]int, len(d1.AllTraces))
+	for i, tr := range d1.AllTraces {
+		idx[uint64(tr.Src)<<32|uint64(tr.Dst)] = i
+	}
+	var res Fig4Result
+	for _, tr0 := range d0.AllTraces {
+		j, ok := idx[uint64(tr0.Src)<<32|uint64(tr0.Dst)]
+		if !ok {
+			continue
+		}
+		tr1 := d1.AllTraces[j]
+		if len(tr0.TruePoPs) == 0 || len(tr1.TruePoPs) == 0 {
+			continue
+		}
+		s := jaccard(tr0.TruePoPs, tr1.TruePoPs)
+		bin := int(s / 0.05)
+		if bin >= len(res.Bins) {
+			bin = len(res.Bins) - 1
+		}
+		res.Bins[bin]++
+		res.Total++
+		if s >= 0.75 {
+			res.FracGE75++
+		}
+		if s >= 0.9 {
+			res.FracGE90++
+		}
+		if s == 1 {
+			res.Identical++
+		}
+	}
+	if res.Total > 0 {
+		res.FracGE75 /= float64(res.Total)
+		res.FracGE90 /= float64(res.Total)
+		res.Identical /= float64(res.Total)
+	}
+	return res
+}
+
+// jaccard computes set similarity of two PoP sequences (order ignored, as
+// in the paper's similarity metric [22]).
+func jaccard(a, b []netsim.PoPID) float64 {
+	sa := make(map[netsim.PoPID]bool, len(a))
+	for _, p := range a {
+		sa[p] = true
+	}
+	sb := make(map[netsim.PoPID]bool, len(b))
+	for _, p := range b {
+		sb[p] = true
+	}
+	inter := 0
+	for p := range sa {
+		if sb[p] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Render formats the Fig. 4 histogram.
+func (r Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4: PoP-level path similarity across consecutive days (%d paths)\n", r.Total)
+	for i, n := range r.Bins {
+		lo := float64(i) * 0.05
+		frac := 0.0
+		if r.Total > 0 {
+			frac = float64(n) / float64(r.Total)
+		}
+		fmt.Fprintf(&b, "  [%.2f,%.2f%s %6.3f %s\n", lo, lo+0.05, closer(i), frac, bar(frac))
+	}
+	fmt.Fprintf(&b, "similarity >=0.75: %.0f%% (paper 91%%)   >=0.9: %.0f%% (paper 68%%)   identical: %.0f%% (paper 50%%)\n",
+		r.FracGE75*100, r.FracGE90*100, r.Identical*100)
+	return b.String()
+}
+
+func closer(i int) string {
+	if i == 19 {
+		return "]"
+	}
+	return ")"
+}
+
+func bar(frac float64) string {
+	n := int(frac * 60)
+	return strings.Repeat("#", n)
+}
+
+// LossStationarityResult reproduces §6.2.2: the fraction of initially lossy
+// paths that remain lossy after 6, 12, and 24 hours.
+type LossStationarityResult struct {
+	LossyPairs   int
+	StillLossy6  float64
+	StillLossy12 float64
+	StillLossy24 float64
+}
+
+// LossStationarity probes paths for loss at day 0, then re-evaluates the
+// same paths at quarter-day offsets (the simulator churns loss rates on
+// quarter-day boundaries).
+func LossStationarity(l *Lab, maxPairs int) LossStationarityResult {
+	dd := l.Day(0)
+	day := dd.Day
+	var res LossStationarityResult
+	lossyAt := func(src, dst netsim.Prefix, quarter int) bool {
+		fwd, ok := day.Route(src, dst)
+		if !ok {
+			return false
+		}
+		return day.PathLossQuarter(fwd, quarter) >= 0.005
+	}
+	checked := 0
+	var still6, still12, still24 int
+	for i, src := range l.VPs {
+		for k := 0; k < 40 && checked < maxPairs; k++ {
+			dst := l.Targets[(i*53+k*7)%len(l.Targets)]
+			if dst == src {
+				continue
+			}
+			if !lossyAt(src, dst, 0) {
+				continue
+			}
+			checked++
+			if lossyAt(src, dst, 1) {
+				still6++
+			}
+			if lossyAt(src, dst, 2) {
+				still12++
+			}
+			if lossyAt(src, dst, 4) {
+				still24++
+			}
+		}
+	}
+	res.LossyPairs = checked
+	if checked > 0 {
+		res.StillLossy6 = float64(still6) / float64(checked)
+		res.StillLossy12 = float64(still12) / float64(checked)
+		res.StillLossy24 = float64(still24) / float64(checked)
+	}
+	return res
+}
+
+// Render formats the loss stationarity numbers.
+func (r LossStationarityResult) Render() string {
+	return fmt.Sprintf(
+		"§6.2.2: loss stationarity over %d initially lossy paths\n"+
+			"  still lossy after  6h: %.0f%% (paper 66%%)\n"+
+			"  still lossy after 12h: %.0f%% (paper 53%%)\n"+
+			"  still lossy after 24h: %.0f%% (paper 53%%)\n",
+		r.LossyPairs, r.StillLossy6*100, r.StillLossy12*100, r.StillLossy24*100)
+}

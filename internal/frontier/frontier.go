@@ -1,0 +1,88 @@
+// Package frontier partitions link-measurement work across vantage points,
+// following iPlane's frontier-search idea: every link in the atlas should be
+// measured by a small number of vantage points that can actually see it on
+// their paths, with redundancy to absorb measurement noise, and with load
+// spread evenly.
+package frontier
+
+import "sort"
+
+// Assign distributes work items (links) over vantage points. observers[i]
+// lists the vantage points that can measure item i (indices into the VP
+// set). Each item is assigned to up to redundancy observers, chosen to
+// balance per-VP load; items with fewer observers than the redundancy
+// factor get all of them.
+//
+// The result maps item index -> assigned VP indices. Assignment is
+// deterministic for identical input.
+func Assign(observers [][]int, redundancy int) [][]int {
+	if redundancy < 1 {
+		redundancy = 1
+	}
+	load := make(map[int]int)
+	out := make([][]int, len(observers))
+
+	// Process scarcest items first so constrained links don't lose their
+	// only observers to load balancing.
+	order := make([]int, len(observers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(observers[order[a]]) < len(observers[order[b]])
+	})
+
+	for _, i := range order {
+		obs := observers[i]
+		if len(obs) == 0 {
+			continue
+		}
+		n := redundancy
+		if n > len(obs) {
+			n = len(obs)
+		}
+		// Pick the n least-loaded observers (ties by VP index for
+		// determinism).
+		cand := make([]int, len(obs))
+		copy(cand, obs)
+		sort.SliceStable(cand, func(a, b int) bool {
+			la, lb := load[cand[a]], load[cand[b]]
+			if la != lb {
+				return la < lb
+			}
+			return cand[a] < cand[b]
+		})
+		out[i] = make([]int, n)
+		copy(out[i], cand[:n])
+		for _, vp := range out[i] {
+			load[vp]++
+		}
+	}
+	return out
+}
+
+// LoadStats summarizes the per-VP assignment counts: minimum, maximum, and
+// mean load over VPs that received any work.
+func LoadStats(assign [][]int) (min, max int, mean float64) {
+	load := make(map[int]int)
+	for _, vps := range assign {
+		for _, vp := range vps {
+			load[vp]++
+		}
+	}
+	if len(load) == 0 {
+		return 0, 0, 0
+	}
+	min = 1 << 30
+	total := 0
+	for _, n := range load {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		total += n
+	}
+	return min, max, float64(total) / float64(len(load))
+}

@@ -1,0 +1,100 @@
+package frontier
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignRedundancy(t *testing.T) {
+	obs := [][]int{
+		{0, 1, 2},
+		{1},
+		{},
+		{0, 2},
+	}
+	got := Assign(obs, 2)
+	if len(got[0]) != 2 || len(got[3]) != 2 {
+		t.Fatalf("items with enough observers must get 2 assignments: %v", got)
+	}
+	if len(got[1]) != 1 {
+		t.Fatalf("item with one observer must get exactly it: %v", got[1])
+	}
+	if got[1][0] != 1 {
+		t.Fatalf("item 1 assigned to %d, want 1", got[1][0])
+	}
+	if len(got[2]) != 0 {
+		t.Fatalf("unobservable item got assignment %v", got[2])
+	}
+}
+
+func TestAssignOnlyToObservers(t *testing.T) {
+	f := func(seed uint8) bool {
+		// Build a small deterministic instance from the seed.
+		n := int(seed%13) + 1
+		obs := make([][]int, n)
+		for i := range obs {
+			for v := 0; v < 5; v++ {
+				if (int(seed)+i*3+v*7)%3 == 0 {
+					obs[i] = append(obs[i], v)
+				}
+			}
+		}
+		got := Assign(obs, 2)
+		for i, vps := range got {
+			seen := map[int]bool{}
+			for _, vp := range vps {
+				if seen[vp] {
+					return false // duplicate assignment
+				}
+				seen[vp] = true
+				found := false
+				for _, o := range obs[i] {
+					if o == vp {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignBalances(t *testing.T) {
+	// 300 items all observable by 10 VPs: load should spread evenly.
+	obs := make([][]int, 300)
+	for i := range obs {
+		for v := 0; v < 10; v++ {
+			obs[i] = append(obs[i], v)
+		}
+	}
+	got := Assign(obs, 2)
+	min, max, mean := LoadStats(got)
+	if mean != 60 {
+		t.Fatalf("mean load %v, want 60", mean)
+	}
+	if max-min > 1 {
+		t.Fatalf("unbalanced load: min %d max %d", min, max)
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	obs := [][]int{{3, 1, 2}, {2, 3}, {1, 2, 3}, {3}}
+	a := Assign(obs, 2)
+	b := Assign(obs, 2)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+// Config controls synthetic world generation. The zero value is not usable;
+// start from DefaultConfig, TestConfig, or EvalConfig.
+type Config struct {
+	Seed int64
+
+	// AS population by tier.
+	NumTier1   int
+	NumTransit int
+	NumStub    int
+
+	// Geography: cities are scattered over a MapW x MapH plane and grouped
+	// into NumRegions clusters. Non-tier-1 ASes live mostly inside one
+	// region.
+	NumCities  int
+	NumRegions int
+	MapW, MapH float64
+
+	// PoP counts per tier (inclusive ranges).
+	Tier1PoPMin, Tier1PoPMax     int
+	TransitPoPMin, TransitPoPMax int
+	StubPoPMin, StubPoPMax       int
+
+	// Routers per PoP and interfaces per router (inclusive ranges).
+	RoutersPerPoPMin, RoutersPerPoPMax int
+	IfacesPerRouterMin                 int
+	IfacesPerRouterMax                 int
+
+	// Connectivity.
+	TransitProvidersMin, TransitProvidersMax int     // providers per transit AS
+	StubProvidersMin, StubProvidersMax       int     // providers per stub AS
+	TransitPeerProb                          float64 // prob. of peering with each same-region transit
+	StubPeerProb                             float64 // prob. of a stub peering with one nearby stub
+	InterLinksMin, InterLinksMax             int     // physical links per AS adjacency
+	IntraExtraChordFrac                      float64 // extra intra-AS chords beyond the spanning tree, as a fraction of PoPs
+
+	// Prefix plan.
+	StubPrefixMin, StubPrefixMax int // edge prefixes per stub AS
+	TransitEdgePrefixes          int // edge prefixes per transit AS
+
+	// Latency model: one-way latency of a link spanning distance d is
+	// d*MSPerUnit + LinkBaseMS; colocated (same-city) links use ColoMS.
+	MSPerUnit  float64
+	LinkBaseMS float64
+	ColoMS     float64
+
+	// Loss model: each directed link independently becomes lossy with
+	// LossyLinkProb (edge/access links with EdgeLossyProb); a lossy link
+	// draws its loss rate uniformly from (LossMin, LossMax].
+	LossyLinkProb float64
+	EdgeLossyProb float64
+	LossMin       float64
+	LossMax       float64
+
+	// Routing-policy irregularities that the predictor must cope with.
+	SiblingFrac      float64 // fraction of c2p edges converted to sibling
+	LateExitFrac     float64 // fraction of adjacencies running late-exit
+	NoSelfExportFrac float64 // fraction of (neighbor, AS) transit edges that never carry the AS's own prefixes (§4.3.4)
+}
+
+// DefaultConfig is a mid-sized world good for examples: a few hundred ASes,
+// around a thousand PoPs. Generation takes well under a second.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:       seed,
+		NumTier1:   6,
+		NumTransit: 60,
+		NumStub:    500,
+
+		NumCities:  48,
+		NumRegions: 8,
+		MapW:       5000,
+		MapH:       3000,
+
+		Tier1PoPMin: 10, Tier1PoPMax: 18,
+		TransitPoPMin: 3, TransitPoPMax: 7,
+		StubPoPMin: 1, StubPoPMax: 2,
+
+		RoutersPerPoPMin: 2, RoutersPerPoPMax: 4,
+		IfacesPerRouterMin: 2, IfacesPerRouterMax: 5,
+
+		TransitProvidersMin: 1, TransitProvidersMax: 3,
+		StubProvidersMin: 1, StubProvidersMax: 3,
+		TransitPeerProb: 0.25,
+		StubPeerProb:    0.08,
+		InterLinksMin:   1, InterLinksMax: 3,
+		IntraExtraChordFrac: 0.35,
+
+		StubPrefixMin: 1, StubPrefixMax: 4,
+		TransitEdgePrefixes: 1,
+
+		MSPerUnit:  0.02,
+		LinkBaseMS: 0.3,
+		ColoMS:     0.8,
+
+		LossyLinkProb: 0.05,
+		EdgeLossyProb: 0.14,
+		LossMin:       0.005,
+		LossMax:       0.22,
+
+		SiblingFrac:      0.015,
+		LateExitFrac:     0.02,
+		NoSelfExportFrac: 0.05,
+	}
+}
+
+// TestConfig is a small world for unit tests: tens of ASes, generation in
+// milliseconds.
+func TestConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.NumTier1 = 3
+	c.NumTransit = 12
+	c.NumStub = 60
+	c.NumCities = 16
+	c.NumRegions = 4
+	c.Tier1PoPMin, c.Tier1PoPMax = 4, 7
+	c.TransitPoPMin, c.TransitPoPMax = 2, 4
+	return c
+}
+
+// EvalConfig is the evaluation-scale world used by the benchmark harness and
+// cmd/inano-eval. Roughly 2K ASes / 5-6K PoPs / several thousand edge
+// prefixes; a scaled-down analogue of the paper's 27,515 ASes.
+func EvalConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.NumTier1 = 8
+	c.NumTransit = 140
+	c.NumStub = 1800
+	c.NumCities = 64
+	c.NumRegions = 10
+	return c
+}

@@ -1,0 +1,577 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Generate builds a complete synthetic world from cfg. It panics on
+// malformed configs (zero AS counts and the like), since configs are
+// programmer-supplied constants, and returns a fully connected topology:
+// every non-tier-1 AS has at least one provider chain to the tier-1 clique,
+// every AS's PoPs form a connected intra-AS graph, and every AS adjacency is
+// realized by at least one physical link.
+func Generate(cfg Config) *Topology {
+	if cfg.NumTier1 < 2 || cfg.NumCities < 2 {
+		panic(fmt.Sprintf("netsim: invalid config: %d tier1 ASes, %d cities", cfg.NumTier1, cfg.NumCities))
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		t: &Topology{
+			Cfg:              cfg,
+			Rels:             make(map[uint64]Rel),
+			LateExit:         make(map[uint64]bool),
+			NoSelfExport:     make(map[uint64]bool),
+			PrefixOrigin:     make(map[Prefix]ASN),
+			PrefixHome:       make(map[Prefix]PoPID),
+			PrefixAccessMS:   make(map[Prefix]float64),
+			PrefixAccessLoss: make(map[Prefix]float64),
+			IfaceRouter:      make(map[IP]RouterID),
+			interAt:          make(map[uint64][]LinkID),
+		},
+		nextPrefix: Prefix(10 << 16), // start the plan at 10.0.0.0/24
+	}
+	g.placeCities()
+	g.createASes()
+	g.placePoPs()
+	g.buildASGraph()
+	g.markSiblings()
+	g.buildIntraLinks()
+	g.buildInterLinks()
+	g.buildAdjacency()
+	g.allocateRouters()
+	g.allocatePrefixes()
+	g.markLateExit()
+	g.markNoSelfExport()
+	g.t.ASAdj = g.asAdj
+	return g.t
+}
+
+type generator struct {
+	cfg        Config
+	rng        *rand.Rand
+	t          *Topology
+	regions    []Point // region centers
+	cityRegion []int
+	asAdj      [][]ASN
+	nextPrefix Prefix
+}
+
+func (g *generator) randRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// placeCities scatters region centers uniformly, then cities around them.
+func (g *generator) placeCities() {
+	cfg := g.cfg
+	g.regions = make([]Point, cfg.NumRegions)
+	for i := range g.regions {
+		g.regions[i] = Point{
+			X: cfg.MapW * (0.1 + 0.8*g.rng.Float64()),
+			Y: cfg.MapH * (0.1 + 0.8*g.rng.Float64()),
+		}
+	}
+	g.t.Cities = make([]Point, cfg.NumCities)
+	g.cityRegion = make([]int, cfg.NumCities)
+	spread := math.Min(cfg.MapW, cfg.MapH) / float64(cfg.NumRegions)
+	for i := range g.t.Cities {
+		r := i % cfg.NumRegions
+		c := g.regions[r]
+		g.t.Cities[i] = Point{
+			X: clamp(c.X+g.rng.NormFloat64()*spread, 0, cfg.MapW),
+			Y: clamp(c.Y+g.rng.NormFloat64()*spread, 0, cfg.MapH),
+		}
+		g.cityRegion[i] = r
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// createASes allocates AS records: tier-1s first, then transits, then stubs.
+// ASNs are dense starting at 1.
+func (g *generator) createASes() {
+	cfg := g.cfg
+	total := cfg.NumTier1 + cfg.NumTransit + cfg.NumStub
+	g.t.ASes = make([]AS, 0, total)
+	add := func(tier Tier, region int) {
+		asn := ASN(len(g.t.ASes) + 1)
+		g.t.ASes = append(g.t.ASes, AS{ASN: asn, Tier: tier, Region: region})
+	}
+	for i := 0; i < cfg.NumTier1; i++ {
+		add(TierOne, -1)
+	}
+	for i := 0; i < cfg.NumTransit; i++ {
+		add(TierTransit, g.rng.Intn(cfg.NumRegions))
+	}
+	for i := 0; i < cfg.NumStub; i++ {
+		add(TierStub, g.rng.Intn(cfg.NumRegions))
+	}
+	g.asAdj = make([][]ASN, total)
+}
+
+// citiesInRegion returns city indices belonging to region r.
+func (g *generator) citiesInRegion(r int) []int {
+	var out []int
+	for i, cr := range g.cityRegion {
+		if cr == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// placePoPs gives each AS its PoPs. Tier-1s span the whole map; transits
+// cover their home region with occasional out-of-region presence; stubs sit
+// in one or two home-region cities.
+func (g *generator) placePoPs() {
+	cfg := g.cfg
+	for i := range g.t.ASes {
+		as := &g.t.ASes[i]
+		var n int
+		var cityPool []int
+		switch as.Tier {
+		case TierOne:
+			n = g.randRange(cfg.Tier1PoPMin, cfg.Tier1PoPMax)
+			cityPool = allInts(cfg.NumCities)
+		case TierTransit:
+			n = g.randRange(cfg.TransitPoPMin, cfg.TransitPoPMax)
+			cityPool = g.citiesInRegion(as.Region)
+			// ~20% of transit PoPs land out of region (national reach).
+			for c := 0; c < cfg.NumCities; c++ {
+				if g.cityRegion[c] != as.Region && g.rng.Float64() < 0.05 {
+					cityPool = append(cityPool, c)
+				}
+			}
+		default:
+			n = g.randRange(cfg.StubPoPMin, cfg.StubPoPMax)
+			cityPool = g.citiesInRegion(as.Region)
+		}
+		if len(cityPool) == 0 {
+			cityPool = []int{g.rng.Intn(cfg.NumCities)}
+		}
+		if n > len(cityPool) {
+			n = len(cityPool)
+		}
+		perm := g.rng.Perm(len(cityPool))
+		for k := 0; k < n; k++ {
+			city := cityPool[perm[k]]
+			id := PoPID(len(g.t.PoPs))
+			// Jitter the PoP slightly off the city center so distinct
+			// PoPs in one city have tiny nonzero distances.
+			loc := g.t.Cities[city]
+			loc.X += g.rng.NormFloat64() * 2
+			loc.Y += g.rng.NormFloat64() * 2
+			g.t.PoPs = append(g.t.PoPs, PoP{ID: id, AS: as.ASN, City: city, Loc: loc})
+			as.PoPs = append(as.PoPs, id)
+		}
+	}
+}
+
+func allInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// setRel records a relationship; r is from a's perspective about b.
+func (g *generator) setRel(a, b ASN, r Rel) {
+	if a == b {
+		return
+	}
+	k := ASPairKey(a, b)
+	if _, dup := g.t.Rels[k]; dup {
+		return
+	}
+	if a > b {
+		r = r.Invert()
+	}
+	g.t.Rels[k] = r
+	g.asAdj[a-1] = append(g.asAdj[a-1], b)
+	g.asAdj[b-1] = append(g.asAdj[b-1], a)
+}
+
+// buildASGraph wires up the AS-level graph: tier-1 clique, transit providers
+// and peering, stub multihoming.
+func (g *generator) buildASGraph() {
+	cfg := g.cfg
+	t := g.t
+	tier1s := make([]ASN, 0, cfg.NumTier1)
+	transits := make([]ASN, 0, cfg.NumTransit)
+	for i := range t.ASes {
+		switch t.ASes[i].Tier {
+		case TierOne:
+			tier1s = append(tier1s, t.ASes[i].ASN)
+		case TierTransit:
+			transits = append(transits, t.ASes[i].ASN)
+		}
+	}
+	// Tier-1 clique: settlement-free peering everywhere.
+	for i, a := range tier1s {
+		for _, b := range tier1s[i+1:] {
+			g.setRel(a, b, RelPeer)
+		}
+	}
+	// Transit providers: preferential attachment by PoP count, weighted
+	// toward tier-1s for the first provider.
+	for _, a := range transits {
+		n := g.randRange(cfg.TransitProvidersMin, cfg.TransitProvidersMax)
+		for k := 0; k < n; k++ {
+			var prov ASN
+			if k == 0 || g.rng.Float64() < 0.6 {
+				prov = tier1s[g.rng.Intn(len(tier1s))]
+			} else {
+				prov = g.weightedTransit(transits, a)
+			}
+			if prov != 0 && prov != a {
+				g.setRel(a, prov, RelProvider)
+			}
+		}
+		// Regional transit peering.
+		for _, b := range transits {
+			if b <= a || t.AS(b).Region != t.AS(a).Region {
+				continue
+			}
+			if g.rng.Float64() < cfg.TransitPeerProb {
+				g.setRel(a, b, RelPeer)
+			}
+		}
+	}
+	// Stubs: multihome to same-region transits (weighted), rarely direct
+	// to tier-1, and occasionally peer with a same-region stub.
+	regionTransits := make([][]ASN, cfg.NumRegions)
+	for _, a := range transits {
+		r := t.AS(a).Region
+		regionTransits[r] = append(regionTransits[r], a)
+	}
+	var prevStub ASN
+	for i := range t.ASes {
+		as := &t.ASes[i]
+		if as.Tier != TierStub {
+			continue
+		}
+		n := g.randRange(cfg.StubProvidersMin, cfg.StubProvidersMax)
+		local := regionTransits[as.Region]
+		for k := 0; k < n; k++ {
+			var prov ASN
+			switch {
+			case len(local) > 0 && g.rng.Float64() < 0.85:
+				prov = local[g.rng.Intn(len(local))]
+			case g.rng.Float64() < 0.5 && len(transits) > 0:
+				prov = transits[g.rng.Intn(len(transits))]
+			default:
+				prov = tier1s[g.rng.Intn(len(tier1s))]
+			}
+			g.setRel(as.ASN, prov, RelProvider)
+		}
+		if prevStub != 0 && t.AS(prevStub).Region == as.Region && g.rng.Float64() < cfg.StubPeerProb {
+			g.setRel(as.ASN, prevStub, RelPeer)
+		}
+		prevStub = as.ASN
+	}
+}
+
+// weightedTransit picks a transit AS other than self, weighted by PoP count
+// (bigger networks attract more customers).
+func (g *generator) weightedTransit(transits []ASN, self ASN) ASN {
+	total := 0
+	for _, a := range transits {
+		if a != self {
+			total += len(g.t.AS(a).PoPs)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	pick := g.rng.Intn(total)
+	for _, a := range transits {
+		if a == self {
+			continue
+		}
+		pick -= len(g.t.AS(a).PoPs)
+		if pick < 0 {
+			return a
+		}
+	}
+	return 0
+}
+
+// sortedRelKeys returns the relationship keys in a stable order; every
+// generator pass that mixes map iteration with RNG draws must use it, or
+// Go's randomized map order would leak into the world.
+func (g *generator) sortedRelKeys() []uint64 {
+	keys := make([]uint64, 0, len(g.t.Rels))
+	for k := range g.t.Rels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// markSiblings converts a fraction of customer-provider edges between
+// transit ASes into sibling relationships (jointly run networks).
+func (g *generator) markSiblings() {
+	for _, k := range g.sortedRelKeys() {
+		r := g.t.Rels[k]
+		if r != RelCustomer && r != RelProvider {
+			continue
+		}
+		a, b := ASN(k>>32), ASN(k&0xffffffff)
+		if g.t.AS(a).Tier == TierStub || g.t.AS(b).Tier == TierStub {
+			continue
+		}
+		if g.rng.Float64() < g.cfg.SiblingFrac {
+			g.t.Rels[k] = RelSibling
+		}
+	}
+}
+
+func (g *generator) addLink(a, b PoPID, kind LinkKind) LinkID {
+	cfg := g.cfg
+	pa, pb := &g.t.PoPs[a], &g.t.PoPs[b]
+	var lat float64
+	if pa.City == pb.City {
+		lat = cfg.ColoMS * (0.6 + 0.8*g.rng.Float64())
+	} else {
+		lat = pa.Loc.Dist(pb.Loc)*cfg.MSPerUnit + cfg.LinkBaseMS
+	}
+	id := LinkID(len(g.t.Links))
+	g.t.Links = append(g.t.Links, Link{
+		ID: id, A: a, B: b, Kind: kind,
+		LatencyMS: lat,
+		LossAB:    g.drawLoss(cfg.LossyLinkProb),
+		LossBA:    g.drawLoss(cfg.LossyLinkProb),
+	})
+	return id
+}
+
+func (g *generator) drawLoss(lossyProb float64) float64 {
+	if g.rng.Float64() >= lossyProb {
+		return 0
+	}
+	return g.cfg.LossMin + g.rng.Float64()*(g.cfg.LossMax-g.cfg.LossMin)
+}
+
+// buildIntraLinks connects each AS's PoPs with a minimum spanning tree by
+// distance plus random chords.
+func (g *generator) buildIntraLinks() {
+	for i := range g.t.ASes {
+		pops := g.t.ASes[i].PoPs
+		if len(pops) < 2 {
+			continue
+		}
+		// Prim's MST over the PoPs.
+		inTree := make([]bool, len(pops))
+		dist := make([]float64, len(pops))
+		from := make([]int, len(pops))
+		for j := range dist {
+			dist[j] = math.Inf(1)
+		}
+		inTree[0] = true
+		for j := 1; j < len(pops); j++ {
+			dist[j] = g.t.PoPs[pops[0]].Loc.Dist(g.t.PoPs[pops[j]].Loc)
+			from[j] = 0
+		}
+		for n := 1; n < len(pops); n++ {
+			best, bd := -1, math.Inf(1)
+			for j := range pops {
+				if !inTree[j] && dist[j] < bd {
+					best, bd = j, dist[j]
+				}
+			}
+			inTree[best] = true
+			g.addLink(pops[from[best]], pops[best], LinkIntra)
+			for j := range pops {
+				if !inTree[j] {
+					d := g.t.PoPs[pops[best]].Loc.Dist(g.t.PoPs[pops[j]].Loc)
+					if d < dist[j] {
+						dist[j], from[j] = d, best
+					}
+				}
+			}
+		}
+		// Extra chords for path diversity.
+		extra := int(float64(len(pops)) * g.cfg.IntraExtraChordFrac)
+		for e := 0; e < extra; e++ {
+			a := pops[g.rng.Intn(len(pops))]
+			b := pops[g.rng.Intn(len(pops))]
+			if a != b {
+				g.addLink(a, b, LinkIntra)
+			}
+		}
+	}
+}
+
+// buildInterLinks realizes each AS adjacency with one or more physical links
+// between geographically close PoP pairs.
+func (g *generator) buildInterLinks() {
+	type pairDist struct {
+		a, b PoPID
+		d    float64
+	}
+	keys := make([]uint64, 0, len(g.t.Rels))
+	for k := range g.t.Rels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		a, b := ASN(k>>32), ASN(k&0xffffffff)
+		pa, pb := g.t.AS(a).PoPs, g.t.AS(b).PoPs
+		pairs := make([]pairDist, 0, len(pa)*len(pb))
+		for _, x := range pa {
+			for _, y := range pb {
+				pairs = append(pairs, pairDist{x, y, g.t.PoPs[x].Loc.Dist(g.t.PoPs[y].Loc)})
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+		n := g.randRange(g.cfg.InterLinksMin, g.cfg.InterLinksMax)
+		if n > len(pairs) {
+			n = len(pairs)
+		}
+		for i := 0; i < n; i++ {
+			id := g.addLink(pairs[i].a, pairs[i].b, LinkInter)
+			g.t.interAt[k] = append(g.t.interAt[k], id)
+		}
+	}
+}
+
+// buildAdjacency fills the directed per-PoP adjacency lists.
+func (g *generator) buildAdjacency() {
+	g.t.AdjPoP = make([][]Adj, len(g.t.PoPs))
+	for _, l := range g.t.Links {
+		g.t.AdjPoP[l.A] = append(g.t.AdjPoP[l.A], Adj{Link: l.ID, To: l.B})
+		g.t.AdjPoP[l.B] = append(g.t.AdjPoP[l.B], Adj{Link: l.ID, To: l.A})
+	}
+}
+
+// allocateRouters creates routers and interface addresses inside each PoP.
+// Interface addresses are drawn from per-AS infrastructure prefixes so that
+// IP-to-AS mapping is meaningful.
+func (g *generator) allocateRouters() {
+	cfg := g.cfg
+	for i := range g.t.ASes {
+		as := &g.t.ASes[i]
+		// Count interfaces first so we can reserve enough /24s.
+		type plan struct {
+			pop     PoPID
+			routers []int // interface count per router
+		}
+		plans := make([]plan, 0, len(as.PoPs))
+		total := 0
+		for _, p := range as.PoPs {
+			nr := g.randRange(cfg.RoutersPerPoPMin, cfg.RoutersPerPoPMax)
+			pl := plan{pop: p}
+			for r := 0; r < nr; r++ {
+				ni := g.randRange(cfg.IfacesPerRouterMin, cfg.IfacesPerRouterMax)
+				pl.routers = append(pl.routers, ni)
+				total += ni
+			}
+			plans = append(plans, pl)
+		}
+		nPrefixes := (total + 253) / 254
+		base := g.nextPrefix
+		for p := Prefix(0); p < Prefix(nPrefixes); p++ {
+			pr := base + p
+			g.t.PrefixOrigin[pr] = as.ASN
+			g.t.PrefixHome[pr] = as.PoPs[0]
+			as.Prefixes = append(as.Prefixes, pr)
+		}
+		g.nextPrefix += Prefix(nPrefixes)
+		next := base.FirstIP() + 1
+		for _, pl := range plans {
+			for _, ni := range pl.routers {
+				rid := RouterID(len(g.t.Routers))
+				r := Router{ID: rid, PoP: pl.pop}
+				for k := 0; k < ni; k++ {
+					if next&0xff >= 255 { // skip broadcast/network addresses
+						next = (next | 0xff) + 1
+					}
+					r.Ifaces = append(r.Ifaces, next)
+					g.t.IfaceRouter[next] = rid
+					next++
+				}
+				g.t.Routers = append(g.t.Routers, r)
+				g.t.PoPs[pl.pop].Routers = append(g.t.PoPs[pl.pop].Routers, rid)
+			}
+		}
+	}
+}
+
+// allocatePrefixes assigns edge (customer) prefixes to stub and transit
+// ASes. These are the probe destinations of the world.
+func (g *generator) allocatePrefixes() {
+	cfg := g.cfg
+	for i := range g.t.ASes {
+		as := &g.t.ASes[i]
+		var n int
+		switch as.Tier {
+		case TierStub:
+			n = g.randRange(cfg.StubPrefixMin, cfg.StubPrefixMax)
+		case TierTransit:
+			n = cfg.TransitEdgePrefixes
+		default:
+			continue
+		}
+		for k := 0; k < n; k++ {
+			pr := g.nextPrefix
+			g.nextPrefix++
+			home := as.PoPs[g.rng.Intn(len(as.PoPs))]
+			g.t.PrefixOrigin[pr] = as.ASN
+			g.t.PrefixHome[pr] = home
+			g.t.PrefixAccessMS[pr] = 0.5 + g.rng.Float64()*6 // DSL/cable tail
+			g.t.PrefixAccessLoss[pr] = g.drawLoss(cfg.EdgeLossyProb)
+			as.Prefixes = append(as.Prefixes, pr)
+			g.t.EdgePrefixes = append(g.t.EdgePrefixes, pr)
+		}
+	}
+}
+
+// markLateExit flags sibling adjacencies (always) and a random sample of
+// other adjacencies as late-exit pairs.
+func (g *generator) markLateExit() {
+	for _, k := range g.sortedRelKeys() {
+		if g.t.Rels[k] == RelSibling || g.rng.Float64() < g.cfg.LateExitFrac {
+			g.t.LateExit[k] = true
+		}
+	}
+}
+
+// markNoSelfExport picks multihomed ASes that withhold their own prefixes
+// from some upstream neighbors (the §4.3.4 traffic-engineering case). At
+// least one provider always carries the AS's own prefixes.
+func (g *generator) markNoSelfExport() {
+	for i := range g.t.ASes {
+		as := &g.t.ASes[i]
+		var ups []ASN
+		for _, nb := range g.asAdj[as.ASN-1] {
+			if g.t.RelOf(as.ASN, nb) == RelProvider {
+				ups = append(ups, nb)
+			}
+		}
+		if len(ups) < 2 {
+			continue
+		}
+		for _, nb := range ups[1:] { // keep ups[0] always exporting
+			if g.rng.Float64() < g.cfg.NoSelfExportFrac {
+				g.t.NoSelfExport[DirASPairKey(nb, as.ASN)] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(TestConfig(42))
+	b := Generate(TestConfig(42))
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same seed produced different worlds: %v vs %v", a.Stats(), b.Stats())
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, a.Links[i], b.Links[i])
+		}
+	}
+	// Relationship-derived sets must match exactly: these passes mix RNG
+	// draws with map access and regress silently if iteration order leaks.
+	if len(a.Rels) != len(b.Rels) || len(a.LateExit) != len(b.LateExit) || len(a.NoSelfExport) != len(b.NoSelfExport) {
+		t.Fatalf("relationship set sizes differ")
+	}
+	for k, r := range a.Rels {
+		if b.Rels[k] != r {
+			t.Fatalf("rel %d differs: %v vs %v", k, r, b.Rels[k])
+		}
+	}
+	for k := range a.LateExit {
+		if !b.LateExit[k] {
+			t.Fatalf("late-exit pair %d missing in second world", k)
+		}
+	}
+	for k := range a.NoSelfExport {
+		if !b.NoSelfExport[k] {
+			t.Fatalf("no-self-export pair %d missing in second world", k)
+		}
+	}
+	c := Generate(TestConfig(43))
+	if a.Stats() == c.Stats() {
+		t.Fatalf("different seeds produced identical stats: %v", a.Stats())
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := TestConfig(1)
+	top := Generate(cfg)
+	want := cfg.NumTier1 + cfg.NumTransit + cfg.NumStub
+	if got := len(top.ASes); got != want {
+		t.Fatalf("got %d ASes, want %d", got, want)
+	}
+	for i := range top.ASes {
+		as := &top.ASes[i]
+		if len(as.PoPs) == 0 {
+			t.Fatalf("AS %d has no PoPs", as.ASN)
+		}
+		if len(as.Prefixes) == 0 {
+			t.Fatalf("AS %d has no prefixes", as.ASN)
+		}
+	}
+	if len(top.EdgePrefixes) == 0 {
+		t.Fatal("no edge prefixes")
+	}
+}
+
+// Every non-tier-1 AS must reach the tier-1 clique by walking provider
+// edges; otherwise the world has partitions no routing policy can cross.
+func TestProviderChainsReachTier1(t *testing.T) {
+	top := Generate(TestConfig(7))
+	for i := range top.ASes {
+		as := &top.ASes[i]
+		if as.Tier == TierOne {
+			continue
+		}
+		seen := map[ASN]bool{as.ASN: true}
+		frontier := []ASN{as.ASN}
+		found := false
+		for len(frontier) > 0 && !found {
+			var next []ASN
+			for _, a := range frontier {
+				for _, nb := range top.ASAdj[a-1] {
+					r := top.RelOf(a, nb)
+					if r != RelProvider && r != RelSibling {
+						continue
+					}
+					if top.AS(nb).Tier == TierOne {
+						found = true
+						break
+					}
+					if !seen[nb] {
+						seen[nb] = true
+						next = append(next, nb)
+					}
+				}
+			}
+			frontier = next
+		}
+		if !found {
+			t.Fatalf("AS %d (%v) cannot reach a tier-1 via providers", as.ASN, as.Tier)
+		}
+	}
+}
+
+func TestIntraASConnectivity(t *testing.T) {
+	top := Generate(TestConfig(9))
+	for i := range top.ASes {
+		as := &top.ASes[i]
+		if len(as.PoPs) < 2 {
+			continue
+		}
+		seen := map[PoPID]bool{as.PoPs[0]: true}
+		stack := []PoPID{as.PoPs[0]}
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, adj := range top.AdjPoP[p] {
+				if top.Links[adj.Link].Kind != LinkIntra {
+					continue
+				}
+				q := adj.To
+				if top.PoPAS(q) == as.ASN && !seen[q] {
+					seen[q] = true
+					stack = append(stack, q)
+				}
+			}
+		}
+		if len(seen) != len(as.PoPs) {
+			t.Fatalf("AS %d intra graph disconnected: reached %d of %d PoPs", as.ASN, len(seen), len(as.PoPs))
+		}
+	}
+}
+
+func TestEveryAdjacencyHasLinks(t *testing.T) {
+	top := Generate(TestConfig(11))
+	for k, r := range top.Rels {
+		a, b := ASN(k>>32), ASN(k&0xffffffff)
+		if links := top.InterLinks(a, b); len(links) == 0 {
+			t.Fatalf("adjacency %d-%d (%v) has no physical links", a, b, r)
+		}
+	}
+}
+
+func TestRelSymmetry(t *testing.T) {
+	top := Generate(TestConfig(13))
+	for k := range top.Rels {
+		a, b := ASN(k>>32), ASN(k&0xffffffff)
+		ra, rb := top.RelOf(a, b), top.RelOf(b, a)
+		if ra.Invert() != rb {
+			t.Fatalf("asymmetric relationship %d-%d: %v vs %v", a, b, ra, rb)
+		}
+	}
+}
+
+func TestLinkPropertiesValid(t *testing.T) {
+	top := Generate(TestConfig(17))
+	for _, l := range top.Links {
+		if l.LatencyMS <= 0 {
+			t.Fatalf("link %d has non-positive latency %v", l.ID, l.LatencyMS)
+		}
+		if l.LossAB < 0 || l.LossAB > 1 || l.LossBA < 0 || l.LossBA > 1 {
+			t.Fatalf("link %d has invalid loss %v/%v", l.ID, l.LossAB, l.LossBA)
+		}
+		if top.PoPAS(l.A) == top.PoPAS(l.B) && l.Kind != LinkIntra {
+			t.Fatalf("link %d joins same AS but is %v", l.ID, l.Kind)
+		}
+		if top.PoPAS(l.A) != top.PoPAS(l.B) && l.Kind != LinkInter {
+			t.Fatalf("link %d joins different ASes but is %v", l.ID, l.Kind)
+		}
+	}
+}
+
+func TestPrefixPlanConsistent(t *testing.T) {
+	top := Generate(TestConfig(19))
+	for pr, asn := range top.PrefixOrigin {
+		home, ok := top.PrefixHome[pr]
+		if !ok {
+			t.Fatalf("prefix %v has origin but no home PoP", pr)
+		}
+		if top.PoPAS(home) != asn {
+			t.Fatalf("prefix %v homed at PoP of AS %d, origin AS %d", pr, top.PoPAS(home), asn)
+		}
+	}
+	for ip, rid := range top.IfaceRouter {
+		asn, ok := top.PrefixOrigin[PrefixOf(ip)]
+		if !ok {
+			t.Fatalf("interface %v not covered by any allocated prefix", ip)
+		}
+		if got := top.PoPAS(top.Routers[rid].PoP); got != asn {
+			t.Fatalf("interface %v owned by AS %d but its prefix originates from AS %d", ip, got, asn)
+		}
+	}
+	for _, pr := range top.EdgePrefixes {
+		if top.PrefixAccessMS[pr] <= 0 {
+			t.Fatalf("edge prefix %v has no access latency", pr)
+		}
+	}
+}
+
+func TestNoSelfExportLeavesAnExporter(t *testing.T) {
+	top := Generate(TestConfig(23))
+	for i := range top.ASes {
+		as := &top.ASes[i]
+		var ups, blocked int
+		for _, nb := range top.ASAdj[as.ASN-1] {
+			if top.RelOf(as.ASN, nb) == RelProvider {
+				ups++
+				if top.NoSelfExport[DirASPairKey(nb, as.ASN)] {
+					blocked++
+				}
+			}
+		}
+		if ups > 0 && blocked >= ups {
+			t.Fatalf("AS %d has all %d providers marked no-self-export", as.ASN, ups)
+		}
+	}
+}
+
+func TestRelInvertProperty(t *testing.T) {
+	f := func(r int8) bool {
+		rel := Rel(r % 5)
+		if rel < 0 {
+			rel = -rel
+		}
+		return rel.Invert().Invert() == rel
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixIPRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		ip := IP(raw)
+		p := PrefixOf(ip)
+		return p.FirstIP()>>8 == ip>>8 && PrefixOf(p.HostIP()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIPStringFormats(t *testing.T) {
+	ip := IP(10<<24 | 1<<16 | 2<<8 | 3)
+	if got := ip.String(); got != "10.1.2.3" {
+		t.Errorf("IP.String() = %q", got)
+	}
+	p := PrefixOf(ip)
+	if got := p.String(); got != "10.1.2.0/24" {
+		t.Errorf("Prefix.String() = %q", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package routescope implements the RouteScope baseline of Mao et al. [32]:
+// AS-level path inference from an AS graph with inferred relationships,
+// computing the set of shortest valley-free AS paths and — following the
+// paper's evaluation methodology — picking one of them uniformly at random
+// per (src, dst) pair.
+package routescope
+
+import (
+	"sort"
+
+	"inano/internal/netsim"
+)
+
+// Predictor holds the observed AS graph and inferred relationships.
+type Predictor struct {
+	adj  map[netsim.ASN][]netsim.ASN
+	rels map[uint64]netsim.Rel
+	seed uint64
+}
+
+// New builds a predictor from observed AS paths and a relationship map
+// (typically cluster.InferRelationships over the same paths).
+func New(paths [][]netsim.ASN, rels map[uint64]netsim.Rel, seed int64) *Predictor {
+	adjSet := make(map[netsim.ASN]map[netsim.ASN]bool)
+	add := func(a, b netsim.ASN) {
+		m := adjSet[a]
+		if m == nil {
+			m = make(map[netsim.ASN]bool)
+			adjSet[a] = m
+		}
+		m[b] = true
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			add(p[i], p[i+1])
+			add(p[i+1], p[i])
+		}
+	}
+	adj := make(map[netsim.ASN][]netsim.ASN, len(adjSet))
+	for a, m := range adjSet {
+		list := make([]netsim.ASN, 0, len(m))
+		for b := range m {
+			list = append(list, b)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		adj[a] = list
+	}
+	return &Predictor{adj: adj, rels: rels, seed: uint64(seed)*0x9e3779b97f4a7c15 + 0xabcd}
+}
+
+func (p *Predictor) relOf(a, b netsim.ASN) netsim.Rel {
+	r, ok := p.rels[netsim.ASPairKey(a, b)]
+	if !ok {
+		return netsim.RelPeer // unknown edges treated as peering
+	}
+	if a <= b {
+		return r
+	}
+	return r.Invert()
+}
+
+// state encodes the valley-free automaton: 0 = still climbing (may use any
+// edge), 1 = descended (only provider-to-customer / sibling edges remain).
+type node struct {
+	as   netsim.ASN
+	down bool
+}
+
+// Predict returns one shortest valley-free AS path from src to dst, chosen
+// uniformly at random (deterministically seeded per pair) from the set of
+// shortest options, and the number of such options. ok is false when no
+// valley-free path exists in the observed graph.
+func (p *Predictor) Predict(src, dst netsim.ASN) (path []netsim.ASN, options int, ok bool) {
+	if src == dst {
+		return []netsim.ASN{src}, 1, true
+	}
+	if len(p.adj[src]) == 0 || len(p.adj[dst]) == 0 {
+		return nil, 0, false
+	}
+	// BFS over (AS, down) states from src; count shortest paths and keep
+	// parent sets for random reconstruction.
+	type key = node
+	dist := map[key]int{{src, false}: 0}
+	parents := make(map[key][]key)
+	frontier := []key{{src, false}}
+	reachedDepth := -1
+	for depth := 0; len(frontier) > 0; depth++ {
+		if reachedDepth >= 0 {
+			break
+		}
+		var next []key
+		for _, u := range frontier {
+			for _, v := range p.adj[u.as] {
+				var vdown bool
+				switch p.relOf(u.as, v) { // what v is to u
+				case netsim.RelProvider: // climbing
+					if u.down {
+						continue
+					}
+					vdown = false
+				case netsim.RelPeer:
+					if u.down {
+						continue
+					}
+					vdown = true
+				case netsim.RelCustomer, netsim.RelSibling:
+					vdown = u.down || p.relOf(u.as, v) == netsim.RelCustomer
+				default:
+					continue
+				}
+				k := key{v, vdown}
+				if d, seen := dist[k]; seen {
+					if d == depth+1 {
+						parents[k] = append(parents[k], u)
+					}
+					continue
+				}
+				dist[k] = depth + 1
+				parents[k] = []key{u}
+				next = append(next, k)
+				if v == dst && reachedDepth < 0 {
+					reachedDepth = depth + 1
+				}
+			}
+		}
+		frontier = next
+	}
+	if reachedDepth < 0 {
+		return nil, 0, false
+	}
+	// Random walk back from dst over parent sets.
+	ends := make([]key, 0, 2)
+	for _, down := range []bool{false, true} {
+		if d, seen := dist[key{dst, down}]; seen && d == reachedDepth {
+			ends = append(ends, key{dst, down})
+		}
+	}
+	options = 0
+	counts := make(map[key]int)
+	var countPaths func(k key) int
+	countPaths = func(k key) int {
+		if k.as == src && !k.down {
+			return 1
+		}
+		if c, ok := counts[k]; ok {
+			return c
+		}
+		counts[k] = 0 // cycle guard; parent DAG has none, but be safe
+		total := 0
+		for _, pa := range parents[k] {
+			total += countPaths(pa)
+		}
+		counts[k] = total
+		return total
+	}
+	for _, e := range ends {
+		options += countPaths(e)
+	}
+	if options == 0 {
+		return nil, 0, false
+	}
+	h := p.seed ^ uint64(src)*0xbf58476d1ce4e5b9 ^ uint64(dst)*0x94d049bb133111eb
+	h ^= h >> 31
+	pick := int(h % uint64(options))
+	var cur key
+	for _, e := range ends {
+		c := countPaths(e)
+		if pick < c {
+			cur = e
+			break
+		}
+		pick -= c
+	}
+	rev := []netsim.ASN{dst}
+	for !(cur.as == src && !cur.down) {
+		chosen := false
+		for _, pa := range parents[cur] {
+			c := countPaths(pa)
+			if pick < c {
+				cur = pa
+				rev = append(rev, cur.as)
+				chosen = true
+				break
+			}
+			pick -= c
+		}
+		if !chosen {
+			return nil, 0, false // inconsistent counts: give up rather than loop
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, options, true
+}

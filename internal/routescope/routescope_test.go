@@ -1,0 +1,133 @@
+package routescope
+
+import (
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+// A small hand-built AS graph:
+//
+//	  1 (tier1) --- 2 (tier1)       1-2 peer
+//	 /    \            \
+//	3      4            5           3,4 customers of 1; 5 customer of 2
+//	 \    /
+//	  6 (customer of 3 and 4)
+func testGraph() ([][]netsim.ASN, map[uint64]netsim.Rel) {
+	rel := map[uint64]netsim.Rel{}
+	set := func(a, b netsim.ASN, r netsim.Rel) {
+		if a > b {
+			a, b = b, a
+			r = r.Invert()
+		}
+		rel[netsim.ASPairKey(a, b)] = r
+	}
+	set(1, 2, netsim.RelPeer)
+	set(3, 1, netsim.RelProvider)
+	set(4, 1, netsim.RelProvider)
+	set(5, 2, netsim.RelProvider)
+	set(6, 3, netsim.RelProvider)
+	set(6, 4, netsim.RelProvider)
+	paths := [][]netsim.ASN{
+		{6, 3, 1, 2, 5},
+		{6, 4, 1, 2, 5},
+		{3, 1, 2},
+		{4, 1},
+	}
+	return paths, rel
+}
+
+func TestPredictShortestValleyFree(t *testing.T) {
+	paths, rels := testGraph()
+	p := New(paths, rels, 7)
+	got, options, ok := p.Predict(6, 5)
+	if !ok {
+		t.Fatal("no path 6->5")
+	}
+	if len(got) != 5 {
+		t.Fatalf("path %v, want length 5", got)
+	}
+	if options != 2 {
+		t.Fatalf("options = %d, want 2 (via 3 or via 4)", options)
+	}
+	if got[0] != 6 || got[2] != 1 || got[3] != 2 || got[4] != 5 {
+		t.Fatalf("unexpected path %v", got)
+	}
+	if got[1] != 3 && got[1] != 4 {
+		t.Fatalf("middle AS %v, want 3 or 4", got[1])
+	}
+}
+
+func TestPredictRejectsValleys(t *testing.T) {
+	// 3 -> 1 -> 4 is valley-free (up, down). But 3 -> 6 -> 4 would be a
+	// valley (down to customer 6, then up to provider 4) and must never
+	// be returned even though it is the same length.
+	paths, rels := testGraph()
+	p := New(paths, rels, 9)
+	for seed := int64(0); seed < 20; seed++ {
+		q := New(paths, rels, seed)
+		got, _, ok := q.Predict(3, 4)
+		if !ok {
+			t.Fatal("no path 3->4")
+		}
+		if len(got) == 3 && got[1] == 6 {
+			t.Fatalf("valley path %v returned", got)
+		}
+	}
+	_ = p
+}
+
+func TestPredictSelfPath(t *testing.T) {
+	paths, rels := testGraph()
+	p := New(paths, rels, 1)
+	got, options, ok := p.Predict(5, 5)
+	if !ok || len(got) != 1 || options != 1 {
+		t.Fatalf("self path = %v (%d options, ok=%v)", got, options, ok)
+	}
+}
+
+func TestPredictUnknownAS(t *testing.T) {
+	paths, rels := testGraph()
+	p := New(paths, rels, 1)
+	if _, _, ok := p.Predict(6, 99); ok {
+		t.Fatal("path to unknown AS")
+	}
+}
+
+func TestPredictDeterministicPerSeed(t *testing.T) {
+	paths, rels := testGraph()
+	a := New(paths, rels, 42)
+	b := New(paths, rels, 42)
+	p1, _, _ := a.Predict(6, 5)
+	p2, _, _ := b.Predict(6, 5)
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestRandomChoiceVariesAcrossPairs(t *testing.T) {
+	// With many (src,dst) pairs, both equal-cost options should appear.
+	paths, rels := testGraph()
+	seen3, seen4 := false, false
+	for seed := int64(0); seed < 30 && !(seen3 && seen4); seed++ {
+		p := New(paths, rels, seed)
+		got, _, ok := p.Predict(6, 5)
+		if !ok {
+			continue
+		}
+		if got[1] == 3 {
+			seen3 = true
+		}
+		if got[1] == 4 {
+			seen4 = true
+		}
+	}
+	if !seen3 || !seen4 {
+		t.Errorf("random choice never varied: seen3=%v seen4=%v", seen3, seen4)
+	}
+}

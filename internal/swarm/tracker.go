@@ -1,0 +1,117 @@
+package swarm
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+)
+
+// Tracker messages.
+type trackerReq struct {
+	// Announce registers the sender's listen address for a swarm ID and
+	// asks for the current peer list.
+	ID   [32]byte
+	Addr string // empty = query only
+}
+
+type trackerResp struct {
+	Peers []string
+}
+
+// Tracker is the rendezvous service: it maps swarm IDs to peer addresses.
+// It holds no file data.
+type Tracker struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	peers map[[32]byte]map[string]bool
+	done  chan struct{}
+}
+
+// StartTracker listens on addr (use "127.0.0.1:0" for tests) and serves
+// announce requests until Close.
+func StartTracker(addr string) (*Tracker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		ln:    ln,
+		peers: make(map[[32]byte]map[string]bool),
+		done:  make(chan struct{}),
+	}
+	go t.serve()
+	return t, nil
+}
+
+// Addr returns the tracker's listen address.
+func (t *Tracker) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the tracker.
+func (t *Tracker) Close() error {
+	close(t.done)
+	return t.ln.Close()
+}
+
+func (t *Tracker) serve() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue // transient accept error
+			}
+		}
+		go t.handle(conn)
+	}
+}
+
+func (t *Tracker) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req trackerReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		t.mu.Lock()
+		set := t.peers[req.ID]
+		if set == nil {
+			set = make(map[string]bool)
+			t.peers[req.ID] = set
+		}
+		resp := trackerResp{}
+		for p := range set {
+			if p != req.Addr {
+				resp.Peers = append(resp.Peers, p)
+			}
+		}
+		if req.Addr != "" {
+			set[req.Addr] = true
+		}
+		t.mu.Unlock()
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// announce registers with the tracker and returns known peers.
+func announce(trackerAddr string, id [32]byte, selfAddr string) ([]string, error) {
+	conn, err := net.Dial("tcp", trackerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(&trackerReq{ID: id, Addr: selfAddr}); err != nil {
+		return nil, err
+	}
+	var resp trackerResp
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return resp.Peers, nil
+}

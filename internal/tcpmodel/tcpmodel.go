@@ -1,0 +1,98 @@
+// Package tcpmodel provides the TCP performance models the paper's CDN
+// experiment decides with (§7.1): the PFTK steady-state throughput model of
+// Padhye et al. [37] and a Cardwell-style slow-start model [8] for short
+// transfers.
+package tcpmodel
+
+import "math"
+
+// Params are the TCP constants shared by both models.
+type Params struct {
+	MSS        int     // segment size in bytes
+	InitWindow int     // initial congestion window in segments
+	WMaxSeg    float64 // receiver window cap in segments
+	B          float64 // segments acked per ACK (delayed ACKs: 2)
+	RTOMS      float64 // retransmission timeout in ms
+}
+
+// DefaultParams matches the common 1460-byte MSS configuration.
+func DefaultParams() Params {
+	return Params{MSS: 1460, InitWindow: 3, WMaxSeg: 64, B: 2, RTOMS: 3000}
+}
+
+// ThroughputBps returns PFTK steady-state throughput in bytes/second for a
+// path with the given RTT and loss rate. With zero loss the window cap
+// governs.
+func ThroughputBps(rttMS, loss float64, p Params) float64 {
+	if rttMS <= 0 {
+		rttMS = 1
+	}
+	rtt := rttMS / 1000
+	capBps := p.WMaxSeg * float64(p.MSS) / rtt
+	if loss <= 0 {
+		return capBps
+	}
+	if loss >= 1 {
+		return 0
+	}
+	// PFTK full model, segments/sec.
+	rto := p.RTOMS / 1000
+	f := rtt*math.Sqrt(2*p.B*loss/3) +
+		rto*math.Min(1, 3*math.Sqrt(3*p.B*loss/8))*loss*(1+32*loss*loss)
+	segRate := 1 / f
+	bps := segRate * float64(p.MSS)
+	if bps > capBps {
+		return capBps
+	}
+	return bps
+}
+
+// TransferTimeMS estimates the download time of sizeBytes over a connection
+// with the given RTT and loss: connection setup, slow-start rounds, then
+// steady-state at the PFTK rate.
+func TransferTimeMS(sizeBytes int, rttMS, loss float64, p Params) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	if rttMS <= 0 {
+		rttMS = 1
+	}
+	// Handshake: one RTT before the request; first data arrives one RTT
+	// after.
+	total := rttMS
+	segs := (sizeBytes + p.MSS - 1) / p.MSS
+
+	// Slow start: window doubles each round starting at InitWindow,
+	// capped by WMaxSeg and cut short by the first expected loss.
+	window := float64(p.InitWindow)
+	sent := 0.0
+	rounds := 0.0
+	ssCap := p.WMaxSeg
+	if loss > 0 {
+		// Expected slow-start exit window per PFTK-extended short-flow
+		// models: E[W] ~ sqrt(8/(3*b*p))/2 approximation, bounded below.
+		exit := math.Sqrt(8/(3*p.B*loss)) / 2
+		if exit < float64(p.InitWindow) {
+			exit = float64(p.InitWindow)
+		}
+		if exit < ssCap {
+			ssCap = exit
+		}
+	}
+	for sent < float64(segs) && window < ssCap {
+		sent += window
+		window *= 2
+		rounds++
+	}
+	if sent >= float64(segs) {
+		// Entire transfer fits in slow start; charge the rounds used.
+		return total + rounds*rttMS
+	}
+	total += rounds * rttMS
+	remaining := (float64(segs) - sent) * float64(p.MSS)
+	bps := ThroughputBps(rttMS, loss, p)
+	if bps <= 0 {
+		return math.Inf(1)
+	}
+	return total + remaining/bps*1000
+}

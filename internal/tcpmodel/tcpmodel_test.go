@@ -1,0 +1,76 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputMonotoneInLoss(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for _, loss := range []float64{0, 0.001, 0.01, 0.05, 0.1, 0.3} {
+		bps := ThroughputBps(50, loss, p)
+		if bps > prev {
+			t.Fatalf("throughput increased with loss %v: %v > %v", loss, bps, prev)
+		}
+		prev = bps
+	}
+}
+
+func TestThroughputMonotoneInRTT(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for _, rtt := range []float64{10, 20, 50, 100, 200} {
+		bps := ThroughputBps(rtt, 0.01, p)
+		if bps > prev {
+			t.Fatalf("throughput increased with RTT %v", rtt)
+		}
+		prev = bps
+	}
+}
+
+func TestLosslessCapsAtWindow(t *testing.T) {
+	p := DefaultParams()
+	want := p.WMaxSeg * float64(p.MSS) / 0.1 // 100 ms RTT
+	if got := ThroughputBps(100, 0, p); math.Abs(got-want) > 1 {
+		t.Fatalf("lossless throughput %v, want window cap %v", got, want)
+	}
+}
+
+func TestTransferTimeShortDominatedByRTT(t *testing.T) {
+	p := DefaultParams()
+	// A 30KB transfer is a handful of round trips; halving RTT should
+	// roughly halve the time, while moderate loss barely matters.
+	t100 := TransferTimeMS(30_000, 100, 0, p)
+	t50 := TransferTimeMS(30_000, 50, 0, p)
+	if ratio := t100 / t50; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("30KB time ratio at 2x RTT = %v, want ~2", ratio)
+	}
+}
+
+func TestTransferTimeLargeSensitiveToLoss(t *testing.T) {
+	p := DefaultParams()
+	clean := TransferTimeMS(1_500_000, 50, 0, p)
+	lossy := TransferTimeMS(1_500_000, 50, 0.05, p)
+	if lossy < clean*2 {
+		t.Errorf("1.5MB at 5%% loss (%v ms) should be much slower than lossless (%v ms)", lossy, clean)
+	}
+}
+
+func TestTransferTimeProperties(t *testing.T) {
+	p := DefaultParams()
+	f := func(size uint16, rttRaw, lossRaw uint8) bool {
+		sz := int(size) + 1
+		rtt := float64(rttRaw)/4 + 1
+		loss := float64(lossRaw) / 512 // up to ~0.5
+		tt := TransferTimeMS(sz, rtt, loss, p)
+		return tt >= rtt && !math.IsNaN(tt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := TransferTimeMS(0, 50, 0, p); got != 0 {
+		t.Fatalf("zero-size transfer takes %v ms", got)
+	}
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"testing"
+
+	"inano/internal/bgpsim"
+	"inano/internal/netsim"
+)
+
+func testMeter(t *testing.T, seed int64, day int) (*Meter, *netsim.Topology) {
+	t.Helper()
+	top := netsim.Generate(netsim.TestConfig(seed))
+	sim := bgpsim.New(top, bgpsim.DefaultConfig())
+	return NewMeter(sim.Day(day), DefaultOptions()), top
+}
+
+func TestTracerouteDeterministic(t *testing.T) {
+	m, top := testMeter(t, 1, 0)
+	src, dst := top.EdgePrefixes[0], top.EdgePrefixes[10]
+	a := m.Traceroute(src, dst)
+	b := m.Traceroute(src, dst)
+	if len(a.Hops) != len(b.Hops) || a.Reached != b.Reached {
+		t.Fatalf("nondeterministic traceroute: %v vs %v", a, b)
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			t.Fatalf("hop %d differs: %v vs %v", i, a.Hops[i], b.Hops[i])
+		}
+	}
+}
+
+func TestTracerouteHopsConsistent(t *testing.T) {
+	m, top := testMeter(t, 2, 0)
+	reached := 0
+	for i := 0; i < 60; i++ {
+		src := top.EdgePrefixes[i%len(top.EdgePrefixes)]
+		dst := top.EdgePrefixes[(i*7+13)%len(top.EdgePrefixes)]
+		if src == dst {
+			continue
+		}
+		tr := m.Traceroute(src, dst)
+		if len(tr.Hops) == 0 {
+			t.Fatalf("empty traceroute %v -> %v", src, dst)
+		}
+		var lastRTT float64
+		for hi, h := range tr.Hops {
+			if h.IP == 0 {
+				continue
+			}
+			if h.RTTMS <= 0 {
+				t.Fatalf("hop %d responsive but RTT %v", hi, h.RTTMS)
+			}
+			_ = lastRTT // RTTs need not be monotone (asymmetric reverse paths)
+			lastRTT = h.RTTMS
+			// Every revealed interface except the destination host must
+			// belong to a router in the true PoP at that position.
+			if hi < len(tr.TruePoPs) {
+				got := top.RouterPoP(h.IP)
+				if got != tr.TruePoPs[hi] {
+					t.Fatalf("hop %d interface %v in PoP %d, want %d", hi, h.IP, got, tr.TruePoPs[hi])
+				}
+			}
+		}
+		if tr.Reached {
+			reached++
+			last := tr.Hops[len(tr.Hops)-1]
+			if last.IP != dst.HostIP() {
+				t.Fatalf("reached but last hop %v != host %v", last.IP, dst.HostIP())
+			}
+		}
+	}
+	if reached == 0 {
+		t.Fatal("no traceroute reached its destination")
+	}
+}
+
+func TestTracerouteHasUnresponsiveHops(t *testing.T) {
+	m, top := testMeter(t, 3, 0)
+	stars := 0
+	for i := 0; i < 80; i++ {
+		src := top.EdgePrefixes[i%len(top.EdgePrefixes)]
+		dst := top.EdgePrefixes[(i*5+1)%len(top.EdgePrefixes)]
+		if src == dst {
+			continue
+		}
+		for _, h := range m.Traceroute(src, dst).Hops {
+			if h.IP == 0 {
+				stars++
+			}
+		}
+	}
+	if stars == 0 {
+		t.Error("no unresponsive hops in 80 traceroutes; dark-router model inert")
+	}
+}
+
+func TestMeasureLossBinomial(t *testing.T) {
+	m, top := testMeter(t, 4, 0)
+	day := bgpsim.New(top, bgpsim.DefaultConfig()).Day(0)
+	found := false
+	for i := 0; i < len(top.EdgePrefixes) && !found; i++ {
+		src := top.EdgePrefixes[i]
+		dst := top.EdgePrefixes[(i+9)%len(top.EdgePrefixes)]
+		if src == dst {
+			continue
+		}
+		truth, ok := day.RTLoss(src, dst)
+		if !ok || truth < 0.03 {
+			continue
+		}
+		found = true
+		got, ok := m.MeasureLoss(src, dst, 2000)
+		if !ok {
+			t.Fatal("loss measurement failed")
+		}
+		if got < truth/3 || got > truth*3+0.02 {
+			t.Errorf("measured loss %v far from truth %v", got, truth)
+		}
+	}
+	if !found {
+		t.Skip("no sufficiently lossy path in this world")
+	}
+}
+
+func TestMeasureLinkLatencyUnbiased(t *testing.T) {
+	m, top := testMeter(t, 5, 0)
+	for lid := range top.Links[:50] {
+		truth := top.Links[lid].LatencyMS
+		got := m.MeasureLinkLatency(netsim.LinkID(lid))
+		if got < truth*0.97 || got > truth*1.03 {
+			t.Fatalf("link %d latency measurement %v outside 3%% of %v", lid, got, truth)
+		}
+	}
+}
+
+func TestRunCampaignShape(t *testing.T) {
+	m, top := testMeter(t, 6, 0)
+	vps := SelectVantagePoints(top, 8)
+	if len(vps) != 8 {
+		t.Fatalf("got %d VPs, want 8", len(vps))
+	}
+	targets := top.EdgePrefixes[:20]
+	c := RunCampaign(m, vps, targets)
+	if len(c.Traceroutes) != len(vps)*len(targets) {
+		t.Fatalf("got %d traceroutes, want %d", len(c.Traceroutes), len(vps)*len(targets))
+	}
+	for i, tr := range c.Traceroutes {
+		wantSrc := vps[i/len(targets)]
+		wantDst := targets[i%len(targets)]
+		if tr.Src != wantSrc || tr.Dst != wantDst {
+			t.Fatalf("traceroute %d is %v->%v, want %v->%v", i, tr.Src, tr.Dst, wantSrc, wantDst)
+		}
+	}
+}
+
+func TestSelectVantagePointsDistinctASes(t *testing.T) {
+	top := netsim.Generate(netsim.TestConfig(7))
+	vps := SelectVantagePoints(top, 10)
+	seen := map[netsim.Prefix]bool{}
+	for _, p := range vps {
+		if seen[p] {
+			t.Fatalf("duplicate vantage point %v", p)
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,175 @@
+// Package vivaldi implements the Vivaldi decentralized network coordinate
+// system of Dabek et al. [13] — the latency-only baseline iNano is compared
+// against (Figs. 6, 7, 9) — in the standard 2-dimensions-plus-height
+// configuration with adaptive timesteps. It also provides the coarse
+// geography-based replica selection used as the OASIS-like comparator in
+// the CDN experiment.
+package vivaldi
+
+import (
+	"math"
+	"math/rand"
+
+	"inano/internal/netsim"
+)
+
+// Coord is a 2D + height network coordinate.
+type Coord struct {
+	X, Y, H float64
+}
+
+// Dist returns the predicted latency between two coordinates: Euclidean
+// distance in the plane plus both heights (the access-link model).
+func (c Coord) Dist(d Coord) float64 {
+	dx, dy := c.X-d.X, c.Y-d.Y
+	// Group the heights so Dist(a,b) == Dist(b,a) bit-for-bit.
+	return math.Sqrt(dx*dx+dy*dy) + (c.H + d.H)
+}
+
+// Space holds trained coordinates for a set of hosts.
+type Space struct {
+	Coords map[netsim.Prefix]Coord
+	errs   map[netsim.Prefix]float64
+}
+
+// Params tunes the spring relaxation.
+type Params struct {
+	// Rounds of all-host updates; each host samples one neighbor per
+	// round.
+	Rounds int
+	// Ce and Cc are the standard Vivaldi constants for the adaptive
+	// timestep and error-weighted move.
+	Ce, Cc float64
+	Seed   int64
+}
+
+// DefaultParams converges well for a few hundred hosts.
+func DefaultParams(seed int64) Params {
+	return Params{Rounds: 220, Ce: 0.25, Cc: 0.25, Seed: seed}
+}
+
+// MeasureFunc returns the measured RTT between two hosts (ok=false when
+// unreachable). Training calls it for randomly sampled pairs, as real
+// Vivaldi nodes ping gossiped neighbors.
+type MeasureFunc func(a, b netsim.Prefix) (rttMS float64, ok bool)
+
+// Train runs Vivaldi over hosts using measure for RTT samples.
+func Train(hosts []netsim.Prefix, measure MeasureFunc, p Params) *Space {
+	rng := rand.New(rand.NewSource(p.Seed))
+	s := &Space{
+		Coords: make(map[netsim.Prefix]Coord, len(hosts)),
+		errs:   make(map[netsim.Prefix]float64, len(hosts)),
+	}
+	for _, h := range hosts {
+		s.Coords[h] = Coord{
+			X: rng.NormFloat64() * 0.1,
+			Y: rng.NormFloat64() * 0.1,
+			H: 1,
+		}
+		s.errs[h] = 1
+	}
+	if len(hosts) < 2 {
+		return s
+	}
+	for round := 0; round < p.Rounds; round++ {
+		for _, a := range hosts {
+			b := hosts[rng.Intn(len(hosts))]
+			if a == b {
+				continue
+			}
+			rtt, ok := measure(a, b)
+			if !ok || rtt <= 0 {
+				continue
+			}
+			s.update(a, b, rtt, p)
+		}
+	}
+	return s
+}
+
+// update applies one Vivaldi sample: node a measured rtt to node b.
+func (s *Space) update(a, b netsim.Prefix, rtt float64, p Params) {
+	ca, cb := s.Coords[a], s.Coords[b]
+	ea, eb := s.errs[a], s.errs[b]
+	dist := ca.Dist(cb)
+	// Sample weight balances local vs remote error.
+	w := ea / (ea + eb)
+	es := math.Abs(dist-rtt) / rtt
+	s.errs[a] = es*p.Ce*w + ea*(1-p.Ce*w)
+	delta := p.Cc * w * (rtt - dist)
+	// Unit vector from b toward a; random direction when coincident.
+	ux, uy := ca.X-cb.X, ca.Y-cb.Y
+	norm := math.Sqrt(ux*ux + uy*uy)
+	if norm < 1e-9 {
+		ang := float64(uint64(a)*2654435761+uint64(b)) * 1e-3
+		ux, uy, norm = math.Cos(ang), math.Sin(ang), 1
+	}
+	ca.X += delta * ux / norm
+	ca.Y += delta * uy / norm
+	ca.H += delta
+	if ca.H < 0.05 {
+		ca.H = 0.05
+	}
+	s.Coords[a] = ca
+}
+
+// Estimate predicts the RTT between two hosts; ok is false if either is
+// untrained.
+func (s *Space) Estimate(a, b netsim.Prefix) (float64, bool) {
+	ca, okA := s.Coords[a]
+	cb, okB := s.Coords[b]
+	if !okA || !okB {
+		return 0, false
+	}
+	return ca.Dist(cb), true
+}
+
+// GeoSelector is the OASIS-like comparator: it knows coarse (region-level)
+// geography for every host and picks the geographically closest replica.
+// Coordinates are rounded to a grid to model OASIS's coarse geolocation
+// database.
+type GeoSelector struct {
+	top  *netsim.Topology
+	grid float64
+}
+
+// NewGeoSelector builds a selector with the given rounding grid (in map
+// units; larger is coarser).
+func NewGeoSelector(top *netsim.Topology, grid float64) *GeoSelector {
+	if grid <= 0 {
+		grid = 400
+	}
+	return &GeoSelector{top: top, grid: grid}
+}
+
+// loc returns the rounded location of a prefix's home PoP.
+func (g *GeoSelector) loc(p netsim.Prefix) (netsim.Point, bool) {
+	home, ok := g.top.PrefixHome[p]
+	if !ok {
+		return netsim.Point{}, false
+	}
+	l := g.top.PoPs[home].Loc
+	return netsim.Point{
+		X: math.Round(l.X/g.grid) * g.grid,
+		Y: math.Round(l.Y/g.grid) * g.grid,
+	}, true
+}
+
+// Best returns the replica geographically closest to the client.
+func (g *GeoSelector) Best(client netsim.Prefix, replicas []netsim.Prefix) (netsim.Prefix, bool) {
+	cl, ok := g.loc(client)
+	if !ok || len(replicas) == 0 {
+		return 0, false
+	}
+	best, bestD := netsim.Prefix(0), math.Inf(1)
+	for _, r := range replicas {
+		rl, ok := g.loc(r)
+		if !ok {
+			continue
+		}
+		if d := cl.Dist(rl); d < bestD || (d == bestD && r < best) {
+			best, bestD = r, d
+		}
+	}
+	return best, best != 0
+}

@@ -1,0 +1,60 @@
+// Package voip scores call quality with an ITU E-model-style mean opinion
+// score (MOS), the metric the paper cites [5] for VoIP relay selection
+// (§2.1, §7.2): a function of one-way delay and packet loss.
+package voip
+
+import "math"
+
+// MOS returns the estimated mean opinion score (1..4.5) for a call with
+// the given one-way delay in milliseconds and loss rate in [0,1].
+//
+// R-factor: R = 93.2 - Id(delay) - Ie(loss) with the standard
+// approximations Id = 0.024d + 0.11(d-177.3)·H(d-177.3) and
+// Ie = 30·ln(1 + 15·loss) (G.711-like codec sensitivity).
+func MOS(oneWayDelayMS, loss float64) float64 {
+	if oneWayDelayMS < 0 {
+		oneWayDelayMS = 0
+	}
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	id := 0.024 * oneWayDelayMS
+	if oneWayDelayMS > 177.3 {
+		id += 0.11 * (oneWayDelayMS - 177.3)
+	}
+	ie := 30 * math.Log(1+15*loss)
+	r := 93.2 - id - ie
+	return mosFromR(r)
+}
+
+// mosFromR is the standard R-to-MOS mapping.
+func mosFromR(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	default:
+		m := 1 + 0.035*r + 7e-6*r*(r-60)*(100-r)
+		// The cubic dips marginally below 1 near r=0; clamp to the
+		// defined MOS range.
+		if m < 1 {
+			m = 1
+		}
+		if m > 4.5 {
+			m = 4.5
+		}
+		return m
+	}
+}
+
+// RelayScore combines the two legs of a relayed call: the delay and loss
+// compose across the source-relay and relay-destination segments.
+func RelayScore(rtt1MS, loss1, rtt2MS, loss2 float64) float64 {
+	oneWay := (rtt1MS + rtt2MS) / 2
+	loss := 1 - (1-loss1)*(1-loss2)
+	return MOS(oneWay, loss)
+}

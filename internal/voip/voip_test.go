@@ -1,0 +1,58 @@
+package voip
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMOSRange(t *testing.T) {
+	f := func(delayRaw, lossRaw uint16) bool {
+		d := float64(delayRaw) / 10
+		l := float64(lossRaw) / 65535
+		m := MOS(d, l)
+		return m >= 1 && m <= 4.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMOSMonotone(t *testing.T) {
+	prev := 5.0
+	for _, d := range []float64{0, 50, 100, 150, 200, 300, 500} {
+		m := MOS(d, 0.01)
+		if m > prev {
+			t.Fatalf("MOS increased with delay %v", d)
+		}
+		prev = m
+	}
+	prev = 5.0
+	for _, l := range []float64{0, 0.01, 0.02, 0.05, 0.1, 0.3} {
+		m := MOS(100, l)
+		if m > prev {
+			t.Fatalf("MOS increased with loss %v", l)
+		}
+		prev = m
+	}
+}
+
+func TestGoodCallScoresWell(t *testing.T) {
+	if m := MOS(30, 0); m < 4.0 {
+		t.Errorf("pristine call MOS %v, want >= 4.0", m)
+	}
+	if m := MOS(400, 0.2); m > 2.5 {
+		t.Errorf("terrible call MOS %v, want <= 2.5", m)
+	}
+}
+
+func TestRelayScoreComposesLoss(t *testing.T) {
+	direct := RelayScore(50, 0, 50, 0)
+	lossy := RelayScore(50, 0.05, 50, 0.05)
+	if lossy >= direct {
+		t.Fatalf("lossy relay (%v) not worse than clean (%v)", lossy, direct)
+	}
+	// Composition must treat the legs symmetrically.
+	if a, b := RelayScore(40, 0.01, 80, 0.03), RelayScore(80, 0.03, 40, 0.01); a != b {
+		t.Fatalf("relay score not symmetric: %v vs %v", a, b)
+	}
+}
