@@ -1,16 +1,38 @@
 package inano
 
 import (
+	"context"
 	"sort"
 
 	"inano/internal/tcpmodel"
 	"inano/internal/voip"
 )
 
+// The application helpers below are built on the batch query path: each
+// call assembles its full set of (src, dst) legs and issues one
+// QueryBatch/PredictForwardBatch, so predictions sharing a destination
+// tree are computed once and distinct trees fan across workers, instead of
+// running one Dijkstra per sequential Query.
+
+// queryAll answers one src against many dsts on a single engine snapshot.
+func (c *Client) queryAll(src Prefix, dsts []Prefix) []PathInfo {
+	pairs := make([][2]Prefix, len(dsts))
+	for i, d := range dsts {
+		pairs[i] = [2]Prefix{src, d}
+	}
+	out, err := c.engineSnapshot().QueryBatch(context.Background(), pairs)
+	if err != nil {
+		// Unreachable with a background context; keep callers total anyway.
+		return make([]PathInfo, len(dsts))
+	}
+	return out
+}
+
 // RankByRTT orders destinations by predicted round-trip latency from src,
 // cheapest first. Destinations with no prediction sort last, in input
 // order. This backs "which peers are closest" decisions (Fig. 7).
 func (c *Client) RankByRTT(src Prefix, dsts []Prefix) []Prefix {
+	infos := c.queryAll(src, dsts)
 	type scored struct {
 		p    Prefix
 		rtt  float64
@@ -19,8 +41,7 @@ func (c *Client) RankByRTT(src Prefix, dsts []Prefix) []Prefix {
 	}
 	ss := make([]scored, len(dsts))
 	for i, d := range dsts {
-		info := c.QueryPrefix(src, d)
-		ss[i] = scored{p: d, rtt: info.RTTMS, ok: info.Found, rank: i}
+		ss[i] = scored{p: d, rtt: infos[i].RTTMS, ok: infos[i].Found, rank: i}
 	}
 	sort.SliceStable(ss, func(i, j int) bool {
 		if ss[i].ok != ss[j].ok {
@@ -38,25 +59,88 @@ func (c *Client) RankByRTT(src Prefix, dsts []Prefix) []Prefix {
 	return out
 }
 
-// BestReplica picks the replica predicted to minimize the download time of
-// sizeBytes for the client at src, using predicted latency and loss with
-// the PFTK TCP model (§7.1): short transfers are latency-dominated, long
-// ones loss-sensitive. ok is false when no replica has a prediction.
-func (c *Client) BestReplica(src Prefix, replicas []Prefix, sizeBytes int) (Prefix, bool) {
+// replicaScore is one replica's predicted download time; ok is false when
+// the path has no prediction.
+type replicaScore struct {
+	p    Prefix
+	t    float64
+	ok   bool
+	rank int // input position, preserved for no-prediction ordering
+}
+
+// scoreReplicas queries every replica in one batch and returns them sorted
+// cheapest predicted download first (PFTK TCP model over predicted latency
+// and loss, §7.1: short transfers are latency-dominated, long ones
+// loss-sensitive). Replicas with no prediction sort last, in input order;
+// ties break on the lower prefix. This ordering is the single definition
+// shared by RankReplicas and BestReplica.
+func (c *Client) scoreReplicas(src Prefix, replicas []Prefix, sizeBytes int) []replicaScore {
+	infos := c.queryAll(src, replicas)
 	params := tcpmodel.DefaultParams()
-	best, bestT := Prefix(0), 0.0
-	found := false
-	for _, r := range replicas {
-		info := c.QueryPrefix(src, r)
-		if !info.Found {
+	ss := make([]replicaScore, len(replicas))
+	for i, r := range replicas {
+		s := replicaScore{p: r, ok: infos[i].Found, rank: i}
+		if s.ok {
+			s.t = tcpmodel.TransferTimeMS(sizeBytes, infos[i].RTTMS, infos[i].LossRate, params)
+		}
+		ss[i] = s
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].ok != ss[j].ok {
+			return ss[i].ok
+		}
+		if !ss[i].ok {
+			return ss[i].rank < ss[j].rank
+		}
+		if ss[i].t != ss[j].t {
+			return ss[i].t < ss[j].t
+		}
+		return ss[i].p < ss[j].p
+	})
+	return ss
+}
+
+// RankReplicas orders replicas by predicted download time of sizeBytes for
+// the client at src, cheapest first. Replicas with no prediction sort
+// last, in input order.
+func (c *Client) RankReplicas(src Prefix, replicas []Prefix, sizeBytes int) []Prefix {
+	ss := c.scoreReplicas(src, replicas, sizeBytes)
+	out := make([]Prefix, len(ss))
+	for i, s := range ss {
+		out[i] = s.p
+	}
+	return out
+}
+
+// BestReplica picks the replica predicted to minimize the download time of
+// sizeBytes for the client at src — always RankReplicas' first entry. ok
+// is false when no replica has a prediction.
+func (c *Client) BestReplica(src Prefix, replicas []Prefix, sizeBytes int) (Prefix, bool) {
+	ss := c.scoreReplicas(src, replicas, sizeBytes)
+	if len(ss) == 0 || !ss[0].ok {
+		return 0, false
+	}
+	return ss[0].p, true
+}
+
+// relayLegs predicts both legs (src->relay, relay->dst) for every usable
+// relay in one batch; the src->relay legs share src's reverse tree and
+// every relay->dst leg shares dst's forward tree. Relays equal to an
+// endpoint cannot carry the call and are filtered out before querying;
+// kept lists the relays actually scored, with legs[2*i] and legs[2*i+1]
+// holding kept[i]'s legs.
+func (c *Client) relayLegs(ctx context.Context, src, dst Prefix, relays []Prefix) (kept []Prefix, legs []PathInfo, err error) {
+	kept = make([]Prefix, 0, len(relays))
+	pairs := make([][2]Prefix, 0, 2*len(relays))
+	for _, r := range relays {
+		if r == src || r == dst {
 			continue
 		}
-		t := tcpmodel.TransferTimeMS(sizeBytes, info.RTTMS, info.LossRate, params)
-		if !found || t < bestT || (t == bestT && r < best) {
-			best, bestT, found = r, t, true
-		}
+		kept = append(kept, r)
+		pairs = append(pairs, [2]Prefix{src, r}, [2]Prefix{r, dst})
 	}
-	return best, found
+	legs, err = c.engineSnapshot().QueryBatch(ctx, pairs)
+	return kept, legs, err
 }
 
 // BestRelay picks a relay for a VoIP call from src to dst using the paper's
@@ -64,8 +148,20 @@ func (c *Client) BestReplica(src Prefix, replicas []Prefix, sizeBytes int) (Pref
 // through the relay, then among those the one minimizing end-to-end
 // latency. ok is false when no relay has predictions for both legs.
 func (c *Client) BestRelay(src, dst Prefix, relays []Prefix, k int) (Prefix, bool) {
+	pick, ok, _ := c.BestRelayContext(context.Background(), src, dst, relays, k)
+	return pick, ok
+}
+
+// BestRelayContext is BestRelay with cancellation bounding call-setup
+// latency: when ctx expires the underlying batch aborts and ctx.Err() is
+// returned.
+func (c *Client) BestRelayContext(ctx context.Context, src, dst Prefix, relays []Prefix, k int) (Prefix, bool, error) {
 	if k <= 0 {
 		k = 10
+	}
+	kept, legs, err := c.relayLegs(ctx, src, dst, relays)
+	if err != nil {
+		return 0, false, err
 	}
 	type cand struct {
 		relay Prefix
@@ -73,12 +169,8 @@ func (c *Client) BestRelay(src, dst Prefix, relays []Prefix, k int) (Prefix, boo
 		rtt   float64
 	}
 	var cands []cand
-	for _, r := range relays {
-		if r == src || r == dst {
-			continue
-		}
-		leg1 := c.QueryPrefix(src, r)
-		leg2 := c.QueryPrefix(r, dst)
+	for i, r := range kept {
+		leg1, leg2 := legs[2*i], legs[2*i+1]
 		if !leg1.Found || !leg2.Found {
 			continue
 		}
@@ -89,7 +181,7 @@ func (c *Client) BestRelay(src, dst Prefix, relays []Prefix, k int) (Prefix, boo
 		})
 	}
 	if len(cands) == 0 {
-		return 0, false
+		return 0, false, nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].loss != cands[j].loss {
@@ -106,14 +198,18 @@ func (c *Client) BestRelay(src, dst Prefix, relays []Prefix, k int) (Prefix, boo
 			best = cd
 		}
 	}
-	return best.relay, true
+	return best.relay, true, nil
 }
 
 // RelayMOS predicts the mean opinion score of a call from src to dst
 // relayed through relay.
 func (c *Client) RelayMOS(src, dst, relay Prefix) (float64, bool) {
-	leg1 := c.QueryPrefix(src, relay)
-	leg2 := c.QueryPrefix(relay, dst)
+	pairs := [][2]Prefix{{src, relay}, {relay, dst}}
+	legs, err := c.engineSnapshot().QueryBatch(context.Background(), pairs)
+	if err != nil {
+		return 0, false
+	}
+	leg1, leg2 := legs[0], legs[1]
 	if !leg1.Found || !leg2.Found {
 		return 0, false
 	}
@@ -125,7 +221,25 @@ func (c *Client) RelayMOS(src, dst, relay Prefix) (float64, bool) {
 // minimizes first the PoP clusters and then the ASes shared with the direct
 // path and with the k previously chosen detours.
 func (c *Client) RankDetours(src, dst Prefix, candidates []Prefix) []Prefix {
-	direct := c.PredictForward(src, dst)
+	// One batch predicts the direct path plus both legs of every detour:
+	// all src->X legs share src's plane, all X->dst legs share dst's tree.
+	pairs := make([][2]Prefix, 0, 2*len(candidates)+1)
+	pairs = append(pairs, [2]Prefix{src, dst})
+	kept := make([]Prefix, 0, len(candidates))
+	for _, d := range candidates {
+		if d == src || d == dst {
+			continue
+		}
+		kept = append(kept, d)
+		pairs = append(pairs, [2]Prefix{src, d}, [2]Prefix{d, dst})
+	}
+	preds, err := c.engineSnapshot().PredictBatch(context.Background(), pairs)
+	if err != nil {
+		// Unreachable with a background context; keep the helper total.
+		preds = make([]Prediction, len(pairs))
+	}
+	direct := preds[0]
+
 	usedClusters := make(map[int32]int)
 	usedASes := make(map[ASN]int)
 	markPath := func(p Prediction) {
@@ -145,14 +259,10 @@ func (c *Client) RankDetours(src, dst Prefix, candidates []Prefix) []Prefix {
 		onward Prediction // detour -> dst
 		ok     bool
 	}
-	paths := make([]detourPath, 0, len(candidates))
-	for _, d := range candidates {
-		if d == src || d == dst {
-			continue
-		}
-		via := c.PredictForward(src, d)
-		onward := c.PredictForward(d, dst)
-		paths = append(paths, detourPath{p: d, via: via, onward: onward, ok: via.Found && onward.Found})
+	paths := make([]detourPath, len(kept))
+	for i, d := range kept {
+		via, onward := preds[1+2*i], preds[2+2*i]
+		paths[i] = detourPath{p: d, via: via, onward: onward, ok: via.Found && onward.Found}
 	}
 	var out []Prefix
 	remaining := paths

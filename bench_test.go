@@ -6,7 +6,9 @@ package inano_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	inano "inano"
@@ -216,6 +218,96 @@ func BenchmarkAtlasBuild(b *testing.B) {
 		if a.NumClusters == 0 {
 			b.Fatal("empty atlas")
 		}
+	}
+}
+
+// BenchmarkQuery_Concurrent measures aggregate query throughput with one
+// goroutine per core hammering a shared client — the serving shape of a
+// relay or tracker answering many peers at once. Thanks to the sharded
+// tree cache, throughput should scale with cores instead of serializing
+// on a cache lock.
+func BenchmarkQuery_Concurrent(b *testing.B) {
+	c, l := benchClient(b)
+	// Warm the trees so the parallel section measures lookup throughput.
+	for i := 0; i < len(l.Targets); i++ {
+		c.QueryPrefix(l.VPs[i%len(l.VPs)], l.Targets[i])
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(ctr.Add(1000003)) // distinct stride per goroutine
+		for pb.Next() {
+			c.QueryPrefix(l.VPs[i%len(l.VPs)], l.Targets[i%len(l.Targets)])
+			i++
+		}
+	})
+}
+
+// sharedDstPairs builds a batch of nPairs queries spread over kDst
+// destinations — the CDN/VoIP shape where many sources rank few replicas.
+func sharedDstPairs(l *experiments.Lab, nPairs, kDst int) [][2]inano.Prefix {
+	pairs := make([][2]inano.Prefix, nPairs)
+	for i := range pairs {
+		pairs[i] = [2]inano.Prefix{l.VPs[i%len(l.VPs)], l.Targets[i%kDst]}
+	}
+	return pairs
+}
+
+// BenchmarkQueryBatch_SharedDestination answers 256 queries over 4
+// destinations with one QueryBatch per iteration, cold trees each time:
+// the batch builds each destination tree once (fanned across cores) and
+// reuses it for every source. Compare against
+// BenchmarkQueryBatch_SequentialBaseline, the same workload as N
+// sequential Query calls.
+func BenchmarkQueryBatch_SharedDestination(b *testing.B) {
+	l := benchLab()
+	pairs := sharedDstPairs(l, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := inano.FromAtlas(l.Day(0).Atlas) // fresh engine: trees are cold
+		b.StartTimer()
+		if _, err := c.QueryPrefixPairsContext(context.Background(), pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryBatch_SequentialBaseline is the loop QueryBatch replaces.
+func BenchmarkQueryBatch_SequentialBaseline(b *testing.B) {
+	l := benchLab()
+	pairs := sharedDstPairs(l, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := inano.FromAtlas(l.Day(0).Atlas)
+		b.StartTimer()
+		for _, p := range pairs {
+			c.QueryPrefix(p[0], p[1])
+		}
+	}
+}
+
+// BenchmarkQueryBatch_ManyDestinations stresses the worker-pool fan-out:
+// one source querying many distinct cold destinations, so every group is
+// an independent Dijkstra that can run on its own core.
+func BenchmarkQueryBatch_ManyDestinations(b *testing.B) {
+	l := benchLab()
+	k := len(l.Targets)
+	if k > 32 {
+		k = 32
+	}
+	dsts := make([]inano.IP, k)
+	for i := range dsts {
+		dsts[i] = l.Targets[i].HostIP()
+	}
+	src := l.VPs[0].HostIP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := inano.FromAtlas(l.Day(0).Atlas)
+		b.StartTimer()
+		c.QueryBatch(src, dsts)
 	}
 }
 

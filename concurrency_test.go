@@ -1,0 +1,151 @@
+package inano
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inano/internal/atlas"
+)
+
+// encodeDelta round-trips a delta through its codec, as a client applying
+// swarm-fetched updates would see it.
+func encodeDelta(t testing.TB, d *atlas.Delta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStressQueriesDuringDeltaChurn hammers Query, QueryBatch, and
+// QueryPairs from many goroutines while the main goroutine ping-pongs the
+// atlas between two days with ApplyDelta, rebuilding the engine each time.
+// Run under -race this is the library-level concurrency stress; it also
+// checks every answer is internally consistent regardless of which
+// snapshot served it.
+func TestStressQueriesDuringDeltaChurn(t *testing.T) {
+	f0 := buildFixture(t, 120, 0)
+	f1 := buildFixture(t, 120, 1)
+	fwd := encodeDelta(t, atlas.Diff(f0.a, f1.a))
+	back := encodeDelta(t, atlas.Diff(f1.a, f0.a))
+
+	c := FromAtlas(f0.a.Clone())
+	var stop atomic.Bool
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				src := f0.vps[(g+i)%len(f0.vps)]
+				switch g % 3 {
+				case 0:
+					dsts := make([]IP, 6)
+					for k := range dsts {
+						dsts[k] = f0.targets[(g*7+i+k)%len(f0.targets)].HostIP()
+					}
+					infos := c.QueryBatch(src.HostIP(), dsts)
+					for _, info := range infos {
+						checkConsistent(t, info)
+					}
+					queries.Add(int64(len(infos)))
+				case 1:
+					pairs := make([][2]IP, 4)
+					for k := range pairs {
+						pairs[k] = [2]IP{src.HostIP(), f0.targets[(g*11+i*3+k)%len(f0.targets)].HostIP()}
+					}
+					for _, info := range c.QueryPairs(pairs) {
+						checkConsistent(t, info)
+					}
+					queries.Add(int64(len(pairs)))
+				default:
+					checkConsistent(t, c.QueryPrefix(src, f0.targets[(g*13+i*5)%len(f0.targets)]))
+					queries.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Churn the engine: each ApplyDelta swaps in a freshly built engine
+	// while queries are in flight on the old snapshot.
+	deadline := time.Now().Add(2 * time.Second)
+	flips := 0
+	for time.Now().Before(deadline) {
+		d := fwd
+		if flips%2 == 1 {
+			d = back
+		}
+		if err := c.ApplyDelta(bytes.NewReader(d)); err != nil {
+			t.Errorf("flip %d: %v", flips, err)
+			break
+		}
+		flips++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if flips < 2 {
+		t.Fatalf("engine rebuilt only %d times", flips)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries issued during churn")
+	}
+	t.Logf("%d queries raced %d engine rebuilds", queries.Load(), flips)
+}
+
+// checkConsistent asserts the invariants any answer must satisfy no matter
+// which atlas snapshot produced it.
+func checkConsistent(t *testing.T, info PathInfo) {
+	t.Helper()
+	if !info.Found {
+		return
+	}
+	if info.RTTMS != info.Fwd.LatencyMS+info.Rev.LatencyMS {
+		t.Errorf("RTT %v != fwd %v + rev %v", info.RTTMS, info.Fwd.LatencyMS, info.Rev.LatencyMS)
+	}
+	if info.LossRate < 0 || info.LossRate > 1 {
+		t.Errorf("loss %v out of range", info.LossRate)
+	}
+}
+
+// TestClientQueryBatchMatchesSequential is the client-level parity check of
+// the acceptance criteria: QueryBatch(src, dsts) must return exactly what
+// N sequential Query calls return, in order.
+func TestClientQueryBatchMatchesSequential(t *testing.T) {
+	f := buildFixture(t, 121, 0)
+	c := FromAtlas(f.a)
+	src := f.vps[0].HostIP()
+	dsts := make([]IP, 0, 25)
+	for i := 0; i < 25; i++ {
+		dsts = append(dsts, f.targets[(i*3)%len(f.targets)].HostIP())
+	}
+	batch := c.QueryBatch(src, dsts)
+	if len(batch) != len(dsts) {
+		t.Fatalf("batch returned %d results for %d destinations", len(batch), len(dsts))
+	}
+	for i, d := range dsts {
+		single := c.Query(src, d)
+		if batch[i].Found != single.Found || batch[i].RTTMS != single.RTTMS ||
+			batch[i].LossRate != single.LossRate {
+			t.Fatalf("dst %d: batch %+v != single %+v", i, batch[i], single)
+		}
+	}
+}
+
+// TestQueryBatchContextTimeout checks a cancelled batch surfaces the
+// context error instead of partial results.
+func TestQueryBatchContextTimeout(t *testing.T) {
+	f := buildFixture(t, 122, 0)
+	c := FromAtlas(f.a)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dsts := []IP{f.targets[0].HostIP(), f.targets[1].HostIP()}
+	if _, err := c.QueryBatchContext(ctx, f.vps[0].HostIP(), dsts); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

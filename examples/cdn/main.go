@@ -2,6 +2,10 @@
 // picks the replica that minimizes predicted download time, using iNano's
 // latency and loss estimates with a TCP throughput model — and we check the
 // choice against ground truth.
+//
+// Each client scores all of its candidate replicas with one QueryBatch:
+// the engine answers the whole candidate set off shared prediction trees
+// instead of running one Dijkstra per replica.
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 				replicas = append(replicas, r)
 			}
 		}
+		// One batch query scores every replica by predicted download time
+		// over the shared prediction trees.
 		pick, ok := client.BestReplica(cl, replicas, fileSize)
 		if !ok {
 			log.Printf("client %v: no prediction for any replica", cl)

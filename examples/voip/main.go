@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	inano "inano"
 	"inano/internal/voip"
@@ -22,7 +24,14 @@ func main() {
 	relays := vps[2:]
 	fmt.Printf("call %v -> %v, %d candidate relays\n\n", src, dst, len(relays))
 
-	pick, ok := client.BestRelay(src, dst, relays, 10)
+	// Relay selection is a batch workload: both legs of every candidate go
+	// out as one QueryBatch under a deadline, bounding call-setup latency.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	pick, ok, err := client.BestRelayContext(ctx, src, dst, relays, 10)
+	if err != nil {
+		log.Fatalf("relay scoring timed out: %v", err)
+	}
 	if !ok {
 		log.Fatal("no relay predictable for both legs")
 	}

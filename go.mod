@@ -1,0 +1,3 @@
+module inano
+
+go 1.24

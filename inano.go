@@ -15,6 +15,25 @@
 //	client, err := inano.Load(atlasFile)
 //	info := client.Query(srcIP, dstIP)
 //	fmt.Println(info.RTTMS, info.LossRate, info.Fwd.ASPath)
+//
+// # Batch queries and concurrency
+//
+// QueryBatch answers "predict from me to these N candidates" — the shape
+// of CDN replica selection and relay ranking — in one call. The engine
+// groups the batch by destination prediction tree and fans tree
+// computation across up to GOMAXPROCS workers, so a batch sharing
+// destinations costs far fewer Dijkstra runs than N sequential queries;
+// results are identical to issuing the queries one at a time. The Context
+// variants (QueryBatchContext, QueryPairsContext) bound tail latency:
+// cancellation skips remaining tree builds, unblocks waits on builds owned
+// by other callers, and returns ctx.Err().
+//
+//	infos, err := client.QueryBatchContext(ctx, me, replicaIPs)
+//
+// All query methods are safe for unbounded concurrent use. Mutations
+// (ApplyDelta, AddTraceroutes) are copy-on-write: they build a new engine
+// and swap it in, so queries already in flight keep reading the old
+// snapshot and never block behind a rebuild.
 package inano
 
 import (
@@ -153,31 +172,69 @@ func (c *Client) Query(src, dst IP) PathInfo {
 
 // QueryPrefix is Query keyed by /24 prefixes.
 func (c *Client) QueryPrefix(src, dst Prefix) PathInfo {
-	c.mu.RLock()
-	e := c.engine
-	c.mu.RUnlock()
-	return e.Query(src, dst)
+	return c.engineSnapshot().Query(src, dst)
 }
 
-// QueryBatch answers many queries; per §5 the API accepts "batches of
-// arbitrary sizes". Grouping by destination reuses prediction trees.
-func (c *Client) QueryBatch(pairs [][2]IP) []PathInfo {
+// QueryBatch predicts from one source to many destinations — the common
+// "rank these candidates for me" shape. Results align with dsts and are
+// identical to calling Query(src, d) for each d; per §5 the API accepts
+// "batches of arbitrary sizes".
+func (c *Client) QueryBatch(src IP, dsts []IP) []PathInfo {
+	out, _ := c.QueryBatchContext(context.Background(), src, dsts)
+	return out
+}
+
+// QueryBatchContext is QueryBatch with cancellation: when ctx expires, the
+// remaining prediction-tree builds are abandoned and ctx.Err() returned.
+func (c *Client) QueryBatchContext(ctx context.Context, src IP, dsts []IP) ([]PathInfo, error) {
+	pairs := make([][2]Prefix, len(dsts))
+	for i, d := range dsts {
+		pairs[i] = [2]Prefix{netsim.PrefixOf(src), netsim.PrefixOf(d)}
+	}
+	return c.engineSnapshot().QueryBatch(ctx, pairs)
+}
+
+// QueryPairs answers many independent (src, dst) queries, grouping by
+// destination tree so shared destinations are computed once. Results align
+// with the input order.
+func (c *Client) QueryPairs(pairs [][2]IP) []PathInfo {
+	out, _ := c.QueryPairsContext(context.Background(), pairs)
+	return out
+}
+
+// QueryPairsContext is QueryPairs with cancellation.
+func (c *Client) QueryPairsContext(ctx context.Context, pairs [][2]IP) ([]PathInfo, error) {
 	ps := make([][2]Prefix, len(pairs))
 	for i, pr := range pairs {
 		ps[i] = [2]Prefix{netsim.PrefixOf(pr[0]), netsim.PrefixOf(pr[1])}
 	}
-	c.mu.RLock()
-	e := c.engine
-	c.mu.RUnlock()
-	return e.QueryBatch(ps)
+	return c.engineSnapshot().QueryBatch(ctx, ps)
+}
+
+// QueryPrefixPairsContext is QueryPairsContext keyed by /24 prefixes.
+func (c *Client) QueryPrefixPairsContext(ctx context.Context, pairs [][2]Prefix) ([]PathInfo, error) {
+	return c.engineSnapshot().QueryBatch(ctx, pairs)
 }
 
 // PredictForward predicts only the one-way path from src to dst.
 func (c *Client) PredictForward(src, dst Prefix) Prediction {
+	return c.engineSnapshot().PredictForward(src, dst)
+}
+
+// PredictForwardBatch predicts the one-way path for every (src, dst) pair,
+// grouped by destination tree and fanned across workers. Results align
+// with the input order.
+func (c *Client) PredictForwardBatch(ctx context.Context, pairs [][2]Prefix) ([]Prediction, error) {
+	return c.engineSnapshot().PredictBatch(ctx, pairs)
+}
+
+// engineSnapshot pins the current engine; the snapshot stays valid (over
+// its own atlas) even if a delta swaps in a new engine concurrently.
+func (c *Client) engineSnapshot() *core.Engine {
 	c.mu.RLock()
 	e := c.engine
 	c.mu.RUnlock()
-	return e.PredictForward(src, dst)
+	return e
 }
 
 func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -92,7 +92,7 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		pairs = append(pairs, [2]IP{f.vps[i%len(f.vps)].HostIP(), f.targets[(i*7)%len(f.targets)].HostIP()})
 	}
-	batch := c.QueryBatch(pairs)
+	batch := c.QueryPairs(pairs)
 	for i, pr := range pairs {
 		single := c.Query(pr[0], pr[1])
 		if batch[i].Found != single.Found || batch[i].RTTMS != single.RTTMS {

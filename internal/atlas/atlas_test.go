@@ -165,6 +165,30 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCodecRoundTripLargeASN covers ASN values above the decoder's
+// record-count sanity limit: 32-bit ASNs (RFC 6793) are legitimate values,
+// and the value reader must not confuse them with a hostile record count.
+func TestCodecRoundTripLargeASN(t *testing.T) {
+	a, _, _ := buildTestAtlas(t, 48, 0)
+	const bigASN = netsim.ASN(4_200_000_000) // 32-bit private-use range
+	var p netsim.Prefix
+	for p = range a.PrefixAS {
+		break
+	}
+	a.PrefixAS[p] = bigASN
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("atlas with 32-bit ASN failed to decode: %v", err)
+	}
+	if got.PrefixAS[p] != bigASN {
+		t.Fatalf("prefix %v AS mismatch: got %d, want %d", p, got.PrefixAS[p], bigASN)
+	}
+}
+
 func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := Decode(bytes.NewReader([]byte("not an atlas"))); err == nil {
 		t.Fatal("garbage accepted")

@@ -20,6 +20,17 @@ import (
 const (
 	atlasMagic   = "INANOATL"
 	atlasVersion = 1
+
+	// maxDecodedBytes caps how far Decode will inflate a stream. Real
+	// atlases decompress to tens of megabytes; the cap only exists so a
+	// corrupt or hostile stream (a gzip bomb) fails with an error instead
+	// of exhausting memory.
+	maxDecodedBytes = 64 << 20
+	// maxSectionRecords bounds any one section's declared record count —
+	// orders of magnitude above a real atlas (the paper's full atlas holds
+	// low millions of entries), but small enough that a lying count is
+	// rejected before the decoder does any work on it.
+	maxSectionRecords = 1 << 22
 )
 
 // Section identifiers (also the keys of SectionSizes).
@@ -84,6 +95,30 @@ type sectionReader struct {
 
 func (r *sectionReader) uvarint() (uint64, error) {
 	return binary.ReadUvarint(r.r)
+}
+
+// count reads a record count and rejects implausible values.
+func (r *sectionReader) count() (uint64, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxSectionRecords {
+		return 0, fmt.Errorf("record count %d exceeds limit %d", n, int64(maxSectionRecords))
+	}
+	return n, nil
+}
+
+// allocHint bounds slice preallocation from an untrusted record count. A
+// corrupted stream can claim billions of records; since every record costs
+// at least one stream byte, lying counts hit EOF quickly — but only if we
+// grow with append instead of allocating the claimed size up front.
+func allocHint(n uint64) int {
+	const maxHint = 1 << 16
+	if n > maxHint {
+		return maxHint
+	}
+	return int(n)
 }
 
 // quantLat converts latency milliseconds to 0.01 ms wire units.
@@ -246,7 +281,7 @@ func writeSortedSet(w *sectionWriter, m map[uint64]bool) {
 }
 
 func readSet(r *sectionReader, into map[uint64]bool) error {
-	n, err := r.uvarint()
+	n, err := r.count()
 	if err != nil {
 		return err
 	}
@@ -265,24 +300,24 @@ func readSet(r *sectionReader, into map[uint64]bool) error {
 func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 	switch sec {
 	case secClusterAS:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
-		a.ClusterAS = make([]netsim.ASN, n)
-		for i := range a.ClusterAS {
+		a.ClusterAS = make([]netsim.ASN, 0, allocHint(n))
+		for i := uint64(0); i < n; i++ {
 			v, err := r.uvarint()
 			if err != nil {
 				return err
 			}
-			a.ClusterAS[i] = netsim.ASN(v)
+			a.ClusterAS = append(a.ClusterAS, netsim.ASN(v))
 		}
 	case secLinks:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
-		a.Links = make([]Link, 0, n)
+		a.Links = make([]Link, 0, allocHint(n))
 		prevFrom := uint64(0)
 		for i := uint64(0); i < n; i++ {
 			df, err := r.uvarint()
@@ -310,7 +345,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 			})
 		}
 	case secLoss:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
@@ -328,7 +363,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 			a.Loss[prev] = unquantLoss(q)
 		}
 	case secPrefixCluster:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
@@ -346,7 +381,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 			a.PrefixCluster[netsim.Prefix(prev)] = cluster.ClusterID(uint32(c))
 		}
 	case secPrefixAS:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
@@ -364,7 +399,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 			a.PrefixAS[netsim.Prefix(prev)] = netsim.ASN(asn)
 		}
 	case secASDegree:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
@@ -386,7 +421,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 	case secPrefs:
 		return readSet(r, a.Prefs)
 	case secProviders:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
@@ -397,11 +432,11 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 				return err
 			}
 			prev += d
-			cnt, err := r.uvarint()
+			cnt, err := r.count()
 			if err != nil {
 				return err
 			}
-			ps := make([]netsim.ASN, 0, cnt)
+			ps := make([]netsim.ASN, 0, allocHint(cnt))
 			pp := uint64(0)
 			for j := uint64(0); j < cnt; j++ {
 				dp, err := r.uvarint()
@@ -414,7 +449,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 			a.Providers[netsim.ASN(prev)] = ps
 		}
 	case secRels:
-		n, err := r.uvarint()
+		n, err := r.count()
 		if err != nil {
 			return err
 		}
@@ -469,7 +504,13 @@ func Decode(r io.Reader) (*Atlas, error) {
 		return nil, fmt.Errorf("atlas: not a compressed atlas: %w", err)
 	}
 	defer gz.Close()
-	br := bufio.NewReader(gz)
+	// One byte of headroom so a stream of exactly maxDecodedBytes is not
+	// misreported as over-limit (N==0 below). Streams far past the limit
+	// usually surface earlier as truncated-section or trailing-garbage
+	// errors once the LimitedReader runs dry; the N==0 check catches the
+	// ones that end right at the boundary.
+	lr := &io.LimitedReader{R: gz, N: maxDecodedBytes + 1}
+	br := bufio.NewReader(lr)
 	magic := make([]byte, len(atlasMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("atlas: truncated header: %w", err)
@@ -515,8 +556,35 @@ func Decode(r io.Reader) (*Atlas, error) {
 	} else if n != 0 {
 		return nil, fmt.Errorf("atlas: %d bytes of trailing garbage", n)
 	}
+	if lr.N == 0 {
+		return nil, fmt.Errorf("atlas: stream exceeds %d-byte decode limit", int64(maxDecodedBytes))
+	}
+	if err := a.validate(); err != nil {
+		return nil, fmt.Errorf("atlas: %w", err)
+	}
 	a.invalidateIndex()
 	return a, nil
+}
+
+// validate rejects decoded atlases whose cross-references are inconsistent
+// — corruption the per-section decoders cannot see. Consumers (the engine,
+// Clone, Diff) index ClusterAS and Links by cluster ID, so these
+// invariants are what make a decoded atlas safe to use.
+func (a *Atlas) validate() error {
+	if a.NumClusters < 0 || a.NumClusters != len(a.ClusterAS) {
+		return fmt.Errorf("cluster count %d does not match AS table size %d", a.NumClusters, len(a.ClusterAS))
+	}
+	for i, l := range a.Links {
+		if int(l.From) >= a.NumClusters || int(l.To) >= a.NumClusters || l.From < 0 || l.To < 0 {
+			return fmt.Errorf("link %d endpoints (%d,%d) outside cluster space %d", i, l.From, l.To, a.NumClusters)
+		}
+	}
+	for p, c := range a.PrefixCluster {
+		if int(c) >= a.NumClusters || c < 0 {
+			return fmt.Errorf("prefix %v attaches to cluster %d outside cluster space %d", p, c, a.NumClusters)
+		}
+	}
+	return nil
 }
 
 // SectionSize describes one dataset's footprint (a row of Table 2).

@@ -1,0 +1,49 @@
+package atlas
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAtlasDecode feeds the atlas decoder arbitrary bytes. The decoder
+// must never panic: it either rejects the input with an error or returns
+// an atlas consistent enough to survive a re-encode/re-decode round trip.
+// The seed corpus holds real encoded atlases (the mutation starting
+// points), a valid header with garbage sections, and torn prefixes of a
+// valid encoding.
+func FuzzAtlasDecode(f *testing.F) {
+	for _, seed := range []int64{1, 2} {
+		a, _, _ := buildTestAtlas(f, seed, 0)
+		var buf bytes.Buffer
+		if err := a.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		raw := buf.Bytes()
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2]) // torn download
+		f.Add(raw[:16])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("INANOATL"))
+	f.Add([]byte("INANOATL\x01junkjunkjunk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		// Anything the decoder accepts must re-encode and decode cleanly.
+		var buf bytes.Buffer
+		if err := a.Encode(&buf); err != nil {
+			t.Fatalf("accepted atlas failed to re-encode: %v", err)
+		}
+		b, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded atlas failed to decode: %v", err)
+		}
+		if b.Day != a.Day || b.NumClusters != a.NumClusters || len(b.Links) != len(a.Links) {
+			t.Fatalf("round trip changed shape: day %d->%d, clusters %d->%d, links %d->%d",
+				a.Day, b.Day, a.NumClusters, b.NumClusters, len(a.Links), len(b.Links))
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// Batch prediction. The backtracking Dijkstra computes one tree per
+// destination that answers queries from *every* source, so a batch is
+// grouped by destination tree and fanned across a bounded worker pool:
+// each distinct destination costs one tree (built or cached), and all
+// sources sharing it are answered by cheap path extraction. This is the
+// natural shape of CDN replica selection ("rank these N replicas for me")
+// and VoIP relay ranking ("score both legs through these N relays").
+
+// batchGroup collects the batch entries that share one prediction tree.
+type batchGroup struct {
+	dstCl  cluster.ClusterID
+	origin netsim.ASN
+	idxs   []int
+}
+
+// predictInto fills out[i] for every index in g using the group's tree. On
+// cancellation it leaves the group's entries zero; the enclosing batch call
+// reports ctx.Err() for the whole batch.
+func (e *Engine) predictInto(ctx context.Context, g *batchGroup, pairs [][2]netsim.Prefix, out []Prediction) {
+	t, err := e.treeFor(ctx, g.dstCl, g.origin)
+	if err != nil {
+		return
+	}
+	for _, i := range g.idxs {
+		src, dst := pairs[i][0], pairs[i][1]
+		srcCl, ok := e.a.PrefixCluster[src]
+		if !ok {
+			continue
+		}
+		p := e.pathFrom(t, srcCl)
+		if !p.Found {
+			continue
+		}
+		p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
+		out[i] = p
+	}
+}
+
+// groupByDestination buckets pair indices by destination tree key. Pairs
+// whose destination prefix is unknown stay ungrouped and keep the zero
+// (not-found) prediction.
+func (e *Engine) groupByDestination(pairs [][2]netsim.Prefix) []*batchGroup {
+	byKey := make(map[uint64]*batchGroup)
+	order := make([]*batchGroup, 0, 8)
+	for i, pr := range pairs {
+		dstCl, ok := e.a.PrefixCluster[pr[1]]
+		if !ok {
+			continue
+		}
+		origin := e.a.PrefixAS[pr[1]]
+		k := treeKey(dstCl, origin)
+		g := byKey[k]
+		if g == nil {
+			g = &batchGroup{dstCl: dstCl, origin: origin}
+			byKey[k] = g
+			order = append(order, g)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	return order
+}
+
+// PredictBatch predicts the one-way path for every (src, dst) pair,
+// returning results aligned with the input order; each result equals the
+// corresponding PredictForward(src, dst). Distinct destinations fan across
+// up to GOMAXPROCS workers. On cancellation it returns ctx.Err() and a nil
+// slice; completed trees stay cached, so a retry resumes cheaply.
+func (e *Engine) PredictBatch(ctx context.Context, pairs [][2]netsim.Prefix) ([]Prediction, error) {
+	out := make([]Prediction, len(pairs))
+	groups := e.groupByDestination(pairs)
+	if err := e.runGroups(ctx, groups, func(g *batchGroup) {
+		e.predictInto(ctx, g, pairs, out)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QueryBatch answers a bidirectional query for every (src, dst) pair,
+// returning results aligned with the input order; each result equals the
+// corresponding Query(src, dst). Forward legs group by destination and
+// reverse legs group by source, so e.g. one source querying N destinations
+// costs N+1 trees rather than 2N Dijkstra runs.
+func (e *Engine) QueryBatch(ctx context.Context, pairs [][2]netsim.Prefix) ([]PathInfo, error) {
+	// Double the batch: even entries are forward legs, odd are reverse.
+	dbl := make([][2]netsim.Prefix, 2*len(pairs))
+	for i, pr := range pairs {
+		dbl[2*i] = pr
+		dbl[2*i+1] = [2]netsim.Prefix{pr[1], pr[0]}
+	}
+	preds, err := e.PredictBatch(ctx, dbl)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PathInfo, len(pairs))
+	for i := range out {
+		out[i] = composeQuery(preds[2*i], preds[2*i+1])
+	}
+	return out, nil
+}
+
+// composeQuery combines one-way predictions into the bidirectional answer,
+// exactly as Query does.
+func composeQuery(fwd, rev Prediction) PathInfo {
+	info := PathInfo{Fwd: fwd, Rev: rev}
+	if !fwd.Found || !rev.Found {
+		return info
+	}
+	info.Found = true
+	info.RTTMS = fwd.LatencyMS + rev.LatencyMS
+	info.LossRate = 1 - (1-fwd.LossRate)*(1-rev.LossRate)
+	return info
+}
+
+// runGroups executes work(g) for every group on a pool of up to GOMAXPROCS
+// workers, stopping early (without draining) once ctx is cancelled.
+func (e *Engine) runGroups(ctx context.Context, groups []*batchGroup, work func(*batchGroup)) error {
+	if len(groups) == 0 {
+		return ctx.Err()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		for _, g := range groups {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			work(g)
+		}
+		// ctx may have expired during the last group's work (e.g. while
+		// joining an in-flight tree build), leaving zero-value results;
+		// report it like the parallel path does.
+		return ctx.Err()
+	}
+	ch := make(chan *batchGroup)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for g := range ch {
+				if ctx.Err() != nil {
+					continue // cancelled: drain without working
+				}
+				work(g)
+			}
+		}()
+	}
+	for _, g := range groups {
+		if ctx.Err() != nil {
+			break
+		}
+		ch <- g
+	}
+	close(ch)
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+// randomPairs draws (src, dst) pairs from the world's prefixes, mixing
+// vantage points, targets, and unknown prefixes, with repeats so batches
+// exercise destination grouping.
+func randomPairs(rng *rand.Rand, w *world, n int) [][2]netsim.Prefix {
+	pool := make([]netsim.Prefix, 0, len(w.vps)+len(w.targets)+1)
+	pool = append(pool, w.vps...)
+	pool = append(pool, w.targets...)
+	pool = append(pool, netsim.Prefix(0xFFFFFF)) // never in the atlas
+	pairs := make([][2]netsim.Prefix, n)
+	for i := range pairs {
+		pairs[i] = [2]netsim.Prefix{pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]}
+	}
+	return pairs
+}
+
+// TestPredictBatchMatchesPredict is the batch-parity property: for random
+// src/dst sets, under every algorithm variant, PredictBatch must return
+// exactly what per-pair PredictForward returns, in input order.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	w := buildWorld(t, 80)
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			for trial := 0; trial < 3; trial++ {
+				e := New(w.a, opts)
+				pairs := randomPairs(rng, w, 40+trial*37)
+				batch, err := e.PredictBatch(context.Background(), pairs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(batch) != len(pairs) {
+					t.Fatalf("batch returned %d results for %d pairs", len(batch), len(pairs))
+				}
+				for i, pr := range pairs {
+					single := e.PredictForward(pr[0], pr[1])
+					if !reflect.DeepEqual(batch[i], single) {
+						t.Fatalf("pair %d (%v->%v): batch %+v != single %+v", i, pr[0], pr[1], batch[i], single)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryBatchMatchesQuery asserts bidirectional batch parity under every
+// algorithm variant, including across fresh and warm engines.
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	w := buildWorld(t, 81)
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2 * len(name))))
+			e := New(w.a, opts)
+			pairs := randomPairs(rng, w, 60)
+			batch, err := e.QueryBatch(context.Background(), pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, pr := range pairs {
+				single := e.Query(pr[0], pr[1])
+				if !reflect.DeepEqual(batch[i], single) {
+					t.Fatalf("pair %d (%v->%v): batch %+v != single %+v", i, pr[0], pr[1], batch[i], single)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryBatchEmptyAndUnknown covers degenerate batches.
+func TestQueryBatchEmptyAndUnknown(t *testing.T) {
+	w := buildWorld(t, 82)
+	e := New(w.a, INanoOptions())
+	out, err := e.QueryBatch(context.Background(), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	bogus := netsim.Prefix(0xFFFFFF)
+	out, err = e.QueryBatch(context.Background(), [][2]netsim.Prefix{{bogus, bogus}, {w.vps[0], bogus}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range out {
+		if info.Found {
+			t.Fatalf("result %d found for unknown prefix", i)
+		}
+	}
+}
+
+// TestPredictBatchCancelled checks an already-expired context aborts the
+// batch with ctx.Err() before doing work.
+func TestPredictBatchCancelled(t *testing.T) {
+	w := buildWorld(t, 83)
+	e := New(w.a, INanoOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs := randomPairs(rand.New(rand.NewSource(1)), w, 30)
+	if _, err := e.PredictBatch(ctx, pairs); err != context.Canceled {
+		t.Fatalf("PredictBatch error = %v, want context.Canceled", err)
+	}
+	if _, err := e.QueryBatch(ctx, pairs); err != context.Canceled {
+		t.Fatalf("QueryBatch error = %v, want context.Canceled", err)
+	}
+	if st := e.CacheStats(); st.Builds != 0 {
+		t.Fatalf("cancelled batch still built %d trees", st.Builds)
+	}
+}
+
+// TestQueryBatchSharesTreesAcrossPairs checks the batch costs one tree per
+// distinct endpoint, not one per leg: N pairs from one source to K
+// distinct destinations need at most K+1 Dijkstra runs.
+func TestQueryBatchSharesTreesAcrossPairs(t *testing.T) {
+	w := buildWorld(t, 84)
+	e := New(w.a, INanoOptions())
+	src := w.vps[0]
+	const k = 5
+	pairs := make([][2]netsim.Prefix, 0, 40)
+	for i := 0; i < 40; i++ {
+		pairs = append(pairs, [2]netsim.Prefix{src, w.targets[i%k]})
+	}
+	if _, err := e.QueryBatch(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.CacheStats(); st.Builds > k+1 {
+		t.Fatalf("batch of %d pairs over %d destinations built %d trees, want <= %d", len(pairs), k, st.Builds, k+1)
+	}
+}
+
+// TestConcurrentBatchAndSingleQueries races QueryBatch, Query, and
+// PredictForward over one engine; run under -race this is the engine-level
+// concurrency stress.
+func TestConcurrentBatchAndSingleQueries(t *testing.T) {
+	w := buildWorld(t, 85)
+	opts := INanoOptions()
+	opts.TreeCacheSize = 16 // small cache forces eviction churn during the race
+	opts.TreeCacheShards = 4
+	e := New(w.a, opts)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 15; i++ {
+				switch g % 3 {
+				case 0:
+					pairs := randomPairs(rng, w, 12)
+					if _, err := e.QueryBatch(context.Background(), pairs); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					e.Query(w.vps[(g+i)%len(w.vps)], w.targets[(g*13+i*7)%len(w.targets)])
+				default:
+					e.PredictForward(w.vps[(g+i)%len(w.vps)], w.targets[(g*5+i*3)%len(w.targets)])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

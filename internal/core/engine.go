@@ -52,6 +52,10 @@ type Options struct {
 	// 0 means a default of 4096 trees (a tree is a few slices over the
 	// node space, so even large caches stay in tens of megabytes).
 	TreeCacheSize int
+	// TreeCacheShards sets the tree cache's lock-shard count (rounded up
+	// to a power of two); 0 means a default of 32. More shards reduce
+	// contention between concurrent queries to distinct destinations.
+	TreeCacheShards int
 }
 
 // GraphOptions returns the configuration of the GRAPH baseline.
@@ -62,8 +66,19 @@ func INanoOptions() Options {
 	return Options{Asymmetry: true, ThreeTuple: true, Preferences: true, Providers: true}
 }
 
-// Engine answers path queries over one atlas snapshot. It is safe for
-// concurrent use.
+// Engine answers path queries over one atlas snapshot.
+//
+// Concurrency contract: all query methods (Query, QueryBatch,
+// PredictForward, PredictBatch) are safe for unbounded concurrent use. The
+// per-destination prediction tree cache is sharded by destination, so
+// concurrent queries to distinct destinations never serialize on a shared
+// lock, and concurrent queries to the same cold destination run its
+// backtracking Dijkstra exactly once (singleflight). Cancellation in the
+// batch methods skips not-yet-started tree builds and unblocks callers
+// waiting on another caller's in-flight build; a build already running
+// completes and stays cached, so a retry resumes cheaply. The engine itself is
+// immutable after New: to mutate the atlas, build a new engine and swap it
+// atomically (as inano.Client does under its RWMutex).
 type Engine struct {
 	a    *atlas.Atlas
 	opts Options
@@ -76,7 +91,7 @@ type Engine struct {
 	// direction v->w), used by the backtracking relaxation.
 	in [][]inEdge
 
-	trees *treeCache
+	trees *shardedTreeCache
 }
 
 // inEdge is one directed atlas link v->w viewed from w.
@@ -100,6 +115,9 @@ func New(a *atlas.Atlas, opts Options) *Engine {
 	}
 	if opts.TreeCacheSize <= 0 {
 		opts.TreeCacheSize = 4096
+	}
+	if opts.TreeCacheShards <= 0 {
+		opts.TreeCacheShards = 32
 	}
 	e := &Engine{a: a, opts: opts, numClusters: a.NumClusters}
 	e.planes = 1
@@ -128,9 +146,14 @@ func New(a *atlas.Atlas, opts Options) *Engine {
 			lossIdx: atlas.LinkKey(l.From, l.To),
 		})
 	}
-	e.trees = newTreeCache(opts.TreeCacheSize)
+	e.trees = newShardedTreeCache(opts.TreeCacheSize, opts.TreeCacheShards)
 	return e
 }
+
+// CacheStats reports tree cache counters (hits, misses, Dijkstra builds,
+// trees resident). Builds lag misses when singleflight coalesces
+// concurrent misses on one destination.
+func (e *Engine) CacheStats() CacheStats { return e.trees.stats() }
 
 // Atlas returns the engine's atlas snapshot.
 func (e *Engine) Atlas() *atlas.Atlas { return e.a }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sync"
+	"context"
 
 	"inano/internal/cluster"
 	"inano/internal/netsim"
@@ -34,55 +34,19 @@ type PathInfo struct {
 	LossRate float64
 }
 
-// treeCache bounds the per-destination prediction tree cache with FIFO
-// eviction; batch workloads that group queries by destination hit it almost
-// always.
-type treeCache struct {
-	mu    sync.Mutex
-	max   int
-	items map[uint64]*tree
-	order []uint64
-}
-
-func newTreeCache(max int) *treeCache {
-	return &treeCache{max: max, items: make(map[uint64]*tree)}
-}
-
 func treeKey(dst cluster.ClusterID, origin netsim.ASN) uint64 {
 	return uint64(uint32(dst))<<32 | uint64(origin)
 }
 
-func (c *treeCache) get(k uint64) *tree {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.items[k]
-}
-
-func (c *treeCache) put(k uint64, t *tree) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.items[k]; ok {
-		return
-	}
-	if len(c.order) >= c.max {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.items, oldest)
-	}
-	c.items[k] = t
-	c.order = append(c.order, k)
-}
-
 // treeFor returns (building if needed) the prediction tree for a
-// destination cluster and origin AS.
-func (e *Engine) treeFor(dst cluster.ClusterID, origin netsim.ASN) *tree {
-	k := treeKey(dst, origin)
-	if t := e.trees.get(k); t != nil {
-		return t
-	}
-	t := e.run(dst, origin)
-	e.trees.put(k, t)
-	return t
+// destination cluster and origin AS. Concurrent callers for the same cold
+// destination share one Dijkstra run (see shardedTreeCache); a caller
+// joining another caller's in-flight build stops waiting and returns
+// ctx.Err() when ctx is cancelled.
+func (e *Engine) treeFor(ctx context.Context, dst cluster.ClusterID, origin netsim.ASN) (*tree, error) {
+	return e.trees.getOrCompute(ctx, treeKey(dst, origin), func() *tree {
+		return e.run(dst, origin)
+	})
 }
 
 // PredictForward predicts the one-way path from a host in src to a host in
@@ -94,7 +58,7 @@ func (e *Engine) PredictForward(src, dst netsim.Prefix) Prediction {
 	if !okS || !okD {
 		return Prediction{}
 	}
-	t := e.treeFor(dstCl, e.a.PrefixAS[dst])
+	t, _ := e.treeFor(context.Background(), dstCl, e.a.PrefixAS[dst])
 	p := e.pathFrom(t, srcCl)
 	if !p.Found {
 		return p
@@ -184,14 +148,4 @@ func (e *Engine) Query(src, dst netsim.Prefix) PathInfo {
 	info.RTTMS = fwd.LatencyMS + rev.LatencyMS
 	info.LossRate = 1 - (1-fwd.LossRate)*(1-rev.LossRate)
 	return info
-}
-
-// QueryBatch answers many queries, grouping by destination so each
-// prediction tree is built once. Results align with the input order.
-func (e *Engine) QueryBatch(pairs [][2]netsim.Prefix) []PathInfo {
-	out := make([]PathInfo, len(pairs))
-	for i, pr := range pairs {
-		out[i] = e.Query(pr[0], pr[1])
-	}
-	return out
 }
