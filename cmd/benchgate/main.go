@@ -1,0 +1,250 @@
+// Command benchgate compares `go test -bench` output against a checked-in
+// baseline (BENCH_BASELINE.json) and fails on regressions — the CI gate
+// that keeps the batch query path fast.
+//
+// It reads benchmark output (multiple -count runs of each benchmark),
+// takes the per-benchmark median ns/op (benchstat's robust central
+// tendency), and applies two kinds of rules from the baseline:
+//
+//   - absolute: a benchmark's median may not exceed its baseline ns/op by
+//     more than max_regress (e.g. 0.20 = +20%). Because absolute timings
+//     shift with runner hardware, the baseline may name a calibration
+//     benchmark: the observed/baseline ratio of the calibration benchmark
+//     rescales every absolute threshold, cancelling machine speed.
+//   - ratio: the median of one benchmark divided by another must stay
+//     above min_ratio — machine-independent invariants like "the shared-
+//     destination batch beats the sequential baseline".
+//
+// Usage:
+//
+//	go test -run '^$' -bench B -benchtime 1x -count 6 . | tee bench.txt
+//	benchgate -baseline BENCH_BASELINE.json -in bench.txt -report report.txt
+//	benchgate -baseline BENCH_BASELINE.json -in bench.txt -update   # refresh baselines
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in gate configuration plus recorded timings.
+type Baseline struct {
+	// Note documents where the recorded numbers came from.
+	Note string `json:"note"`
+	// Calibration names a benchmark whose observed/baseline ratio rescales
+	// absolute thresholds to the current machine ("" = no rescaling). Its
+	// own entry is never gated.
+	Calibration string `json:"calibration,omitempty"`
+	// Benchmarks maps benchmark name (without -N suffix) to its gate.
+	Benchmarks map[string]*BenchGate `json:"benchmarks"`
+	// Ratios are machine-independent invariants between two benchmarks.
+	Ratios []RatioGate `json:"ratios,omitempty"`
+}
+
+// BenchGate bounds one benchmark's regression.
+type BenchGate struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// MaxRegress is the tolerated fractional slowdown (0 = default 0.20).
+	MaxRegress float64 `json:"max_regress,omitempty"`
+}
+
+// RatioGate requires median(Slow)/median(Fast) >= MinRatio.
+type RatioGate struct {
+	Name     string  `json:"name"`
+	Fast     string  `json:"fast"`
+	Slow     string  `json:"slow"`
+	MinRatio float64 `json:"min_ratio"`
+}
+
+// benchLine matches one result line, e.g.
+// "BenchmarkQueryBatch_SharedDestination-8   	     100	   1234567 ns/op	..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parseBench collects all ns/op samples per benchmark name.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	return samples, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
+	inPath := flag.String("in", "-", "benchmark output to check (- = stdin)")
+	reportPath := flag.String("report", "", "also write the report to this file")
+	update := flag.Bool("update", false, "rewrite the baseline's ns_per_op from the input instead of gating")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+
+	in := os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	if *update {
+		for name, g := range base.Benchmarks {
+			if xs, ok := samples[name]; ok {
+				g.NsPerOp = median(xs)
+			}
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline %s updated from %d benchmarks\n", *baselinePath, len(samples))
+		return
+	}
+
+	var report strings.Builder
+	failures := runGate(&base, samples, &report)
+	fmt.Print(report.String())
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(report.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gate failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates passed")
+}
+
+// runGate evaluates every gate, appends human-readable lines to report,
+// and returns the number of failures.
+func runGate(base *Baseline, samples map[string][]float64, report *strings.Builder) int {
+	failures := 0
+	failf := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(report, "FAIL "+format+"\n", args...)
+	}
+
+	// Machine-speed factor from the calibration benchmark.
+	factor := 1.0
+	if base.Calibration != "" {
+		calBase, okBase := base.Benchmarks[base.Calibration]
+		xs, okObs := samples[base.Calibration]
+		switch {
+		case !okBase || calBase.NsPerOp <= 0:
+			failf("calibration %s has no baseline ns_per_op", base.Calibration)
+		case !okObs:
+			failf("calibration %s missing from benchmark output", base.Calibration)
+		default:
+			factor = median(xs) / calBase.NsPerOp
+			// A wildly different factor means the calibration itself
+			// regressed or the runner is incomparable; clamp so absolute
+			// gates neither vanish nor become impossible.
+			const lo, hi = 0.25, 4.0
+			if factor < lo {
+				factor = lo
+			} else if factor > hi {
+				factor = hi
+			}
+			fmt.Fprintf(report, "calibration %s: machine-speed factor %.2fx\n", base.Calibration, factor)
+		}
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := base.Benchmarks[name]
+		if name == base.Calibration {
+			continue
+		}
+		xs, ok := samples[name]
+		if !ok {
+			failf("%s: missing from benchmark output", name)
+			continue
+		}
+		got := median(xs)
+		maxRegress := g.MaxRegress
+		if maxRegress <= 0 {
+			maxRegress = 0.20
+		}
+		limit := g.NsPerOp * factor * (1 + maxRegress)
+		status := "ok  "
+		if got > limit {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(report, "%s %s: %.0f ns/op (baseline %.0f, limit %.0f, n=%d)\n",
+			status, name, got, g.NsPerOp, limit, len(xs))
+	}
+
+	for _, r := range base.Ratios {
+		fast, okF := samples[r.Fast]
+		slow, okS := samples[r.Slow]
+		if !okF || !okS {
+			failf("ratio %s: missing %s or %s in benchmark output", r.Name, r.Fast, r.Slow)
+			continue
+		}
+		ratio := median(slow) / median(fast)
+		status := "ok  "
+		if ratio < r.MinRatio {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(report, "%s ratio %s: %s/%s = %.2fx (min %.2fx)\n",
+			status, r.Name, r.Slow, r.Fast, ratio, r.MinRatio)
+	}
+	return failures
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

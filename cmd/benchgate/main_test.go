@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: inano
+cpu: Some CPU @ 2.00GHz
+BenchmarkQuery_HotDestination-8     	 1000000	      1000 ns/op
+BenchmarkQuery_HotDestination-8     	 1000000	      1200 ns/op
+BenchmarkQuery_HotDestination-8     	 1000000	      1100 ns/op
+BenchmarkQueryBatch_SharedDestination-8   	     100	   2000000 ns/op	 12 B/op	 3 allocs/op
+BenchmarkQueryBatch_SharedDestination-8   	     100	   2200000 ns/op
+BenchmarkQueryBatch_SharedDestination-8   	     100	   2100000 ns/op
+BenchmarkQueryBatch_SequentialBaseline-8  	      10	  10000000 ns/op
+BenchmarkQueryBatch_SequentialBaseline-8  	      10	  11000000 ns/op
+PASS
+`
+
+func parse(t *testing.T) map[string][]float64 {
+	t.Helper()
+	samples, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestParseBench(t *testing.T) {
+	samples := parse(t)
+	if n := len(samples["BenchmarkQuery_HotDestination"]); n != 3 {
+		t.Fatalf("hot-destination samples = %d, want 3", n)
+	}
+	if got := median(samples["BenchmarkQuery_HotDestination"]); got != 1100 {
+		t.Fatalf("median = %v, want 1100", got)
+	}
+	if got := median(samples["BenchmarkQueryBatch_SequentialBaseline"]); got != 10500000 {
+		t.Fatalf("even-count median = %v, want 10500000", got)
+	}
+}
+
+func gateWith(t *testing.T, base *Baseline) (int, string) {
+	t.Helper()
+	var report strings.Builder
+	failures := runGate(base, parse(t), &report)
+	return failures, report.String()
+}
+
+func TestGatePasses(t *testing.T) {
+	failures, report := gateWith(t, &Baseline{
+		Benchmarks: map[string]*BenchGate{
+			"BenchmarkQueryBatch_SharedDestination": {NsPerOp: 2_000_000},
+		},
+		Ratios: []RatioGate{{
+			Name: "batch_speedup",
+			Fast: "BenchmarkQueryBatch_SharedDestination",
+			Slow: "BenchmarkQueryBatch_SequentialBaseline",
+			// 10.5ms / 2.1ms = 5x
+			MinRatio: 4,
+		}},
+	})
+	if failures != 0 {
+		t.Fatalf("unexpected failures:\n%s", report)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// Observed median 2.1ms vs baseline 1.5ms is a +40% regression —
+	// beyond the default 20% tolerance.
+	failures, report := gateWith(t, &Baseline{
+		Benchmarks: map[string]*BenchGate{
+			"BenchmarkQueryBatch_SharedDestination": {NsPerOp: 1_500_000},
+		},
+	})
+	if failures != 1 || !strings.Contains(report, "FAIL BenchmarkQueryBatch_SharedDestination") {
+		t.Fatalf("failures = %d, report:\n%s", failures, report)
+	}
+}
+
+func TestCalibrationRescalesThreshold(t *testing.T) {
+	// The same regression passes when the calibration benchmark shows the
+	// machine is 2x slower than the baseline runner (1100 vs 550 ns).
+	failures, report := gateWith(t, &Baseline{
+		Calibration: "BenchmarkQuery_HotDestination",
+		Benchmarks: map[string]*BenchGate{
+			"BenchmarkQuery_HotDestination":         {NsPerOp: 550},
+			"BenchmarkQueryBatch_SharedDestination": {NsPerOp: 1_500_000},
+		},
+	})
+	if failures != 0 {
+		t.Fatalf("machine-speed rescaling did not apply:\n%s", report)
+	}
+	if !strings.Contains(report, "factor 2.00x") {
+		t.Fatalf("report missing calibration factor:\n%s", report)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	failures, report := gateWith(t, &Baseline{
+		Benchmarks: map[string]*BenchGate{
+			"BenchmarkDoesNotExist": {NsPerOp: 100},
+		},
+	})
+	if failures != 1 || !strings.Contains(report, "missing from benchmark output") {
+		t.Fatalf("failures = %d, report:\n%s", failures, report)
+	}
+}
+
+func TestRatioGateFails(t *testing.T) {
+	failures, report := gateWith(t, &Baseline{
+		Ratios: []RatioGate{{
+			Name:     "batch_speedup",
+			Fast:     "BenchmarkQueryBatch_SharedDestination",
+			Slow:     "BenchmarkQueryBatch_SequentialBaseline",
+			MinRatio: 50, // 5x observed
+		}},
+	})
+	if failures != 1 || !strings.Contains(report, "FAIL ratio batch_speedup") {
+		t.Fatalf("failures = %d, report:\n%s", failures, report)
+	}
+}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	inano-eval [-scale quick|medium|eval] [-seed N] [-exp all|table2|scaling|fig4|loss|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
+//
+// With -loadgen it instead drives a running inanod daemon with serving
+// workloads (concurrent singles or streamed batches) and reports
+// client-observed latency percentiles and throughput:
+//
+//	inano-eval -loadgen http://127.0.0.1:7353 -load-atlas atlas.bin -load-n 50000 -load-conc 16
+//	inano-eval -loadgen http://127.0.0.1:7353 -load-atlas atlas.bin -load-n 200000 -load-batch 50000 -load-conc 4
 package main
 
 import (
@@ -21,7 +28,27 @@ func main() {
 	scale := flag.String("scale", "medium", "world scale: quick, medium, or eval")
 	seed := flag.Int64("seed", 42, "world seed")
 	exp := flag.String("exp", "all", "experiment to run (comma-separated), or all")
+	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running inanod (e.g. http://127.0.0.1:7353)")
+	loadAtlas := flag.String("load-atlas", "atlas.bin", "atlas file the daemon serves (source of queryable prefixes)")
+	loadN := flag.Int("load-n", 10_000, "total queries (singles) or pairs (batch) to issue")
+	loadConc := flag.Int("load-conc", 8, "concurrent workers (singles) or streams (batch)")
+	loadBatch := flag.Int("load-batch", 0, "pairs per /v1/batch stream; 0 = single-query mode")
 	flag.Parse()
+
+	if *loadgen != "" {
+		if err := runLoadgen(loadgenConfig{
+			baseURL:   *loadgen,
+			atlasPath: *loadAtlas,
+			n:         *loadN,
+			conc:      *loadConc,
+			batch:     *loadBatch,
+			seed:      *seed,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "inano-eval: loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {

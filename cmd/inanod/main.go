@@ -1,0 +1,150 @@
+// Command inanod is the iNano query daemon: it loads a compact atlas (from
+// a file or the P2P swarm), serves path-prediction queries over HTTP, keeps
+// the atlas fresh by hot-applying daily deltas, and exposes Prometheus
+// metrics — the always-on serving shape of the paper's §5 client, grown
+// into a service any peer can run.
+//
+// Endpoints: /v1/query, /v1/batch (streamed NDJSON), /v1/rank, /healthz,
+// /metrics, /debug/stats. See internal/server for the API contract.
+//
+// Usage:
+//
+//	inanod -atlas atlas.bin
+//	inanod -atlas atlas.bin -listen 127.0.0.1:7353 -deadline 2s
+//	inanod -atlas atlas.bin -watch-delta delta.bin -watch-interval 5s
+//	inanod -fetch-manifest atlas.manifest -delta-manifest delta.manifest
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM, draining in-flight
+// requests, and prints "inanod: shutdown complete" when done.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	inano "inano"
+	"inano/internal/server"
+)
+
+func main() {
+	atlasPath := flag.String("atlas", "", "atlas file produced by inano-build")
+	fetchManifest := flag.String("fetch-manifest", "", "fetch the initial atlas from the swarm via this manifest file (alternative to -atlas)")
+	listen := flag.String("listen", "127.0.0.1:7353", "HTTP listen address (port 0 picks one)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
+	window := flag.Int("window", 0, "batch stream window in pairs (0 = default)")
+	watchDelta := flag.String("watch-delta", "", "delta file to poll and hot-apply when it changes")
+	watchInterval := flag.Duration("watch-interval", 5*time.Second, "delta file poll interval")
+	deltaManifest := flag.String("delta-manifest", "", "swarm manifest file to poll for daily deltas")
+	manifestInterval := flag.Duration("manifest-interval", 30*time.Second, "delta manifest poll interval")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	client, err := loadClient(*atlasPath, *fetchManifest)
+	if err != nil {
+		fatal(err)
+	}
+	a := client.Atlas()
+	logf("inanod: atlas day %d loaded: %d clusters, %d links, %d prefixes",
+		a.Day, a.NumClusters, len(a.Links), len(a.PrefixCluster))
+
+	s := server.New(server.Config{
+		Client:          client,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		StreamWindow:    *window,
+		Logf:            logf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	// Parsed by the smoke test and ops tooling: keep this line stable.
+	fmt.Printf("inanod: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var watchers sync.WaitGroup
+	if *watchDelta != "" {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			s.WatchDeltaFile(ctx, *watchDelta, *watchInterval)
+		}()
+	}
+	if *deltaManifest != "" {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			s.WatchManifest(ctx, *deltaManifest, *manifestInterval)
+		}()
+	}
+
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	logf("inanod: signal received; draining for up to %v", *shutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		logf("inanod: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("inanod: serve: %v", err)
+	}
+	watchers.Wait()
+	fmt.Println("inanod: shutdown complete")
+}
+
+// loadClient builds the serving client from a local atlas file or, when
+// fetchManifest is set, by fetching the atlas from the swarm (§5's startup
+// path).
+func loadClient(atlasPath, fetchManifest string) (*inano.Client, error) {
+	switch {
+	case atlasPath != "" && fetchManifest != "":
+		return nil, errors.New("use either -atlas or -fetch-manifest, not both")
+	case atlasPath != "":
+		f, err := os.Open(atlasPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return inano.Load(f)
+	case fetchManifest != "":
+		addr, m, err := server.ReadManifest(fetchManifest)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		return inano.FetchAtlas(ctx, addr, m)
+	default:
+		return nil, errors.New("one of -atlas or -fetch-manifest is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inanod:", err)
+	os.Exit(1)
+}

@@ -41,6 +41,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 	"sync"
 
 	"inano/internal/atlas"
@@ -63,6 +64,8 @@ type (
 	Prediction = core.Prediction
 	// Options selects the prediction algorithm variant.
 	Options = core.Options
+	// CacheStats reports prediction-tree cache counters.
+	CacheStats = core.CacheStats
 	// Atlas is the in-memory atlas.
 	Atlas = atlas.Atlas
 	// Delta is a day-over-day atlas update.
@@ -214,6 +217,72 @@ func (c *Client) QueryPairsContext(ctx context.Context, pairs [][2]IP) ([]PathIn
 // QueryPrefixPairsContext is QueryPairsContext keyed by /24 prefixes.
 func (c *Client) QueryPrefixPairsContext(ctx context.Context, pairs [][2]Prefix) ([]PathInfo, error) {
 	return c.engineSnapshot().QueryBatch(ctx, pairs)
+}
+
+// QueryPairsStream answers an unbounded stream of (src, dst) IP pairs,
+// yielding one PathInfo per pair in input order without materializing the
+// batch: pairs are consumed in windows of `window` entries (<= 0 means
+// core.DefaultStreamWindow), so memory stays bounded for million-pair
+// streams. The whole stream reads one engine snapshot pinned at call time:
+// a delta applied mid-stream never tears an answer, and takes effect for
+// streams started afterwards.
+//
+// The iterator yields (info, nil) per pair; when ctx is cancelled it yields
+// one final (zero, ctx.Err()) and stops.
+func (c *Client) QueryPairsStream(ctx context.Context, pairs iter.Seq[[2]IP], window int) iter.Seq2[PathInfo, error] {
+	return c.QueryPrefixPairsStream(ctx, func(yield func([2]Prefix) bool) {
+		for pr := range pairs {
+			if !yield([2]Prefix{netsim.PrefixOf(pr[0]), netsim.PrefixOf(pr[1])}) {
+				return
+			}
+		}
+	}, window)
+}
+
+// QueryPrefixPairsStream is QueryPairsStream keyed by /24 prefixes.
+func (c *Client) QueryPrefixPairsStream(ctx context.Context, pairs iter.Seq[[2]Prefix], window int) iter.Seq2[PathInfo, error] {
+	return c.Snapshot().QueryStream(ctx, pairs, window)
+}
+
+// Snapshot is a pinned view of one engine + atlas version: every call on
+// it answers from the same atlas day, even while deltas or traceroute
+// merges swap new snapshots into the Client concurrently. Use it when the
+// answers and the metadata about them (Day) must be mutually consistent —
+// e.g. a serving daemon labelling each response with the day it was
+// computed from.
+type Snapshot struct {
+	e *core.Engine
+}
+
+// Snapshot pins the current engine and atlas.
+func (c *Client) Snapshot() Snapshot { return Snapshot{e: c.engineSnapshot()} }
+
+// Day returns the measurement day of the pinned atlas.
+func (s Snapshot) Day() int { return s.e.Atlas().Day }
+
+// Query answers one bidirectional query on the pinned snapshot.
+func (s Snapshot) Query(src, dst IP) PathInfo {
+	return s.e.Query(netsim.PrefixOf(src), netsim.PrefixOf(dst))
+}
+
+// QueryBatch answers many prefix pairs on the pinned snapshot (see
+// Client.QueryPrefixPairsContext).
+func (s Snapshot) QueryBatch(ctx context.Context, pairs [][2]Prefix) ([]PathInfo, error) {
+	return s.e.QueryBatch(ctx, pairs)
+}
+
+// QueryStream streams prefix-pair answers on the pinned snapshot (see
+// Client.QueryPrefixPairsStream).
+func (s Snapshot) QueryStream(ctx context.Context, pairs iter.Seq[[2]Prefix], window int) iter.Seq2[PathInfo, error] {
+	return s.e.QueryStream(ctx, pairs, window)
+}
+
+// CacheStats reports the current engine's prediction-tree cache counters
+// (hits, misses, Dijkstra builds, trees resident) — the observability hook
+// behind inanod's /metrics and /debug/stats. Counters reset when a delta
+// or traceroute merge swaps in a new engine.
+func (c *Client) CacheStats() core.CacheStats {
+	return c.engineSnapshot().CacheStats()
 }
 
 // PredictForward predicts only the one-way path from src to dst.

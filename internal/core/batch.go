@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"iter"
 	"runtime"
 	"sync"
 
@@ -121,6 +122,58 @@ func composeQuery(fwd, rev Prediction) PathInfo {
 	info.RTTMS = fwd.LatencyMS + rev.LatencyMS
 	info.LossRate = 1 - (1-fwd.LossRate)*(1-rev.LossRate)
 	return info
+}
+
+// DefaultStreamWindow is the number of pairs QueryStream buffers per fan-out
+// window when the caller passes window <= 0. 1024 pairs amortize the
+// grouping and worker fan-out while keeping per-stream memory a few tens of
+// kilobytes regardless of stream length.
+const DefaultStreamWindow = 1024
+
+// QueryStream answers an unbounded stream of (src, dst) pairs, yielding one
+// PathInfo per pair in input order. Unlike QueryBatch it never materializes
+// the whole input or output: pairs are consumed in windows of `window`
+// (<= 0 means DefaultStreamWindow), each window grouped by destination tree
+// and fanned across workers exactly like QueryBatch, so memory stays
+// O(window) for million-pair streams while shared destinations within a
+// window still cost one tree. Trees cached by earlier windows are reused by
+// later ones.
+//
+// The returned iterator yields (info, nil) per pair. When ctx is cancelled
+// it yields one final (zero, ctx.Err()) and stops; results already yielded
+// remain valid. The iterator is single-use and not safe for concurrent
+// iteration.
+func (e *Engine) QueryStream(ctx context.Context, pairs iter.Seq[[2]netsim.Prefix], window int) iter.Seq2[PathInfo, error] {
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	return func(yield func(PathInfo, error) bool) {
+		buf := make([][2]netsim.Prefix, 0, window)
+		flush := func() bool {
+			if len(buf) == 0 {
+				return true
+			}
+			out, err := e.QueryBatch(ctx, buf)
+			if err != nil {
+				yield(PathInfo{}, err)
+				return false
+			}
+			for _, info := range out {
+				if !yield(info, nil) {
+					return false
+				}
+			}
+			buf = buf[:0]
+			return true
+		}
+		for p := range pairs {
+			buf = append(buf, p)
+			if len(buf) >= window && !flush() {
+				return
+			}
+		}
+		flush()
+	}
 }
 
 // runGroups executes work(g) for every group on a pool of up to GOMAXPROCS

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+// pairSeq adapts a slice to the iterator shape QueryStream consumes.
+func pairSeq(pairs [][2]netsim.Prefix) func(func([2]netsim.Prefix) bool) {
+	return func(yield func([2]netsim.Prefix) bool) {
+		for _, p := range pairs {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// TestQueryStreamMatchesQueryBatch is the streaming parity property: over
+// random pair streams and windows smaller than the stream, QueryStream must
+// yield exactly QueryBatch's results, in order.
+func TestQueryStreamMatchesQueryBatch(t *testing.T) {
+	w := buildWorld(t, 83)
+	e := New(w.a, INanoOptions())
+	rng := rand.New(rand.NewSource(83))
+	for _, window := range []int{1, 7, 64, 0} { // 0 = DefaultStreamWindow
+		pairs := randomPairs(rng, w, 150)
+		want, err := e.QueryBatch(context.Background(), pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for info, err := range e.QueryStream(context.Background(), pairSeq(pairs), window) {
+			if err != nil {
+				t.Fatalf("window %d: unexpected stream error at %d: %v", window, i, err)
+			}
+			if !reflect.DeepEqual(info, want[i]) {
+				t.Fatalf("window %d, pair %d: stream %+v != batch %+v", window, i, info, want[i])
+			}
+			i++
+		}
+		if i != len(pairs) {
+			t.Fatalf("window %d: stream yielded %d results, want %d", window, i, len(pairs))
+		}
+	}
+}
+
+// TestQueryStreamCancelMidStream feeds an endless pair stream and cancels
+// after a few windows: the iterator must yield ctx.Err() once and stop, and
+// must stop consuming the input.
+func TestQueryStreamCancelMidStream(t *testing.T) {
+	w := buildWorld(t, 84)
+	e := New(w.a, INanoOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	consumed := 0
+	endless := func(yield func([2]netsim.Prefix) bool) {
+		for i := 0; ; i++ {
+			consumed++
+			src := w.vps[i%len(w.vps)]
+			dst := w.targets[i%len(w.targets)]
+			if !yield([2]netsim.Prefix{src, dst}) {
+				return
+			}
+		}
+	}
+
+	const window = 8
+	got, errs := 0, 0
+	var streamErr error
+	for info, err := range e.QueryStream(ctx, endless, window) {
+		if err != nil {
+			errs++
+			streamErr = err
+			continue // iterator must stop on its own after the error
+		}
+		_ = info
+		got++
+		if got == 3*window {
+			cancel()
+		}
+	}
+	if errs != 1 || streamErr != context.Canceled {
+		t.Fatalf("stream yielded %d errors (last %v), want exactly one context.Canceled", errs, streamErr)
+	}
+	// Cancellation lands at a window boundary: everything yielded before the
+	// error came from complete windows.
+	if got%window != 0 || got < 3*window {
+		t.Fatalf("yielded %d results before cancel, want a multiple of %d >= %d", got, window, 3*window)
+	}
+	if consumed > got+window+1 {
+		t.Fatalf("input consumed %d pairs after only %d results, want consumption to stop with the stream", consumed, got)
+	}
+}
+
+// TestQueryStreamConsumerBreak stops iterating mid-stream; the input
+// sequence must stop being pulled (no goroutine leak, no panic).
+func TestQueryStreamConsumerBreak(t *testing.T) {
+	w := buildWorld(t, 85)
+	e := New(w.a, INanoOptions())
+	rng := rand.New(rand.NewSource(85))
+	pairs := randomPairs(rng, w, 100)
+	got := 0
+	for _, err := range e.QueryStream(context.Background(), pairSeq(pairs), 10) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+		if got == 15 {
+			break
+		}
+	}
+	if got != 15 {
+		t.Fatalf("consumed %d results, want 15", got)
+	}
+}
+
+// TestQueryStreamReusesTreesAcrossWindows checks the cache carries trees
+// from one window to the next: a stream of N windows all hitting the same
+// destination costs one forward-tree build, not one per window.
+func TestQueryStreamReusesTreesAcrossWindows(t *testing.T) {
+	w := buildWorld(t, 86)
+	e := New(w.a, INanoOptions())
+	dst := w.targets[0]
+	pairs := make([][2]netsim.Prefix, 64)
+	for i := range pairs {
+		pairs[i] = [2]netsim.Prefix{w.vps[i%len(w.vps)], dst}
+	}
+	for _, err := range e.QueryStream(context.Background(), pairSeq(pairs), 8) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At most one tree per distinct destination cluster + one reverse tree
+	// per distinct source — never one per window.
+	distinctSrcs := make(map[netsim.Prefix]bool)
+	for _, p := range pairs {
+		distinctSrcs[p[0]] = true
+	}
+	st := e.CacheStats()
+	if max := uint64(1 + len(distinctSrcs)); st.Builds > max {
+		t.Fatalf("builds = %d over 8 windows, want <= %d (trees reused across windows)", st.Builds, max)
+	}
+	// A second identical stream is fully warm: zero new builds.
+	for _, err := range e.QueryStream(context.Background(), pairSeq(pairs), 8) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st2 := e.CacheStats(); st2.Builds != st.Builds {
+		t.Fatalf("second pass built %d new trees, want 0", st2.Builds-st.Builds)
+	}
+}

@@ -1,0 +1,283 @@
+// Package metrics is a small dependency-free instrumentation registry for
+// the query daemon: counters, gauges, and fixed-bucket histograms with
+// lock-free hot paths, exposed in the Prometheus text format. It implements
+// just the subset inanod needs — constant label sets chosen at registration
+// time, cumulative histograms with approximate quantiles for human-readable
+// stats — so the serving path carries no external client library.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets, Prometheus
+// style: bucket i counts observations <= Bounds[i], with an implicit +Inf
+// bucket at the end. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// DefLatencyBuckets spans 100µs..10s, the range of interest for query and
+// batch request latencies (seconds).
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket that holds it; observations beyond the last bound
+// report the last bound. With no observations it returns 0. The estimate's
+// resolution is the bucket width — good enough for dashboards, not billing.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	lo := 0.0
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			if c == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// atomicFloat is a float64 added to with CAS.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// series is one registered metric instance: a family name plus an optional
+// constant label set, e.g. name="http_requests_total", labels=`handler="query"`.
+type series struct {
+	labels string
+	value  func() float64 // scalar metrics
+	hist   *Histogram     // histogram metrics (value == nil)
+}
+
+// family groups the series sharing one metric name (one HELP/TYPE block).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	series []*series
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// expected at startup; it is safe for concurrent use with rendering.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ, labels string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, s := range f.series {
+		if s.labels == labels {
+			panic(fmt.Sprintf("metrics: duplicate series %s{%s}", name, labels))
+		}
+	}
+	s := &series{labels: labels}
+	f.series = append(f.series, s)
+	return s
+}
+
+// NewCounter registers a counter. labels is a raw constant label list like
+// `handler="query"`, or "" for none.
+func (r *Registry) NewCounter(name, help, labels string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels).value = func() float64 { return float64(c.Value()) }
+	return c
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help, labels string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels).value = func() float64 { return float64(g.Value()) }
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is sampled at render time —
+// the shape for values owned elsewhere (cache stats, atlas day).
+func (r *Registry) NewGaugeFunc(name, help, labels string, fn func() float64) {
+	r.register(name, help, "gauge", labels).value = fn
+}
+
+// NewHistogram registers a histogram over the given ascending upper bounds
+// (nil means DefLatencyBuckets).
+func (r *Registry) NewHistogram(name, help, labels string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds not ascending")
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(name, help, "histogram", labels).hist = h
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			if s.hist != nil {
+				err = writeHistogram(w, f.name, s.labels, s.hist)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), formatValue(s.value()))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := formatValue(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="`+le+`"`)), cum); err != nil {
+			return err
+		}
+	}
+	// The +Inf bucket equals _count by definition; read count last so the
+	// rendered buckets never exceed it under concurrent Observes.
+	total := cum + h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="+Inf"`)), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), total)
+	return err
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatValue renders floats the way Prometheus expects: integers without a
+// decimal point, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

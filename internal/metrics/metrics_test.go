@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	cq := r.NewCounter("http_requests_total", "Total HTTP requests.", `handler="query"`)
+	cb := r.NewCounter("http_requests_total", "Total HTTP requests.", `handler="batch"`)
+	g := r.NewGauge("inflight_requests", "Requests currently being served.", "")
+	r.NewGaugeFunc("atlas_day", "Measurement day of the serving atlas.", "", func() float64 { return 7 })
+
+	cq.Inc()
+	cq.Add(2)
+	cb.Inc()
+	g.Set(5)
+	g.Dec()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP http_requests_total Total HTTP requests.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{handler="query"} 3`,
+		`http_requests_total{handler="batch"} 1`,
+		"# TYPE inflight_requests gauge",
+		"inflight_requests 4",
+		"atlas_day 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE block per family, even with two series.
+	if n := strings.Count(out, "# TYPE http_requests_total counter"); n != 1 {
+		t.Errorf("family header written %d times, want 1", n)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Request latency.", "", []float64{0.01, 0.1, 1})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.005) // -> le=0.01
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05) // -> le=0.1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // -> +Inf
+	}
+
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	wantSum := 50*0.005 + 40*0.05 + 10*5.0
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 50`,
+		`latency_seconds_bucket{le="0.1"} 90`,
+		`latency_seconds_bucket{le="1"} 90`,
+		`latency_seconds_bucket{le="+Inf"} 100`,
+		"latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The median falls in the first bucket, p90 at the 0.1 boundary, p99
+	// beyond the last bound (clamped to it).
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Errorf("p50 = %v, want in (0, 0.01]", q)
+	}
+	if q := h.Quantile(0.9); math.Abs(q-0.1) > 1e-9 {
+		t.Errorf("p90 = %v, want 0.1", q)
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Errorf("p99 = %v, want clamped to 1", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("empty_seconds", "Empty histogram.", "", nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "h", "", nil)
+	c := r.NewCounter("c", "c", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%100) / 1000)
+				c.Inc()
+			}
+		}(g)
+	}
+	// Render concurrently with observation to exercise the lock-free reads.
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter = %d, histogram count = %d, want 8000", c.Value(), h.Count())
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "d", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	r.NewCounter("dup", "d", "")
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"time"
+
+	inano "inano"
+)
+
+// Hot reload: the daemon keeps its atlas current while serving. Both
+// watchers poll cheaply (one stat per interval) and apply updates through
+// inano.Client's copy-on-write swap, so queries and batch streams in
+// flight keep reading their pinned snapshot — a reload never tears an
+// answer, it only makes later requests see the new day.
+
+// ApplyDeltaFile applies one encoded delta file immediately, updating the
+// reload metrics. A delta whose FromDay doesn't match the serving atlas is
+// rejected by the client and counted as a reload error.
+func (s *Server) ApplyDeltaFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		s.reloadErrors.Inc()
+		return err
+	}
+	defer f.Close()
+	if err := s.c.ApplyDelta(f); err != nil {
+		s.reloadErrors.Inc()
+		return err
+	}
+	s.noteReload()
+	s.cfg.Logf("inanod: applied delta %s; serving day %d", path, s.c.Day())
+	return nil
+}
+
+func (s *Server) noteReload() {
+	s.reloads.Inc()
+	s.lastReload.Set(time.Now().Unix())
+}
+
+// fileStamp identifies a file version cheaply.
+type fileStamp struct {
+	mod  time.Time
+	size int64
+}
+
+func stampOf(path string) (fileStamp, bool) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileStamp{}, false
+	}
+	return fileStamp{mod: fi.ModTime(), size: fi.Size()}, true
+}
+
+// WatchDeltaFile polls path every interval and applies the delta whenever
+// the file appears or changes. It blocks until ctx is done; run it in a
+// goroutine alongside the HTTP server. A file present at start is applied
+// immediately. Failed applies are logged and counted, never fatal: the
+// daemon keeps serving its current snapshot.
+func (s *Server) WatchDeltaFile(ctx context.Context, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	var last fileStamp
+	var seen bool
+	check := func() {
+		st, ok := stampOf(path)
+		if !ok || (seen && st == last) {
+			return
+		}
+		last, seen = st, true
+		if err := s.ApplyDeltaFile(path); err != nil {
+			s.cfg.Logf("inanod: delta %s not applied: %v", path, err)
+		}
+	}
+	check()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			check()
+		}
+	}
+}
+
+// ReadManifest decodes a manifest file as written by inano-seed: a gob
+// stream of the tracker address followed by the swarm manifest. Shared by
+// the daemon's initial -fetch-manifest load and the delta watcher below.
+func ReadManifest(path string) (addr string, m inano.Manifest, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", m, err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	if err := dec.Decode(&addr); err != nil {
+		return "", m, fmt.Errorf("manifest %s: tracker address: %w", path, err)
+	}
+	if err := dec.Decode(&m); err != nil {
+		return "", m, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	return addr, m, nil
+}
+
+// WatchManifest polls a swarm manifest file (as written by inano-seed for a
+// delta) and, whenever the manifest changes, fetches the delta from the
+// swarm and applies it — the tracker-polling reload path of §5: each day
+// the build server seeds a new delta and publishes its manifest; every
+// serving peer picks it up from the swarm, not from the server. It blocks
+// until ctx is done.
+func (s *Server) WatchManifest(ctx context.Context, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	var last fileStamp
+	var seen bool
+	check := func() {
+		st, ok := stampOf(path)
+		if !ok || (seen && st == last) {
+			return
+		}
+		last, seen = st, true
+		addr, m, err := ReadManifest(path)
+		if err != nil {
+			s.reloadErrors.Inc()
+			s.cfg.Logf("inanod: %v", err)
+			return
+		}
+		fctx, cancel := context.WithTimeout(ctx, interval)
+		defer cancel()
+		if err := s.c.FetchDelta(fctx, addr, m); err != nil {
+			s.reloadErrors.Inc()
+			s.cfg.Logf("inanod: swarm delta %s not applied: %v", m.Name, err)
+			return
+		}
+		s.noteReload()
+		s.cfg.Logf("inanod: fetched+applied swarm delta %s; serving day %d", m.Name, s.c.Day())
+	}
+	check()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			check()
+		}
+	}
+}

@@ -1,0 +1,608 @@
+// Package server implements inanod's HTTP/JSON query API: the always-on
+// serving surface over an inano.Client. One daemon answers single queries
+// (/v1/query), streamed NDJSON batches with per-request deadlines
+// (/v1/batch), candidate ranking (/v1/rank), and exposes liveness
+// (/healthz), Prometheus metrics (/metrics), and human-readable internals
+// (/debug/stats).
+//
+// Serving properties:
+//
+//   - Batches stream: request pairs are consumed and response lines written
+//     in bounded windows, so a million-pair batch never buffers in memory
+//     on either side. Each stream reads one atlas snapshot pinned at
+//     request start — a hot reload mid-stream never tears an answer.
+//   - Concurrent single queries to the same cold destination coalesce into
+//     one prediction-tree build via the engine's singleflight cache.
+//   - Hot reload (WatchDeltaFile / WatchManifest) applies daily deltas
+//     copy-on-write: in-flight requests keep their snapshot, new requests
+//     see the new day.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	inano "inano"
+	"inano/internal/core"
+	"inano/internal/metrics"
+	"inano/internal/netsim"
+	"inano/internal/tcpmodel"
+)
+
+// maxStreamWindow caps the client-controlled /v1/batch window: 64k pairs
+// of ring + result buffers is a few megabytes, large enough to amortize
+// any fan-out and small enough that a hostile request cannot OOM the
+// daemon.
+const maxStreamWindow = 1 << 16
+
+// Config configures a Server.
+type Config struct {
+	// Client answers the queries. Required.
+	Client *inano.Client
+	// DefaultDeadline bounds requests that don't set deadline_ms (0 = none).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines (0 = uncapped).
+	MaxDeadline time.Duration
+	// StreamWindow is the pairs-per-flush window of /v1/batch
+	// (0 = core.DefaultStreamWindow). Smaller windows lower first-result
+	// latency; larger ones amortize fan-out.
+	StreamWindow int
+	// MaxBatchLineBytes caps one NDJSON request line (0 = 64KiB).
+	MaxBatchLineBytes int
+	// Logf logs serving events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon's HTTP surface. Create with New, mount Handler.
+type Server struct {
+	c       *inano.Client
+	cfg     Config
+	reg     *metrics.Registry
+	started time.Time
+
+	inflight     *metrics.Gauge
+	pairsTotal   *metrics.Counter
+	reloads      *metrics.Counter
+	reloadErrors *metrics.Counter
+	lastReload   *metrics.Gauge
+
+	handlers map[string]*handlerMetrics
+}
+
+// handlerMetrics instruments one endpoint.
+type handlerMetrics struct {
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// New builds a server over cfg.Client and registers its metrics.
+func New(cfg Config) *Server {
+	if cfg.Client == nil {
+		panic("server: Config.Client is required")
+	}
+	if cfg.MaxBatchLineBytes <= 0 {
+		cfg.MaxBatchLineBytes = 64 << 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		c:        cfg.Client,
+		cfg:      cfg,
+		reg:      metrics.NewRegistry(),
+		started:  time.Now(),
+		handlers: make(map[string]*handlerMetrics),
+	}
+	s.inflight = s.reg.NewGauge("inanod_http_inflight",
+		"Requests currently being served.", "")
+	for _, h := range []string{"query", "batch", "rank", "healthz", "metrics", "stats"} {
+		labels := `handler="` + h + `"`
+		s.handlers[h] = &handlerMetrics{
+			requests: s.reg.NewCounter("inanod_http_requests_total",
+				"HTTP requests served, by endpoint.", labels),
+			errors: s.reg.NewCounter("inanod_http_errors_total",
+				"HTTP requests that failed, by endpoint.", labels),
+			latency: s.reg.NewHistogram("inanod_http_request_seconds",
+				"Request latency, by endpoint.", labels, nil),
+		}
+	}
+	s.pairsTotal = s.reg.NewCounter("inanod_batch_pairs_streamed_total",
+		"Batch pairs answered over /v1/batch.", "")
+	s.reloads = s.reg.NewCounter("inanod_atlas_reloads_total",
+		"Atlas deltas hot-applied.", "")
+	s.reloadErrors = s.reg.NewCounter("inanod_atlas_reload_errors_total",
+		"Failed atlas reload attempts.", "")
+	s.lastReload = s.reg.NewGauge("inanod_atlas_last_reload_timestamp_seconds",
+		"Unix time of the last successful reload (0 = never).", "")
+
+	// Engine-owned values are sampled at scrape time. The tree cache resets
+	// when a reload swaps the engine, so these are gauges, not counters.
+	s.reg.NewGaugeFunc("inanod_tree_cache_hits", "Tree cache hits (resets on reload).", "",
+		func() float64 { return float64(s.c.CacheStats().Hits) })
+	s.reg.NewGaugeFunc("inanod_tree_cache_misses", "Tree cache misses (resets on reload).", "",
+		func() float64 { return float64(s.c.CacheStats().Misses) })
+	s.reg.NewGaugeFunc("inanod_tree_cache_builds", "Dijkstra tree builds (resets on reload).", "",
+		func() float64 { return float64(s.c.CacheStats().Builds) })
+	s.reg.NewGaugeFunc("inanod_tree_cache_resident", "Prediction trees currently cached.", "",
+		func() float64 { return float64(s.c.CacheStats().Len) })
+	s.reg.NewGaugeFunc("inanod_tree_cache_hit_ratio", "Hits / lookups of the tree cache.", "",
+		func() float64 {
+			st := s.c.CacheStats()
+			if st.Hits+st.Misses == 0 {
+				return 0
+			}
+			return float64(st.Hits) / float64(st.Hits+st.Misses)
+		})
+	s.reg.NewGaugeFunc("inanod_atlas_day", "Measurement day of the serving atlas.", "",
+		func() float64 { return float64(s.c.Day()) })
+	return s
+}
+
+// Registry exposes the server's metrics registry (for extra app metrics).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the daemon's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("/v1/rank", s.instrument("rank", s.handleRank))
+	return mux
+}
+
+// instrument wraps a handler with in-flight, request-count, error-count,
+// and latency instrumentation. The accounting is deferred so a panicking
+// handler (net/http recovers it and keeps serving) still decrements the
+// in-flight gauge and is counted as an error instead of silently skewing
+// the metrics.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	hm := s.handlers[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Inc()
+		hm.requests.Inc()
+		start := time.Now()
+		var err error
+		panicked := true
+		defer func() {
+			hm.latency.Observe(time.Since(start).Seconds())
+			s.inflight.Dec()
+			if panicked {
+				hm.errors.Inc()
+				s.cfg.Logf("inanod: %s: handler panicked", name)
+			} else if err != nil {
+				hm.errors.Inc()
+				s.cfg.Logf("inanod: %s: %v", name, err)
+			}
+		}()
+		err = h(w, r)
+		panicked = false
+	}
+}
+
+// requestContext derives the per-request deadline: deadline_ms from the
+// query string, else the server default, capped by MaxDeadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad deadline_ms %q", raw)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if s.cfg.MaxDeadline > 0 && (d == 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// httpError writes a JSON error body and reports the error for counting.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	return errors.New(msg)
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- wire types ---
+
+// pairRequest is one NDJSON line of a /v1/batch request.
+type pairRequest struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// queryResult is the answer for one (src, dst) pair, shared by /v1/query
+// and /v1/batch lines. FwdMS+RevMS always sum to RTTMS — a cheap
+// client-side integrity check that an answer was not torn.
+type queryResult struct {
+	Src      string       `json:"src"`
+	Dst      string       `json:"dst"`
+	Found    bool         `json:"found"`
+	RTTMS    float64      `json:"rtt_ms,omitempty"`
+	LossRate float64      `json:"loss_rate,omitempty"`
+	FwdMS    float64      `json:"fwd_ms,omitempty"`
+	RevMS    float64      `json:"rev_ms,omitempty"`
+	FwdAS    []netsim.ASN `json:"fwd_as_path,omitempty"`
+	RevAS    []netsim.ASN `json:"rev_as_path,omitempty"`
+	Day      int          `json:"day"`
+	Error    string       `json:"error,omitempty"`
+}
+
+func resultFor(src, dst string, day int, info inano.PathInfo, withPaths bool) queryResult {
+	res := queryResult{Src: src, Dst: dst, Found: info.Found, Day: day}
+	if !info.Found {
+		return res
+	}
+	res.RTTMS = info.RTTMS
+	res.LossRate = info.LossRate
+	res.FwdMS = info.Fwd.LatencyMS
+	res.RevMS = info.Rev.LatencyMS
+	if withPaths {
+		res.FwdAS = info.Fwd.ASPath
+		res.RevAS = info.Rev.ASPath
+	}
+	return res
+}
+
+// parseIP parses a dotted-quad IPv4 address.
+func parseIP(s string) (inano.IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return inano.IP(ip), nil
+}
+
+// --- endpoints ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, map[string]any{
+		"status":   "ok",
+		"day":      s.c.Day(),
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return s.reg.WritePrometheus(w)
+}
+
+// handleQuery answers one (src, dst) query. GET with ?src=&dst= or POST
+// with a {"src","dst"} body; ?deadline_ms= bounds it. Concurrent queries to
+// one cold destination share a single tree build (engine singleflight).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req pairRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Src, req.Dst = r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+	default:
+		return httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+	src, err := parseIP(req.Src)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "src: %v", err)
+	}
+	dst, err := parseIP(req.Dst)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "dst: %v", err)
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "%v", err)
+	}
+	defer cancel()
+	// One pinned snapshot answers and labels the result, so the reported
+	// day always matches the atlas that produced the numbers.
+	snap := s.c.Snapshot()
+	infos, err := snap.QueryBatch(ctx, [][2]inano.Prefix{{netsim.PrefixOf(src), netsim.PrefixOf(dst)}})
+	if err != nil {
+		return httpError(w, http.StatusGatewayTimeout, "query aborted: %v", err)
+	}
+	return writeJSON(w, resultFor(req.Src, req.Dst, snap.Day(), infos[0], true))
+}
+
+// handleBatch streams answers for an NDJSON stream of {"src","dst"} pairs.
+// The response is NDJSON too, one result line per request line, in request
+// order, flushed every window so results reach the client while the request
+// body is still being produced. Memory on the server is O(window)
+// regardless of batch size. The whole stream reads one atlas snapshot.
+//
+// A malformed line or an expired deadline terminates the stream with a
+// final {"error": ...} line; clients must treat a line bearing "error" as
+// the (failed) end of the stream.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return httpError(w, http.StatusMethodNotAllowed, "use POST")
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "%v", err)
+	}
+	defer cancel()
+	window := s.cfg.StreamWindow
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return httpError(w, http.StatusBadRequest, "bad window %q", raw)
+		}
+		window = n
+	}
+	if window <= 0 {
+		window = core.DefaultStreamWindow
+	}
+	// The window sizes per-request allocations; clamp it so one cheap
+	// request cannot ask the daemon for gigabytes of buffer.
+	if window > maxStreamWindow {
+		window = maxStreamWindow
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Full duplex lets us keep reading request pairs after response lines
+	// start flowing; without it the HTTP/1 server drains the request body
+	// before the first response flush, deadlocking an interleaved producer.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		return httpError(w, http.StatusInternalServerError, "streaming unsupported: %v", err)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flush := func() {
+		bw.Flush()
+		_ = rc.Flush()
+	}
+
+	// The input sequence decodes request lines on demand; a parse error
+	// stops the sequence and is reported after the stream drains.
+	scanner := bufio.NewScanner(r.Body)
+	scanner.Buffer(make([]byte, 0, 4096), s.cfg.MaxBatchLineBytes)
+	var inputErr error
+	lineNo := 0
+	// echoes holds the source strings for pairs in flight, ring-indexed by
+	// pair number; the stream yields results in input order, at most
+	// window+1 windows behind, so 4*window slots are plenty.
+	type echo struct{ src, dst string }
+	ringSize := 4 * window
+	echoes := make([]echo, ringSize)
+	produced := 0
+	pairs := func(yield func([2]inano.IP) bool) {
+		for scanner.Scan() {
+			lineNo++
+			line := strings.TrimSpace(scanner.Text())
+			if line == "" {
+				continue
+			}
+			var req pairRequest
+			if err := json.Unmarshal([]byte(line), &req); err != nil {
+				inputErr = fmt.Errorf("line %d: bad pair: %v", lineNo, err)
+				return
+			}
+			src, err := parseIP(req.Src)
+			if err != nil {
+				inputErr = fmt.Errorf("line %d: src: %v", lineNo, err)
+				return
+			}
+			dst, err := parseIP(req.Dst)
+			if err != nil {
+				inputErr = fmt.Errorf("line %d: dst: %v", lineNo, err)
+				return
+			}
+			echoes[produced%ringSize] = echo{req.Src, req.Dst}
+			produced++
+			if !yield([2]inano.IP{src, dst}) {
+				return
+			}
+		}
+		if err := scanner.Err(); err != nil && inputErr == nil {
+			inputErr = fmt.Errorf("reading batch body: %w", err)
+		}
+	}
+
+	// One pinned snapshot serves the whole stream and labels every line.
+	snap := s.c.Snapshot()
+	day := snap.Day()
+	prefixPairs := func(yield func([2]inano.Prefix) bool) {
+		for pr := range pairs {
+			if !yield([2]inano.Prefix{netsim.PrefixOf(pr[0]), netsim.PrefixOf(pr[1])}) {
+				return
+			}
+		}
+	}
+	answered := 0
+	var streamErr error
+	for info, err := range snap.QueryStream(ctx, prefixPairs, window) {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		e := echoes[answered%ringSize]
+		if encErr := enc.Encode(resultFor(e.src, e.dst, day, info, false)); encErr != nil {
+			// Client went away; nothing else to write.
+			s.pairsTotal.Add(uint64(answered))
+			return fmt.Errorf("writing batch response: %w", encErr)
+		}
+		answered++
+		if answered%window == 0 {
+			flush()
+		}
+	}
+	s.pairsTotal.Add(uint64(answered))
+	switch {
+	case streamErr != nil:
+		_ = enc.Encode(queryResult{Error: fmt.Sprintf("batch aborted after %d results: %v", answered, streamErr)})
+	case inputErr != nil:
+		_ = enc.Encode(queryResult{Error: inputErr.Error()})
+	}
+	flush()
+	if streamErr != nil {
+		return streamErr
+	}
+	return inputErr
+}
+
+// rankRequest asks to order candidate IPs for a source. With SizeBytes > 0
+// candidates are ranked by predicted TCP transfer time of that many bytes
+// (the CDN shape, §7.1); otherwise by predicted RTT.
+type rankRequest struct {
+	Src        string   `json:"src"`
+	Candidates []string `json:"candidates"`
+	SizeBytes  int      `json:"size_bytes"`
+}
+
+type rankedCandidate struct {
+	IP         string  `json:"ip"`
+	Found      bool    `json:"found"`
+	RTTMS      float64 `json:"rtt_ms,omitempty"`
+	LossRate   float64 `json:"loss_rate,omitempty"`
+	TransferMS float64 `json:"transfer_ms,omitempty"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return httpError(w, http.StatusMethodNotAllowed, "use POST")
+	}
+	var req rankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	src, err := parseIP(req.Src)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "src: %v", err)
+	}
+	if len(req.Candidates) == 0 {
+		return httpError(w, http.StatusBadRequest, "no candidates")
+	}
+	dsts := make([]inano.IP, len(req.Candidates))
+	for i, c := range req.Candidates {
+		if dsts[i], err = parseIP(c); err != nil {
+			return httpError(w, http.StatusBadRequest, "candidate %d: %v", i, err)
+		}
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "%v", err)
+	}
+	defer cancel()
+	snap := s.c.Snapshot()
+	pairs := make([][2]inano.Prefix, len(dsts))
+	for i, d := range dsts {
+		pairs[i] = [2]inano.Prefix{netsim.PrefixOf(src), netsim.PrefixOf(d)}
+	}
+	infos, err := snap.QueryBatch(ctx, pairs)
+	if err != nil {
+		return httpError(w, http.StatusGatewayTimeout, "rank aborted: %v", err)
+	}
+	params := tcpmodel.DefaultParams()
+	ranked := make([]rankedCandidate, len(infos))
+	for i, info := range infos {
+		rc := rankedCandidate{IP: req.Candidates[i], Found: info.Found}
+		if info.Found {
+			rc.RTTMS = info.RTTMS
+			rc.LossRate = info.LossRate
+			if req.SizeBytes > 0 {
+				rc.TransferMS = tcpmodel.TransferTimeMS(req.SizeBytes, info.RTTMS, info.LossRate, params)
+			}
+		}
+		ranked[i] = rc
+	}
+	// Predictable candidates first, cheapest first; the unpredictable keep
+	// input order at the tail (the ordering contract of RankByRTT/
+	// RankReplicas).
+	key := func(rc rankedCandidate) float64 {
+		if req.SizeBytes > 0 {
+			return rc.TransferMS
+		}
+		return rc.RTTMS
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Found != ranked[j].Found {
+			return ranked[i].Found
+		}
+		if !ranked[i].Found {
+			return false
+		}
+		return key(ranked[i]) < key(ranked[j])
+	})
+	return writeJSON(w, map[string]any{"src": req.Src, "day": snap.Day(), "ranked": ranked})
+}
+
+// handleStats renders a human-oriented JSON snapshot of the daemon's
+// internals; /metrics is the machine-oriented view of the same state.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	st := s.c.CacheStats()
+	a := s.c.Atlas()
+	hitRatio := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	perHandler := make(map[string]any, len(s.handlers))
+	for name, hm := range s.handlers {
+		perHandler[name] = map[string]any{
+			"requests": hm.requests.Value(),
+			"errors":   hm.errors.Value(),
+			"p50_ms":   hm.latency.Quantile(0.50) * 1000,
+			"p90_ms":   hm.latency.Quantile(0.90) * 1000,
+			"p99_ms":   hm.latency.Quantile(0.99) * 1000,
+		}
+	}
+	return writeJSON(w, map[string]any{
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+		"atlas": map[string]any{
+			"day":      a.Day,
+			"clusters": a.NumClusters,
+			"links":    len(a.Links),
+			"prefixes": len(a.PrefixCluster),
+		},
+		"tree_cache": map[string]any{
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"builds":    st.Builds,
+			"resident":  st.Len,
+			"hit_ratio": hitRatio,
+		},
+		"reloads": map[string]any{
+			"applied":     s.reloads.Value(),
+			"errors":      s.reloadErrors.Value(),
+			"last_unix_s": s.lastReload.Value(),
+		},
+		"inflight":             s.inflight.Value(),
+		"batch_pairs_streamed": s.pairsTotal.Value(),
+		"http":                 perHandler,
+	})
+}

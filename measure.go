@@ -33,6 +33,25 @@ type LocalTraceroute struct {
 // plane tags, attachment entries) and rebuilds the prediction engine when
 // anything changed.
 func (c *Client) AddTraceroutes(trs []LocalTraceroute) int {
+	// A traceroute can only contribute through hops that answered: links
+	// need two resolvable hops, attachment entries one. A batch whose hops
+	// are all unresponsive (zero IP) is a no-op — skip the atlas clone and
+	// engine rebuild entirely.
+	responsive := false
+	for i := range trs {
+		for _, h := range trs[i].Hops {
+			if h.IP != 0 {
+				responsive = true
+				break
+			}
+		}
+		if responsive {
+			break
+		}
+	}
+	if !responsive {
+		return 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Copy-on-write: queries in flight keep the old snapshot.

@@ -1,0 +1,38 @@
+package inano
+
+import "testing"
+
+// TestAddTraceroutesAllUnresponsiveIsNoOp is the regression test for the
+// no-op path: a batch of traceroutes whose hops are all unresponsive (zero
+// IPs) must merge nothing — and must not clone the atlas or rebuild the
+// engine, so a daemon feeding failed measurements through this path never
+// invalidates the warm tree cache.
+func TestAddTraceroutesAllUnresponsiveIsNoOp(t *testing.T) {
+	f := buildFixture(t, 130, 0)
+	c := FromAtlas(f.a)
+	atlasBefore, engineBefore := c.atlas, c.engine
+	clustersBefore := c.atlas.NumClusters
+
+	trs := []LocalTraceroute{
+		{Src: f.vps[0], Dst: f.targets[0], Hops: []TracerouteHop{{IP: 0}, {IP: 0}, {IP: 0}}},
+		{Src: f.vps[1], Dst: f.targets[1], Hops: []TracerouteHop{{IP: 0}}},
+		{Src: f.vps[2], Dst: f.targets[2]}, // no hops at all
+	}
+	if added := c.AddTraceroutes(trs); added != 0 {
+		t.Fatalf("AddTraceroutes merged %d changes from all-unresponsive traceroutes, want 0", added)
+	}
+	if c.atlas != atlasBefore {
+		t.Fatal("atlas was cloned for a no-op merge")
+	}
+	if c.engine != engineBefore {
+		t.Fatal("engine was rebuilt for a no-op merge")
+	}
+	if c.atlas.NumClusters != clustersBefore {
+		t.Fatalf("cluster count changed %d -> %d on a no-op merge", clustersBefore, c.atlas.NumClusters)
+	}
+
+	// Empty input is equally a no-op.
+	if added := c.AddTraceroutes(nil); added != 0 || c.engine != engineBefore {
+		t.Fatal("nil traceroute batch must not touch the engine")
+	}
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Smoke test for the inanod daemon: build it, serve a sim-generated atlas,
+# exercise /healthz, a single /v1/query, and a streamed /v1/batch, then
+# assert clean graceful shutdown on SIGTERM. Run from the repo root; used
+# by CI's smoke job and runnable locally.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/" ./cmd/inanod ./cmd/inano-build ./cmd/inano-query
+
+echo "== generating atlas"
+"$workdir/inano-build" -scale tiny -o "$workdir/atlas.bin" >/dev/null
+
+# Two known-good IPs: take the first two prefixes the atlas can answer for.
+mapfile -t prefixes < <("$workdir/inano-query" -atlas "$workdir/atlas.bin" -list \
+  | sed -n 's#^\([0-9.]*\)\.0/24 .*#\1.1#p' | head -2)
+src="${prefixes[0]}"
+dst="${prefixes[1]}"
+echo "== querying $src -> $dst"
+
+echo "== starting inanod"
+"$workdir/inanod" -atlas "$workdir/atlas.bin" -listen 127.0.0.1:0 \
+  >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 50); do
+  base="$(sed -n 's#^inanod: listening on \(http://[0-9.:]*\)$#\1#p' "$workdir/daemon.log" | head -1)"
+  [[ -n "$base" ]] && break
+  kill -0 "$daemon_pid" || { echo "FAIL: daemon died at startup"; cat "$workdir/daemon.log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$base" ]] || { echo "FAIL: daemon never reported its address"; cat "$workdir/daemon.log"; exit 1; }
+echo "   daemon at $base"
+
+echo "== /healthz"
+health="$(curl -fsS "$base/healthz")"
+echo "   $health"
+grep -q '"status":"ok"' <<<"$health" || { echo "FAIL: unhealthy"; exit 1; }
+
+echo "== /v1/query"
+answer="$(curl -fsS "$base/v1/query?src=$src&dst=$dst")"
+echo "   $answer"
+grep -q '"src":' <<<"$answer" || { echo "FAIL: no query answer"; exit 1; }
+
+echo "== /v1/batch (streamed, 500 pairs)"
+n_pairs=500
+batch_out="$workdir/batch.ndjson"
+for i in $(seq 1 "$n_pairs"); do printf '{"src":"%s","dst":"%s"}\n' "$src" "$dst"; done \
+  | curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' \
+      "$base/v1/batch?window=64" > "$batch_out"
+lines=$(wc -l < "$batch_out")
+[[ "$lines" -eq "$n_pairs" ]] || { echo "FAIL: $lines response lines, want $n_pairs"; exit 1; }
+if grep -q '"error"' "$batch_out"; then echo "FAIL: error line in batch stream"; head "$batch_out"; exit 1; fi
+echo "   $lines results streamed"
+
+echo "== /metrics"
+curl -fsS "$base/metrics" | grep -q '^inanod_batch_pairs_streamed_total 500$' \
+  || { echo "FAIL: streamed-pairs metric missing"; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+shutdown_rc=0
+wait "$daemon_pid" || shutdown_rc=$?
+daemon_pid=""
+[[ "$shutdown_rc" -eq 0 ]] || { echo "FAIL: daemon exited $shutdown_rc"; cat "$workdir/daemon.log"; exit 1; }
+grep -q '^inanod: shutdown complete$' "$workdir/daemon.log" \
+  || { echo "FAIL: no clean shutdown marker"; cat "$workdir/daemon.log"; exit 1; }
+
+echo "PASS: inanod smoke"
