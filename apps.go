@@ -156,17 +156,41 @@ func (c *Client) BestRelay(src, dst Prefix, relays []Prefix, k int) (Prefix, boo
 // latency: when ctx expires the underlying batch aborts and ctx.Err() is
 // returned.
 func (c *Client) BestRelayContext(ctx context.Context, src, dst Prefix, relays []Prefix, k int) (Prefix, bool, error) {
+	choice, ok, err := c.BestRelayInfo(ctx, src, dst, relays, k)
+	return choice.Relay, ok, err
+}
+
+// RelayChoice is the outcome of relay selection: the chosen relay plus
+// its predicted end-to-end performance through both legs — what a serving
+// daemon reports back to the caller placing the call.
+type RelayChoice struct {
+	Relay Prefix
+	// RTTMS is the predicted end-to-end round-trip latency through the
+	// relay (both legs).
+	RTTMS float64
+	// LossRate is the predicted end-to-end loss rate through the relay.
+	LossRate float64
+	// MOS is the predicted mean opinion score of a call through the relay.
+	MOS float64
+}
+
+// BestRelayInfo picks a relay with the paper's §7.2 strategy (top-k by
+// predicted loss, then minimum latency among those) and returns the
+// choice annotated with its predicted end-to-end performance. ok is false
+// when no relay has predictions for both legs.
+func (c *Client) BestRelayInfo(ctx context.Context, src, dst Prefix, relays []Prefix, k int) (RelayChoice, bool, error) {
 	if k <= 0 {
 		k = 10
 	}
 	kept, legs, err := c.relayLegs(ctx, src, dst, relays)
 	if err != nil {
-		return 0, false, err
+		return RelayChoice{}, false, err
 	}
 	type cand struct {
-		relay Prefix
-		loss  float64
-		rtt   float64
+		relay      Prefix
+		loss       float64
+		rtt        float64
+		leg1, leg2 PathInfo
 	}
 	var cands []cand
 	for i, r := range kept {
@@ -178,10 +202,12 @@ func (c *Client) BestRelayContext(ctx context.Context, src, dst Prefix, relays [
 			relay: r,
 			loss:  1 - (1-leg1.LossRate)*(1-leg2.LossRate),
 			rtt:   leg1.RTTMS + leg2.RTTMS,
+			leg1:  leg1,
+			leg2:  leg2,
 		})
 	}
 	if len(cands) == 0 {
-		return 0, false, nil
+		return RelayChoice{}, false, nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].loss != cands[j].loss {
@@ -198,7 +224,12 @@ func (c *Client) BestRelayContext(ctx context.Context, src, dst Prefix, relays [
 			best = cd
 		}
 	}
-	return best.relay, true, nil
+	return RelayChoice{
+		Relay:    best.relay,
+		RTTMS:    best.rtt,
+		LossRate: best.loss,
+		MOS:      voip.RelayScore(best.leg1.RTTMS, best.leg1.LossRate, best.leg2.RTTMS, best.leg2.LossRate),
+	}, true, nil
 }
 
 // RelayMOS predicts the mean opinion score of a call from src to dst

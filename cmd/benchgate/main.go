@@ -62,28 +62,41 @@ type RatioGate struct {
 	Fast     string  `json:"fast"`
 	Slow     string  `json:"slow"`
 	MinRatio float64 `json:"min_ratio"`
+	// MinProcs skips the gate (with a note) when the benchmarks ran with
+	// fewer procs — for ratios that only hold given parallelism, like
+	// "the fanned-out batch beats the sequential baseline", which is
+	// pure noise on a 1-core dev container.
+	MinProcs int `json:"min_procs,omitempty"`
 }
 
 // benchLine matches one result line, e.g.
 // "BenchmarkQueryBatch_SharedDestination-8   	     100	   1234567 ns/op	..."
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// The -N suffix is the GOMAXPROCS the benchmark ran with.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op`)
 
-// parseBench collects all ns/op samples per benchmark name.
-func parseBench(r io.Reader) (map[string][]float64, error) {
+// parseBench collects all ns/op samples per benchmark name, plus the
+// GOMAXPROCS the benchmarks ran with (0 if absent).
+func parseBench(r io.Reader) (map[string][]float64, int, error) {
 	samples := make(map[string][]float64)
+	procs := 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil && p > procs {
+				procs = p
+			}
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+			return nil, 0, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
 		}
 		samples[m[1]] = append(samples[m[1]], ns)
 	}
-	return samples, sc.Err()
+	return samples, procs, sc.Err()
 }
 
 func median(xs []float64) float64 {
@@ -121,7 +134,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	samples, err := parseBench(in)
+	samples, procs, err := parseBench(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -147,7 +160,7 @@ func main() {
 	}
 
 	var report strings.Builder
-	failures := runGate(&base, samples, &report)
+	failures := runGate(&base, samples, procs, &report)
 	fmt.Print(report.String())
 	if *reportPath != "" {
 		if err := os.WriteFile(*reportPath, []byte(report.String()), 0o644); err != nil {
@@ -162,8 +175,10 @@ func main() {
 }
 
 // runGate evaluates every gate, appends human-readable lines to report,
-// and returns the number of failures.
-func runGate(base *Baseline, samples map[string][]float64, report *strings.Builder) int {
+// and returns the number of failures. procs is the GOMAXPROCS the
+// benchmarks ran with (0 = unknown); ratio gates with min_procs skip on
+// lesser machines.
+func runGate(base *Baseline, samples map[string][]float64, procs int, report *strings.Builder) int {
 	failures := 0
 	failf := func(format string, args ...any) {
 		failures++
@@ -226,6 +241,16 @@ func runGate(base *Baseline, samples map[string][]float64, report *strings.Build
 	}
 
 	for _, r := range base.Ratios {
+		if r.MinProcs > 0 && procs < r.MinProcs {
+			// Benchmark names carry a -N suffix only when GOMAXPROCS > 1.
+			ranWith := procs
+			if ranWith == 0 {
+				ranWith = 1
+			}
+			fmt.Fprintf(report, "skip ratio %s: needs >=%d procs, benchmarks ran with %d\n",
+				r.Name, r.MinProcs, ranWith)
+			continue
+		}
 		fast, okF := samples[r.Fast]
 		slow, okS := samples[r.Slow]
 		if !okF || !okS {

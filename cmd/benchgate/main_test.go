@@ -20,17 +20,17 @@ BenchmarkQueryBatch_SequentialBaseline-8  	      10	  11000000 ns/op
 PASS
 `
 
-func parse(t *testing.T) map[string][]float64 {
+func parse(t *testing.T) (map[string][]float64, int) {
 	t.Helper()
-	samples, err := parseBench(strings.NewReader(sampleOutput))
+	samples, procs, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return samples
+	return samples, procs
 }
 
 func TestParseBench(t *testing.T) {
-	samples := parse(t)
+	samples, procs := parse(t)
 	if n := len(samples["BenchmarkQuery_HotDestination"]); n != 3 {
 		t.Fatalf("hot-destination samples = %d, want 3", n)
 	}
@@ -40,12 +40,16 @@ func TestParseBench(t *testing.T) {
 	if got := median(samples["BenchmarkQueryBatch_SequentialBaseline"]); got != 10500000 {
 		t.Fatalf("even-count median = %v, want 10500000", got)
 	}
+	if procs != 8 {
+		t.Fatalf("procs = %d, want 8 (from the -8 suffix)", procs)
+	}
 }
 
 func gateWith(t *testing.T, base *Baseline) (int, string) {
 	t.Helper()
+	samples, procs := parse(t)
 	var report strings.Builder
-	failures := runGate(base, parse(t), &report)
+	failures := runGate(base, samples, procs, &report)
 	return failures, report.String()
 }
 
@@ -119,6 +123,23 @@ func TestRatioGateFails(t *testing.T) {
 		}},
 	})
 	if failures != 1 || !strings.Contains(report, "FAIL ratio batch_speedup") {
+		t.Fatalf("failures = %d, report:\n%s", failures, report)
+	}
+}
+
+func TestRatioGateSkippedBelowMinProcs(t *testing.T) {
+	// A parallelism-dependent ratio must not fail on a machine with fewer
+	// procs than it needs — the speedup physically cannot exist there.
+	failures, report := gateWith(t, &Baseline{
+		Ratios: []RatioGate{{
+			Name:     "batch_speedup",
+			Fast:     "BenchmarkQueryBatch_SharedDestination",
+			Slow:     "BenchmarkQueryBatch_SequentialBaseline",
+			MinRatio: 50,
+			MinProcs: 16, // sample output ran with -8
+		}},
+	})
+	if failures != 0 || !strings.Contains(report, "skip ratio batch_speedup") {
 		t.Fatalf("failures = %d, report:\n%s", failures, report)
 	}
 }

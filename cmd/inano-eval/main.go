@@ -28,6 +28,9 @@ func main() {
 	scale := flag.String("scale", "medium", "world scale: quick, medium, or eval")
 	seed := flag.Int64("seed", 42, "world seed")
 	exp := flag.String("exp", "all", "experiment to run (comma-separated), or all")
+	feedbackMode := flag.Bool("feedback", false, "run the measurement-feedback-loop experiment (error before/after corrective probes)")
+	fbBudget := flag.Int("feedback-budget", 8, "corrective probes per round in -feedback mode")
+	fbRounds := flag.Int("feedback-rounds", 4, "corrective rounds in -feedback mode")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running inanod (e.g. http://127.0.0.1:7353)")
 	loadAtlas := flag.String("load-atlas", "atlas.bin", "atlas file the daemon serves (source of queryable prefixes)")
 	loadN := flag.Int("load-n", 10_000, "total queries (singles) or pairs (batch) to issue")
@@ -61,6 +64,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "inano-eval: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *feedbackMode {
+		fmt.Printf("# iPlane Nano feedback loop — scale=%s seed=%d\n", *scale, *seed)
+		lab := experiments.NewLab(cfg)
+		fmt.Printf("world: %s\n\n", lab.W.Top.Stats())
+		res := experiments.FeedbackLoop(lab, *fbBudget, *fbRounds)
+		fmt.Print(res.Render())
+		if res.ErrAfter >= res.ErrBefore {
+			fmt.Fprintln(os.Stderr, "inano-eval: feedback loop did not reduce mean prediction error")
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}

@@ -4,8 +4,10 @@
 // metrics — the always-on serving shape of the paper's §5 client, grown
 // into a service any peer can run.
 //
-// Endpoints: /v1/query, /v1/batch (streamed NDJSON), /v1/rank, /healthz,
-// /metrics, /debug/stats. See internal/server for the API contract.
+// Endpoints: /v1/query, /v1/batch (streamed NDJSON), /v1/rank,
+// /v1/feedback (observation reports), /v1/relay (relay selection),
+// /healthz, /metrics, /debug/stats. See internal/server for the API
+// contract.
 //
 // Usage:
 //
@@ -13,6 +15,15 @@
 //	inanod -atlas atlas.bin -listen 127.0.0.1:7353 -deadline 2s
 //	inanod -atlas atlas.bin -watch-delta delta.bin -watch-interval 5s
 //	inanod -fetch-manifest atlas.manifest -delta-manifest delta.manifest
+//	inanod -atlas atlas.bin -probe-sim tiny:42 -correct-interval 30s -correct-budget 8
+//
+// With -probe-sim the daemon closes the measurement feedback loop:
+// observations POSTed to /v1/feedback are aggregated per destination, and
+// a background corrector spends -correct-budget traceroutes per
+// -correct-interval on the worst mispredictions, probing the named
+// synthetic world (scale:seed must match the served atlas's inano-build
+// invocation). Real deployments plug a real traceroute prober in via
+// server.RunCorrector.
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM, draining in-flight
 // requests, and prints "inanod: shutdown complete" when done.
@@ -27,12 +38,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	inano "inano"
+	"inano/internal/feedback"
 	"inano/internal/server"
+	"inano/internal/trace"
+	"inano/sim"
 )
 
 func main() {
@@ -47,6 +63,12 @@ func main() {
 	deltaManifest := flag.String("delta-manifest", "", "swarm manifest file to poll for daily deltas")
 	manifestInterval := flag.Duration("manifest-interval", 30*time.Second, "delta manifest poll interval")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests on shutdown")
+	feedbackRate := flag.Float64("feedback-rate", 0, "per-source /v1/feedback observations per second (0 = default 64, negative = unlimited)")
+	feedbackBurst := flag.Int("feedback-burst", 0, "per-source /v1/feedback burst (0 = default 256)")
+	probeSim := flag.String("probe-sim", "", "enable the corrective prober against a synthetic world, as scale:seed (e.g. tiny:42; must match the atlas build)")
+	correctInterval := flag.Duration("correct-interval", time.Minute, "corrective round interval")
+	correctBudget := flag.Int("correct-budget", 8, "corrective traceroutes per round")
+	correctMinError := flag.Float64("correct-min-error", 0.10, "EWMA error below which a destination is never probed")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -66,6 +88,8 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		StreamWindow:    *window,
+		FeedbackRate:    *feedbackRate,
+		FeedbackBurst:   *feedbackBurst,
 		Logf:            logf,
 	})
 
@@ -92,6 +116,21 @@ func main() {
 		go func() {
 			defer watchers.Done()
 			s.WatchManifest(ctx, *deltaManifest, *manifestInterval)
+		}()
+	}
+	if *probeSim != "" {
+		prober, err := simProber(*probeSim, client.Day)
+		if err != nil {
+			fatal(err)
+		}
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			s.RunCorrector(ctx, prober, feedback.Config{
+				Budget:   *correctBudget,
+				Interval: *correctInterval,
+				MinError: *correctMinError,
+			})
 		}()
 	}
 
@@ -142,6 +181,39 @@ func loadClient(atlasPath, fetchManifest string) (*inano.Client, error) {
 	default:
 		return nil, errors.New("one of -atlas or -fetch-manifest is required")
 	}
+}
+
+// simProber rebuilds the synthetic world named by spec ("scale:seed") and
+// returns a prober measuring it on the serving atlas's *current* day —
+// looked up per probe, so a hot delta reload that advances the serving
+// day moves the probes to the new day's ground truth with it. The spec
+// must match the inano-build invocation that produced the atlas, or the
+// probes will observe a different Internet.
+func simProber(spec string, day func() int) (feedback.Prober, error) {
+	scaleName, seedStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -probe-sim %q: want scale:seed", spec)
+	}
+	var scale sim.Scale
+	switch scaleName {
+	case "tiny":
+		scale = sim.Tiny
+	case "medium":
+		scale = sim.Medium
+	case "eval":
+		scale = sim.Eval
+	default:
+		return nil, fmt.Errorf("bad -probe-sim scale %q", scaleName)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -probe-sim seed %q: %v", seedStr, err)
+	}
+	w := sim.NewWorld(scale, seed)
+	return feedback.ProberFunc(func(ctx context.Context, src, dst inano.Prefix) (feedback.Traceroute, error) {
+		m := trace.NewMeter(w.Sim.Day(day()), trace.DefaultOptions())
+		return feedback.SimProber{Meter: m}.Probe(ctx, src, dst)
+	}), nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,95 @@
+package inano
+
+import (
+	"context"
+	"time"
+
+	"inano/internal/feedback"
+	"inano/internal/netsim"
+)
+
+// Measurement feedback loop (§4.3.1, §5): the client compares what it
+// predicted against what applications actually observed, aggregates the
+// error per destination cluster, and spends a small budget of corrective
+// traceroutes on the worst-mispredicted destinations. See
+// internal/feedback for the aggregation and scheduling machinery.
+
+// Re-exported feedback types, so applications need no internal imports.
+type (
+	// FeedbackSample is the outcome of recording one observation.
+	FeedbackSample = feedback.Sample
+	// FeedbackStats summarizes the client's error tracker.
+	FeedbackStats = feedback.Stats
+	// CorrectorConfig tunes the corrective scheduler.
+	CorrectorConfig = feedback.Config
+	// CorrectorRound reports one corrective round.
+	CorrectorRound = feedback.Round
+	// Prober issues one corrective traceroute.
+	Prober = feedback.Prober
+)
+
+// ObserveRTT reports an application-observed round-trip time for traffic
+// from src to dst and returns how it compares with the current
+// prediction. The error is attributed to dst's attachment cluster in the
+// client's error tracker, feeding the corrective scheduler; observations
+// for destinations unknown to the atlas are scored (Predicted=false,
+// Err=1) but untracked, since a corrective traceroute could not patch
+// them anyway.
+func (c *Client) ObserveRTT(src, dst IP, observedMS float64) FeedbackSample {
+	s, _ := c.ObserveRTTContext(context.Background(), src, dst, observedMS)
+	return s
+}
+
+// ObserveRTTContext is ObserveRTT with cancellation: scoring an
+// observation may build prediction trees for a cold destination, and ctx
+// bounds that work (a serving daemon must not burn unbounded CPU on a
+// hostile report naming thousands of cold destinations). On cancellation
+// the observation is dropped and ctx.Err() returned.
+func (c *Client) ObserveRTTContext(ctx context.Context, src, dst IP, observedMS float64) (FeedbackSample, error) {
+	e := c.engineSnapshot()
+	sp, dp := netsim.PrefixOf(src), netsim.PrefixOf(dst)
+	infos, err := e.QueryBatch(ctx, [][2]Prefix{{sp, dp}})
+	if err != nil {
+		return FeedbackSample{}, err
+	}
+	info := infos[0]
+	cl, ok := e.AttachmentCluster(dp)
+	cluster := int32(-1)
+	if ok {
+		cluster = int32(cl)
+	}
+	return c.tracker.Record(cluster, sp, dp, info.RTTMS, observedMS, info.Found, time.Now()), nil
+}
+
+// FeedbackTracker exposes the client's error tracker (for serving-side
+// scheduling and introspection).
+func (c *Client) FeedbackTracker() *feedback.Tracker { return c.tracker }
+
+// FeedbackStats summarizes the client's tracked prediction error.
+func (c *Client) FeedbackStats() FeedbackStats { return c.tracker.Stats() }
+
+// NewCorrector wires a corrective scheduler over this client: worst
+// tracked destinations -> prober traceroutes -> AddTraceroutes (atlas
+// patched copy-on-write, so queries in flight are never torn). Drive it
+// with RunOnce for one round or Run for the background loop:
+//
+//	cor := client.NewCorrector(prober, inano.CorrectorConfig{Budget: 8})
+//	go cor.Run(ctx, nil)
+func (c *Client) NewCorrector(p Prober, cfg CorrectorConfig) *feedback.Corrector {
+	if cfg.Predict == nil {
+		cfg.Predict = func(src, dst Prefix) (float64, bool) {
+			info := c.QueryPrefix(src, dst)
+			return info.RTTMS, info.Found
+		}
+	}
+	return feedback.NewCorrector(c.tracker, p, func(trs []feedback.Traceroute) int {
+		return c.AddTraceroutes(trs)
+	}, cfg)
+}
+
+// CorrectOnce runs a single corrective round with the given prober and
+// configuration — the one-shot shape of the loop for callers that manage
+// their own cadence.
+func (c *Client) CorrectOnce(ctx context.Context, p Prober, cfg CorrectorConfig) CorrectorRound {
+	return c.NewCorrector(p, cfg).RunOnce(ctx)
+}

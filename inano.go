@@ -46,6 +46,7 @@ import (
 
 	"inano/internal/atlas"
 	"inano/internal/core"
+	"inano/internal/feedback"
 	"inano/internal/netsim"
 	"inano/internal/swarm"
 )
@@ -85,6 +86,9 @@ type Client struct {
 	// nextLocalCluster allocates cluster IDs for interfaces discovered by
 	// local measurements.
 	localCluster map[Prefix]int32
+	// tracker aggregates observed-vs-predicted error per destination
+	// cluster (the feedback loop's scheduling signal).
+	tracker *feedback.Tracker
 }
 
 // FromAtlas wraps an in-memory atlas with the full iNano configuration.
@@ -100,6 +104,7 @@ func FromAtlasOptions(a *atlas.Atlas, opts core.Options) *Client {
 		engine:       core.New(a, opts),
 		opts:         opts,
 		localCluster: make(map[Prefix]int32),
+		tracker:      feedback.NewTracker(feedback.TrackerConfig{}),
 	}
 }
 
@@ -219,6 +224,19 @@ func (c *Client) QueryPrefixPairsContext(ctx context.Context, pairs [][2]Prefix)
 	return c.engineSnapshot().QueryBatch(ctx, pairs)
 }
 
+// PairReq is one entry of a per-pair-deadline batch: a (src, dst) prefix
+// pair with an optional absolute deadline.
+type PairReq = core.PairReq
+
+// QueryReqs answers many queries with *per-pair* deadlines inside one
+// batch: a pair whose deadline passes before its prediction trees are
+// ready is reported expired (expired[i] true, zero PathInfo) while the
+// rest of the batch completes normally — partial results instead of an
+// aborted window. ctx cancellation still aborts the whole batch.
+func (c *Client) QueryReqs(ctx context.Context, reqs []PairReq) ([]PathInfo, []bool, error) {
+	return c.engineSnapshot().QueryBatchPartial(ctx, reqs)
+}
+
 // QueryPairsStream answers an unbounded stream of (src, dst) IP pairs,
 // yielding one PathInfo per pair in input order without materializing the
 // batch: pairs are consumed in windows of `window` entries (<= 0 means
@@ -275,6 +293,12 @@ func (s Snapshot) QueryBatch(ctx context.Context, pairs [][2]Prefix) ([]PathInfo
 // Client.QueryPrefixPairsStream).
 func (s Snapshot) QueryStream(ctx context.Context, pairs iter.Seq[[2]Prefix], window int) iter.Seq2[PathInfo, error] {
 	return s.e.QueryStream(ctx, pairs, window)
+}
+
+// QueryReqs answers a per-pair-deadline batch on the pinned snapshot (see
+// Client.QueryReqs).
+func (s Snapshot) QueryReqs(ctx context.Context, reqs []PairReq) ([]PathInfo, []bool, error) {
+	return s.e.QueryBatchPartial(ctx, reqs)
 }
 
 // CacheStats reports the current engine's prediction-tree cache counters

@@ -100,6 +100,18 @@ type Atlas struct {
 	// LateExit holds AS pair keys inferred to run late-exit routing.
 	LateExit map[uint64]bool
 
+	// AdjustMS holds client-learned signed latency corrections per
+	// destination prefix: the converging residual between what this
+	// host's own corrective traceroutes measured end-to-end and what the
+	// atlas predicted. It captures everything the link-level datasets
+	// structurally miss for that destination — access tails, stale link
+	// annotations, mispredicted paths — without perturbing destinations
+	// the client never measured. The engine adds it to the one-way
+	// prediction toward the prefix (so a bidirectional query absorbs it
+	// once, on the forward leg). Local-only: never encoded, deltaed, or
+	// shipped.
+	AdjustMS map[netsim.Prefix]float32
+
 	// linkIndex is the lazily built (From,To) -> Links index. It is an
 	// atomic pointer so concurrent readers stay lock-free; idxMu
 	// serializes (re)builds.
@@ -118,6 +130,7 @@ func New() *Atlas {
 		Prefs:         make(map[uint64]bool),
 		Providers:     make(map[netsim.ASN][]netsim.ASN),
 		Rels:          make(map[uint64]netsim.Rel),
+		AdjustMS:      make(map[netsim.Prefix]float32),
 		LateExit:      make(map[uint64]bool),
 	}
 }
@@ -256,6 +269,9 @@ func (a *Atlas) Clone() *Atlas {
 	}
 	for k := range a.LateExit {
 		b.LateExit[k] = true
+	}
+	for k, v := range a.AdjustMS {
+		b.AdjustMS[k] = v
 	}
 	return b
 }

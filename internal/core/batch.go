@@ -5,6 +5,7 @@ import (
 	"iter"
 	"runtime"
 	"sync"
+	"time"
 
 	"inano/internal/cluster"
 	"inano/internal/netsim"
@@ -43,6 +44,7 @@ func (e *Engine) predictInto(ctx context.Context, g *batchGroup, pairs [][2]nets
 		if !p.Found {
 			continue
 		}
+		p.DstCluster = g.dstCl
 		p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
 		out[i] = p
 	}
@@ -72,18 +74,33 @@ func (e *Engine) groupByDestination(pairs [][2]netsim.Prefix) []*batchGroup {
 	return order
 }
 
-// PredictBatch predicts the one-way path for every (src, dst) pair,
-// returning results aligned with the input order; each result equals the
-// corresponding PredictForward(src, dst). Distinct destinations fan across
-// up to GOMAXPROCS workers. On cancellation it returns ctx.Err() and a nil
-// slice; completed trees stay cached, so a retry resumes cheaply.
-func (e *Engine) PredictBatch(ctx context.Context, pairs [][2]netsim.Prefix) ([]Prediction, error) {
+// predictBatchRaw fills residual-uncorrected predictions for every pair —
+// the shared guts of PredictBatch and QueryBatch. Callers apply the
+// per-destination residual correction themselves (once per one-way
+// prediction, or once per bidirectional query on its forward leg).
+func (e *Engine) predictBatchRaw(ctx context.Context, pairs [][2]netsim.Prefix) ([]Prediction, error) {
 	out := make([]Prediction, len(pairs))
 	groups := e.groupByDestination(pairs)
 	if err := e.runGroups(ctx, groups, func(g *batchGroup) {
 		e.predictInto(ctx, g, pairs, out)
 	}); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatch predicts the one-way path for every (src, dst) pair,
+// returning results aligned with the input order; each result equals the
+// corresponding PredictForward(src, dst). Distinct destinations fan across
+// up to GOMAXPROCS workers. On cancellation it returns ctx.Err() and a nil
+// slice; completed trees stay cached, so a retry resumes cheaply.
+func (e *Engine) PredictBatch(ctx context.Context, pairs [][2]netsim.Prefix) ([]Prediction, error) {
+	out, err := e.predictBatchRaw(ctx, pairs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		e.adjustLatency(&out[i], pairs[i][1])
 	}
 	return out, nil
 }
@@ -100,20 +117,133 @@ func (e *Engine) QueryBatch(ctx context.Context, pairs [][2]netsim.Prefix) ([]Pa
 		dbl[2*i] = pr
 		dbl[2*i+1] = [2]netsim.Prefix{pr[1], pr[0]}
 	}
-	preds, err := e.PredictBatch(ctx, dbl)
+	preds, err := e.predictBatchRaw(ctx, dbl)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]PathInfo, len(pairs))
 	for i := range out {
-		out[i] = composeQuery(preds[2*i], preds[2*i+1])
+		out[i] = e.composeQuery(preds[2*i], preds[2*i+1], pairs[i][1])
 	}
 	return out, nil
 }
 
-// composeQuery combines one-way predictions into the bidirectional answer,
-// exactly as Query does.
-func composeQuery(fwd, rev Prediction) PathInfo {
+// PairReq is one entry of a per-pair-deadline batch: a (src, dst) prefix
+// pair plus an optional absolute deadline (zero = none).
+type PairReq struct {
+	Src, Dst netsim.Prefix
+	// Deadline bounds this pair only. A pair whose deadline passes before
+	// its prediction trees are available is reported expired; the rest of
+	// the batch is unaffected.
+	Deadline time.Time
+}
+
+// QueryBatchPartial is QueryBatch with per-pair deadlines (the "partial
+// results instead of aborting the window" contract): results align with
+// reqs, and expired[i] reports that pair i's deadline passed before its
+// answer was ready — its PathInfo is the zero value. Pairs sharing a
+// prediction tree are grouped as in QueryBatch; a group's tree build is
+// bounded by the latest deadline among its members, so one hopeless
+// deadline cannot starve patient pairs of the same destination, and an
+// expired build leaves the other groups' answers intact. Cancellation of
+// ctx itself still aborts the whole batch with ctx.Err().
+func (e *Engine) QueryBatchPartial(ctx context.Context, reqs []PairReq) ([]PathInfo, []bool, error) {
+	// Double the batch: even entries are forward legs, odd are reverse,
+	// exactly like QueryBatch.
+	dbl := make([][2]netsim.Prefix, 2*len(reqs))
+	for i, rq := range reqs {
+		dbl[2*i] = [2]netsim.Prefix{rq.Src, rq.Dst}
+		dbl[2*i+1] = [2]netsim.Prefix{rq.Dst, rq.Src}
+	}
+	preds := make([]Prediction, len(dbl))
+	legExpired := make([]bool, len(dbl))
+	groups := e.groupByDestination(dbl)
+	if err := e.runGroups(ctx, groups, func(g *batchGroup) {
+		e.predictPartial(ctx, g, reqs, dbl, preds, legExpired)
+	}); err != nil {
+		return nil, nil, err
+	}
+	out := make([]PathInfo, len(reqs))
+	expired := make([]bool, len(reqs))
+	for i := range out {
+		if legExpired[2*i] || legExpired[2*i+1] {
+			expired[i] = true
+			continue
+		}
+		out[i] = e.composeQuery(preds[2*i], preds[2*i+1], reqs[i].Dst)
+	}
+	return out, expired, nil
+}
+
+// predictPartial fills one group's predictions under per-pair deadlines.
+// The group's tree build runs under the latest member deadline; members
+// whose own deadline has passed by the time the tree is ready are marked
+// expired instead of answered.
+func (e *Engine) predictPartial(ctx context.Context, g *batchGroup, reqs []PairReq, pairs [][2]netsim.Prefix, out []Prediction, expired []bool) {
+	// The group deadline is the latest member deadline — any member with
+	// no deadline lifts the bound entirely.
+	var groupDl time.Time
+	bounded := true
+	for _, i := range g.idxs {
+		dl := reqs[i/2].Deadline
+		if dl.IsZero() {
+			bounded = false
+			break
+		}
+		if dl.After(groupDl) {
+			groupDl = dl
+		}
+	}
+	gctx := ctx
+	if bounded {
+		if !groupDl.After(time.Now()) {
+			for _, i := range g.idxs {
+				expired[i] = true
+			}
+			return
+		}
+		var cancel context.CancelFunc
+		gctx, cancel = context.WithDeadline(ctx, groupDl)
+		defer cancel()
+	}
+	t, err := e.treeFor(gctx, g.dstCl, g.origin)
+	if err != nil {
+		// Tree build hit the group deadline (or the batch ctx, which the
+		// enclosing runGroups reports): every member expires.
+		for _, i := range g.idxs {
+			expired[i] = true
+		}
+		return
+	}
+	now := time.Now()
+	for _, i := range g.idxs {
+		if dl := reqs[i/2].Deadline; !dl.IsZero() && now.After(dl) {
+			expired[i] = true
+			continue
+		}
+		src, dst := pairs[i][0], pairs[i][1]
+		srcCl, ok := e.a.PrefixCluster[src]
+		if !ok {
+			continue
+		}
+		p := e.pathFrom(t, srcCl)
+		if !p.Found {
+			continue
+		}
+		p.DstCluster = g.dstCl
+		p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
+		out[i] = p
+	}
+}
+
+// composeQuery combines residual-uncorrected one-way predictions into the
+// bidirectional answer, exactly as Query does: the query's destination
+// correction is applied once, to the forward leg, before composing. The
+// reverse leg stays uncorrected — its "destination" is the querying host,
+// whose own AdjustMS entry (learned from some other pair's round trips)
+// must not be double-counted into this query's RTT.
+func (e *Engine) composeQuery(fwd, rev Prediction, dst netsim.Prefix) PathInfo {
+	e.adjustLatency(&fwd, dst)
 	info := PathInfo{Fwd: fwd, Rev: rev}
 	if !fwd.Found || !rev.Found {
 		return info

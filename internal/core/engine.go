@@ -150,6 +150,21 @@ func New(a *atlas.Atlas, opts Options) *Engine {
 	return e
 }
 
+// NewWithCache builds an engine over a while adopting prev's
+// prediction-tree cache. Caller contract: a must be route-identical to
+// prev's atlas — same clusters, links, planes, and policy datasets,
+// differing only in data the route computation never reads (the
+// residual corrections in AdjustMS) — and opts must equal prev's. Used
+// for residual-only feedback merges, where a full New would needlessly
+// cold-start a warm serving cache; prev keeps working, sharing the cache.
+func NewWithCache(a *atlas.Atlas, opts Options, prev *Engine) *Engine {
+	e := New(a, opts)
+	if prev != nil {
+		e.trees = prev.trees
+	}
+	return e
+}
+
 // CacheStats reports tree cache counters (hits, misses, Dijkstra builds,
 // trees resident). Builds lag misses when singleflight coalesces
 // concurrent misses on one destination.

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestQueryBatchPartialMatchesQueryBatch: without deadlines, the
+// partial-batch path is exactly QueryBatch — same results, nothing
+// expired — under every algorithm variant.
+func TestQueryBatchPartialMatchesQueryBatch(t *testing.T) {
+	w := buildWorld(t, 84)
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name)) * 31))
+			e := New(w.a, opts)
+			pairs := randomPairs(rng, w, 60)
+			reqs := make([]PairReq, len(pairs))
+			for i, pr := range pairs {
+				reqs[i] = PairReq{Src: pr[0], Dst: pr[1]}
+			}
+			got, expired, err := e.QueryBatchPartial(context.Background(), reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.QueryBatch(context.Background(), pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range reqs {
+				if expired[i] {
+					t.Fatalf("pair %d expired with no deadline", i)
+				}
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("pair %d: partial %+v != batch %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestQueryBatchPartialExpiredPairs: pairs whose deadline already passed
+// come back expired with a zero answer, while the rest of the batch —
+// including pairs sharing their destination — is answered normally.
+func TestQueryBatchPartialExpiredPairs(t *testing.T) {
+	w := buildWorld(t, 85)
+	e := New(w.a, INanoOptions())
+	past := time.Now().Add(-time.Second)
+	future := time.Now().Add(time.Minute)
+	reqs := []PairReq{
+		{Src: w.vps[0], Dst: w.targets[1], Deadline: past},
+		{Src: w.vps[1], Dst: w.targets[1], Deadline: future}, // same destination, patient
+		{Src: w.vps[2], Dst: w.targets[2]},                   // no deadline
+		{Src: w.vps[3], Dst: w.targets[3], Deadline: past},
+	}
+	got, expired, err := e.QueryBatchPartial(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expired[0] || !expired[3] {
+		t.Fatalf("past-deadline pairs not expired: %v", expired)
+	}
+	if expired[1] || expired[2] {
+		t.Fatalf("patient pairs expired: %v", expired)
+	}
+	if got[0].Found || got[3].Found {
+		t.Fatal("expired pairs carry answers")
+	}
+	for i := 1; i <= 2; i++ {
+		want := e.Query(reqs[i].Src, reqs[i].Dst)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("pair %d: %+v != single %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestQueryBatchPartialCancelAborts: cancelling the batch context still
+// aborts the whole call with ctx.Err(), per-pair deadlines or not.
+func TestQueryBatchPartialCancelAborts(t *testing.T) {
+	w := buildWorld(t, 86)
+	e := New(w.a, INanoOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := []PairReq{{Src: w.vps[0], Dst: w.targets[1], Deadline: time.Now().Add(time.Minute)}}
+	if _, _, err := e.QueryBatchPartial(ctx, reqs); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueryBatchPartialSharedGroupDeadline: a group's tree build is
+// bounded by its *latest* member deadline, so one hopeless pair cannot
+// expire a patient pair of the same destination; after the build, each
+// member is checked against its own deadline.
+func TestQueryBatchPartialSharedGroupDeadline(t *testing.T) {
+	w := buildWorld(t, 87)
+	e := New(w.a, INanoOptions())
+	reqs := []PairReq{
+		{Src: w.vps[0], Dst: w.targets[5], Deadline: time.Now().Add(-time.Second)},
+		{Src: w.vps[1], Dst: w.targets[5], Deadline: time.Now().Add(time.Minute)},
+	}
+	got, expired, err := e.QueryBatchPartial(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expired[0] {
+		t.Fatal("hopeless pair not expired")
+	}
+	if expired[1] {
+		t.Fatal("patient pair starved by its group-mate's deadline")
+	}
+	want := e.Query(reqs[1].Src, reqs[1].Dst)
+	if !reflect.DeepEqual(got[1], want) {
+		t.Fatalf("patient pair answer differs: %+v != %+v", got[1], want)
+	}
+}

@@ -10,6 +10,11 @@ import (
 // Prediction is a one-way predicted path with composed link annotations.
 type Prediction struct {
 	Found bool
+	// DstCluster is the destination attachment cluster whose prediction
+	// tree produced this path — the provenance key the measurement
+	// feedback loop uses to attribute observed-vs-predicted error to a
+	// destination. Valid only when Found.
+	DstCluster cluster.ClusterID
 	// Clusters is the predicted cluster-level path, source end first.
 	Clusters []cluster.ClusterID
 	// ASPath is the predicted AS-level path including the endpoint
@@ -53,6 +58,14 @@ func (e *Engine) treeFor(ctx context.Context, dst cluster.ClusterID, origin nets
 // dst. Found is false when either prefix has no attachment cluster in the
 // atlas or no policy-compliant path exists.
 func (e *Engine) PredictForward(src, dst netsim.Prefix) Prediction {
+	p := e.predictForwardRaw(src, dst)
+	e.adjustLatency(&p, dst)
+	return p
+}
+
+// predictForwardRaw is PredictForward without the residual correction —
+// the reverse-leg shape, where the correction must not apply.
+func (e *Engine) predictForwardRaw(src, dst netsim.Prefix) Prediction {
 	srcCl, okS := e.a.PrefixCluster[src]
 	dstCl, okD := e.a.PrefixCluster[dst]
 	if !okS || !okD {
@@ -63,8 +76,40 @@ func (e *Engine) PredictForward(src, dst netsim.Prefix) Prediction {
 	if !p.Found {
 		return p
 	}
+	p.DstCluster = dstCl
 	p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
 	return p
+}
+
+// adjustLatency applies the client-learned residual correction for the
+// prediction's destination prefix (see atlas.AdjustMS): the latency
+// shifts by the signed converging residual of this host's own
+// measurements toward dst, floored so a correction can never drive a
+// latency to zero or below. Applied exactly once per answer — on a
+// standalone one-way prediction, or on the forward leg of a
+// bidirectional query (see composeQuery). A no-op for unfound
+// predictions and for atlases without local measurements.
+func (e *Engine) adjustLatency(p *Prediction, dst netsim.Prefix) {
+	if !p.Found || len(e.a.AdjustMS) == 0 {
+		return
+	}
+	adj, ok := e.a.AdjustMS[dst]
+	if !ok {
+		return
+	}
+	p.LatencyMS += float64(adj)
+	if p.LatencyMS < 0.05 {
+		p.LatencyMS = 0.05
+	}
+}
+
+// AttachmentCluster returns the atlas attachment cluster of a prefix: the
+// cluster whose prediction tree answers queries toward it. The feedback
+// loop keys its per-destination error aggregation on this, so corrective
+// measurements and served predictions attribute error identically.
+func (e *Engine) AttachmentCluster(p netsim.Prefix) (cluster.ClusterID, bool) {
+	cl, ok := e.a.PrefixCluster[p]
+	return cl, ok
 }
 
 // pathFrom extracts the predicted path from a source cluster out of a
@@ -136,16 +181,12 @@ func (e *Engine) asPath(clusters []cluster.ClusterID, srcAS, dstAS netsim.ASN) [
 }
 
 // Query predicts both directions between two prefixes and composes
-// end-to-end estimates.
+// end-to-end estimates. The destination's residual correction applies
+// once, on the forward leg (see composeQuery); the reverse leg is the
+// uncorrected prediction, so Rev may differ from a standalone
+// PredictForward(dst, src) when src itself carries a correction.
 func (e *Engine) Query(src, dst netsim.Prefix) PathInfo {
-	fwd := e.PredictForward(src, dst)
-	rev := e.PredictForward(dst, src)
-	info := PathInfo{Fwd: fwd, Rev: rev}
-	if !fwd.Found || !rev.Found {
-		return info
-	}
-	info.Found = true
-	info.RTTMS = fwd.LatencyMS + rev.LatencyMS
-	info.LossRate = 1 - (1-fwd.LossRate)*(1-rev.LossRate)
-	return info
+	fwd := e.predictForwardRaw(src, dst)
+	rev := e.predictForwardRaw(dst, src)
+	return e.composeQuery(fwd, rev, dst)
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFeedbackLoopReducesError asserts the acceptance bar of the
+// measurement feedback loop: replaying ground-truth observations and
+// spending the corrective budget must strictly reduce the mean RTT
+// prediction error (the inano-eval -feedback run).
+func TestFeedbackLoopReducesError(t *testing.T) {
+	r := FeedbackLoop(testLab, 8, 4)
+	if r.Pairs == 0 {
+		t.Fatal("no validation pairs with ground truth")
+	}
+	if r.Probes == 0 {
+		t.Fatal("corrective scheduler issued no probes")
+	}
+	if r.Merged == 0 {
+		t.Fatal("corrective traceroutes merged no atlas changes")
+	}
+	if r.Probes > r.Rounds*r.Budget {
+		t.Fatalf("probes %d exceed budget %d x %d rounds", r.Probes, r.Budget, r.Rounds)
+	}
+	if !(r.ErrAfter < r.ErrBefore) {
+		t.Fatalf("mean RTT error did not strictly decrease: before %.4f, after %.4f", r.ErrBefore, r.ErrAfter)
+	}
+	// Correction must never break previously answered pairs.
+	if r.AnsweredAfter < r.AnsweredBefore {
+		t.Fatalf("answered pairs regressed: %d -> %d", r.AnsweredBefore, r.AnsweredAfter)
+	}
+	if !strings.Contains(r.Render(), "error reduction") {
+		t.Fatal("render missing reduction line")
+	}
+}
+
+// TestFeedbackLoopSecondSeed guards against a single lucky world: the
+// error reduction must hold on an independently generated topology too.
+func TestFeedbackLoopSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra world build")
+	}
+	l := NewLab(QuickConfig(101))
+	r := FeedbackLoop(l, 8, 4)
+	if !(r.ErrAfter < r.ErrBefore) {
+		t.Fatalf("mean RTT error did not strictly decrease on seed 101: before %.4f, after %.4f", r.ErrBefore, r.ErrAfter)
+	}
+}

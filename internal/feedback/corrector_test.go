@@ -1,0 +1,120 @@
+package feedback
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"inano/internal/netsim"
+)
+
+// seedTracker fills a tracker with n badly mispredicted destinations on
+// distinct clusters.
+func seedTracker(n int) *Tracker {
+	tr := NewTracker(TrackerConfig{})
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		tr.Record(int32(i), netsim.Prefix(1), netsim.Prefix(100+i), 0, 100, false, now)
+	}
+	return tr
+}
+
+func TestCorrectorHonorsBudget(t *testing.T) {
+	tr := seedTracker(20)
+	var probed []netsim.Prefix
+	prober := ProberFunc(func(_ context.Context, src, dst netsim.Prefix) (Traceroute, error) {
+		probed = append(probed, dst)
+		return Traceroute{Src: src, Dst: dst, Hops: []Hop{{IP: 1, RTTMS: 5}}}, nil
+	})
+	merged := 0
+	cor := NewCorrector(tr, prober, func(trs []Traceroute) int {
+		merged += len(trs)
+		return len(trs)
+	}, Config{Budget: 5, Cooldown: time.Hour})
+
+	r := cor.RunOnce(context.Background())
+	if r.Probes != 5 || r.Targets != 5 || len(probed) != 5 {
+		t.Fatalf("budget not honored: %+v probed=%d", r, len(probed))
+	}
+	if r.Merged != 5 || merged != 5 {
+		t.Fatalf("merge accounting: %+v merged=%d", r, merged)
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Fatalf("utilization = %v, want 1", u)
+	}
+
+	// The cooldown keeps the first round's targets off the second round's
+	// schedule: fresh destinations are probed instead.
+	seen := make(map[netsim.Prefix]bool)
+	for _, d := range probed {
+		seen[d] = true
+	}
+	probed = probed[:0]
+	cor.RunOnce(context.Background())
+	for _, d := range probed {
+		if seen[d] {
+			t.Fatalf("destination %v re-probed within cooldown", d)
+		}
+	}
+}
+
+func TestCorrectorProbeErrors(t *testing.T) {
+	tr := seedTracker(3)
+	prober := ProberFunc(func(context.Context, netsim.Prefix, netsim.Prefix) (Traceroute, error) {
+		return Traceroute{}, errors.New("probe failed")
+	})
+	mergeCalled := false
+	cor := NewCorrector(tr, prober, func([]Traceroute) int {
+		mergeCalled = true
+		return 0
+	}, Config{Budget: 3})
+	r := cor.RunOnce(context.Background())
+	if r.Probes != 3 || r.ProbeErrors != 3 || r.Merged != 0 {
+		t.Fatalf("error accounting: %+v", r)
+	}
+	if mergeCalled {
+		t.Fatal("merge called with no successful traceroutes")
+	}
+	// Failed probes still consume the cooldown: the same unreachable
+	// destinations must not monopolize the next round's budget.
+	r = cor.RunOnce(context.Background())
+	if r.Probes != 0 {
+		t.Fatalf("failed destinations re-probed within cooldown: %+v", r)
+	}
+}
+
+func TestCorrectorPredictHook(t *testing.T) {
+	tr := seedTracker(1)
+	prober := ProberFunc(func(_ context.Context, src, dst netsim.Prefix) (Traceroute, error) {
+		return Traceroute{Src: src, Dst: dst}, nil
+	})
+	var got Traceroute
+	cor := NewCorrector(tr, prober, func(trs []Traceroute) int {
+		got = trs[0]
+		return 0
+	}, Config{
+		Budget:  1,
+		Predict: func(src, dst netsim.Prefix) (float64, bool) { return 123.5, true },
+	})
+	cor.RunOnce(context.Background())
+	if !got.Predicted || got.PredictedRTTMS != 123.5 {
+		t.Fatalf("predict hook not threaded into traceroute: %+v", got)
+	}
+}
+
+func TestCorrectorCancelledContext(t *testing.T) {
+	tr := seedTracker(10)
+	probes := 0
+	prober := ProberFunc(func(_ context.Context, src, dst netsim.Prefix) (Traceroute, error) {
+		probes++
+		return Traceroute{Src: src, Dst: dst}, nil
+	})
+	cor := NewCorrector(tr, prober, func(trs []Traceroute) int { return 0 }, Config{Budget: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := cor.RunOnce(ctx)
+	if probes != 0 || r.Probes != 0 {
+		t.Fatalf("probes issued under a cancelled context: %+v", r)
+	}
+}

@@ -1,0 +1,38 @@
+package feedback
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFeedbackReport feeds the /v1/feedback NDJSON parser arbitrary
+// bytes. The parser must never panic and must respect its hardening
+// bounds regardless of input: at most MaxObservations results, every
+// accepted observation well-formed (valid IPs re-format, RTT positive
+// and sane).
+func FuzzFeedbackReport(f *testing.F) {
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5}` + "\n" +
+		`{"src":"1.2.3.4","dst":"4.3.2.1","rtt_ms":0.1}`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"src":"10.0.1.1"`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":-1}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":1e308}`))
+	f.Add([]byte(strings.Repeat(`{"src":"9.9.9.9","dst":"8.8.8.8","rtt_ms":1}`+"\n", 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs, _ := ParseReport(strings.NewReader(string(data)))
+		if len(obs) > MaxObservations {
+			t.Fatalf("parser exceeded MaxObservations: %d", len(obs))
+		}
+		for i, o := range obs {
+			if !(o.RTTMS > 0) || o.RTTMS > MaxObservedRTTMS {
+				t.Fatalf("observation %d has out-of-bounds rtt %v", i, o.RTTMS)
+			}
+			// Accepted IPs must round-trip through the strict parser.
+			if back, err := ParseIPv4(o.Src.String()); err != nil || back != o.Src {
+				t.Fatalf("observation %d src does not round-trip: %v", i, o.Src)
+			}
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package feedback
+
+import (
+	"testing"
+
+	"inano/internal/atlas"
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// testAtlas hand-builds a 4-cluster atlas:
+//
+//	cluster 0 (AS 1) -> cluster 1 (AS 1) -> cluster 2 (AS 2), cluster 3 (AS 2) unlinked
+//
+// with prefixes p0..p3 attached to the matching clusters, all TO_DST.
+func testAtlas() *atlas.Atlas {
+	a := atlas.New()
+	a.NumClusters = 4
+	a.ClusterAS = []netsim.ASN{1, 1, 2, 2}
+	a.Links = []atlas.Link{
+		{From: 0, To: 1, LatencyMS: 5, Planes: atlas.PlaneToDst},
+		{From: 1, To: 2, LatencyMS: 10, Planes: atlas.PlaneToDst},
+	}
+	for i := 0; i < 4; i++ {
+		p := netsim.Prefix(100 + i)
+		a.PrefixCluster[p] = cluster.ClusterID(i)
+		a.PrefixAS[p] = netsim.ASN(1 + i/2)
+	}
+	return a
+}
+
+func pfx(i int) netsim.Prefix { return netsim.Prefix(100 + i) }
+func ip(i int) netsim.IP      { return pfx(i).HostIP() }
+
+func TestMergeTagsAndAddsLinks(t *testing.T) {
+	a := testAtlas()
+	local := map[netsim.Prefix]int32{}
+	src := netsim.Prefix(999) // unknown prefix, but BGP knows its AS
+	a.PrefixAS[src] = 1
+	trs := []Traceroute{{
+		Src: src,
+		Dst: pfx(3),
+		Hops: []Hop{
+			{IP: ip(0), RTTMS: 2},
+			{IP: ip(1), RTTMS: 12},
+			{IP: ip(3), RTTMS: 40}, // new link 1->3
+		},
+	}}
+	added, residual := Merge(a, local, trs)
+	// Expected: plane tag on 0->1, new link 1->3, attachment for src — all
+	// structural; no destination-host answer, so no residual.
+	if added != 3 || residual != 0 {
+		t.Fatalf("added = %d, residual = %d, want 3, 0", added, residual)
+	}
+	if li := a.LinkAt(0, 1); li < 0 || a.Links[li].Planes&atlas.PlaneFromSrc == 0 {
+		t.Fatal("0->1 not tagged FROM_SRC")
+	}
+	Finalize(a)
+	li := a.LinkAt(1, 3)
+	if li < 0 {
+		t.Fatal("1->3 not added")
+	}
+	if l := a.Links[li]; l.Planes != atlas.PlaneFromSrc || l.LatencyMS != 14 {
+		t.Fatalf("1->3 link wrong: %+v (want FROM_SRC, latency (40-12)/2=14)", l)
+	}
+	if cl, ok := a.PrefixCluster[src]; !ok || cl != 0 {
+		t.Fatalf("src attachment = %v, %v", cl, ok)
+	}
+	// Re-merging the same traceroutes is a no-op: everything is patched.
+	if s2, r2 := Merge(a, local, trs); s2 != 0 || r2 != 0 {
+		t.Fatalf("second merge added %d structural, %d residual, want 0", s2, r2)
+	}
+}
+
+func TestMergeDuplicateHops(t *testing.T) {
+	a := testAtlas()
+	// The same interface answering consecutive TTLs (a real traceroute
+	// artifact) and two interfaces of one cluster must not create
+	// self-links.
+	trs := []Traceroute{{
+		Src: pfx(0),
+		Dst: pfx(2),
+		Hops: []Hop{
+			{IP: ip(1), RTTMS: 10},
+			{IP: ip(1), RTTMS: 11}, // duplicate hop
+			{IP: ip(1) + 1, RTTMS: 12},
+			{IP: ip(2), RTTMS: 30},
+		},
+	}}
+	Merge(a, map[netsim.Prefix]int32{}, trs)
+	for _, l := range a.Links {
+		if l.From == l.To {
+			t.Fatalf("self-link created: %+v", l)
+		}
+	}
+}
+
+func TestMergeDecreasingRTTClamped(t *testing.T) {
+	a := testAtlas()
+	// RTT decreasing along the path (asymmetric reverse paths, noise):
+	// the latency delta is negative and must clamp to the 0.1ms floor,
+	// never a negative link.
+	trs := []Traceroute{{
+		Src: pfx(0),
+		Dst: pfx(3),
+		Hops: []Hop{
+			{IP: ip(2), RTTMS: 50},
+			{IP: ip(3), RTTMS: 20}, // "earlier" hop measured slower
+		},
+	}}
+	if structural, _ := Merge(a, map[netsim.Prefix]int32{}, trs); structural == 0 {
+		t.Fatal("nothing merged")
+	}
+	Finalize(a)
+	li := a.LinkAt(2, 3)
+	if li < 0 {
+		t.Fatal("2->3 not added")
+	}
+	if lat := a.Links[li].LatencyMS; lat != 0.1 {
+		t.Fatalf("latency = %v, want clamp 0.1", lat)
+	}
+}
+
+func TestMergeUnresponsiveHopsBreakAdjacency(t *testing.T) {
+	a := testAtlas()
+	trs := []Traceroute{{
+		Src: pfx(0),
+		Dst: pfx(3),
+		Hops: []Hop{
+			{IP: ip(0), RTTMS: 2},
+			{},                     // '*' hop
+			{IP: ip(3), RTTMS: 40}, // must NOT produce a 0->3 link
+		},
+	}}
+	Merge(a, map[netsim.Prefix]int32{}, trs)
+	if li := a.LinkAt(0, 3); li >= 0 {
+		t.Fatal("link bridged across an unresponsive hop")
+	}
+}
+
+func TestMergeLocalClusterAllocation(t *testing.T) {
+	a := testAtlas()
+	local := map[netsim.Prefix]int32{}
+	unknown := netsim.Prefix(500)
+	a.PrefixAS[unknown] = 2
+	trs := []Traceroute{{
+		Src: pfx(0),
+		Dst: pfx(2),
+		Hops: []Hop{
+			{IP: ip(1), RTTMS: 10},
+			{IP: unknown.HostIP(), RTTMS: 20},
+			{IP: unknown.HostIP() + 1, RTTMS: 21}, // same /24 -> same local cluster
+			{IP: ip(2), RTTMS: 30},
+		},
+	}}
+	Merge(a, local, trs)
+	if a.NumClusters != 5 {
+		t.Fatalf("NumClusters = %d, want 5 (one local cluster for the /24)", a.NumClusters)
+	}
+	if id, ok := local[unknown]; !ok || id != 4 {
+		t.Fatalf("local cluster allocation: %v, %v", id, ok)
+	}
+	if a.ClusterAS[4] != 2 {
+		t.Fatalf("local cluster AS = %d, want 2", a.ClusterAS[4])
+	}
+	// An interface in address space BGP has never seen is ignored.
+	a2 := testAtlas()
+	trs[0].Hops[1].IP = netsim.Prefix(900).HostIP()
+	trs[0].Hops[2].IP = 0
+	before := a2.NumClusters
+	Merge(a2, map[netsim.Prefix]int32{}, trs)
+	if a2.NumClusters != before {
+		t.Fatal("cluster allocated for unrouted address space")
+	}
+}
+
+func TestLearnResidualConvergesAndCaps(t *testing.T) {
+	a := testAtlas()
+	tr := Traceroute{
+		Src:            pfx(0),
+		Dst:            pfx(2),
+		PredictedRTTMS: 100,
+		Predicted:      true,
+	}
+	// Destination host answered with the true RTT 160: the correction
+	// steps halfway (+30), then converges geometrically.
+	tr.Hops = []Hop{{IP: ip(1), RTTMS: 10}, {IP: ip(2), RTTMS: 160}}
+	if _, got := Merge(a, map[netsim.Prefix]int32{}, []Traceroute{tr}); got == 0 {
+		t.Fatal("residual not counted as a change")
+	}
+	if adj := a.AdjustMS[pfx(2)]; adj != 30 {
+		t.Fatalf("adjust after first probe = %v, want 30", adj)
+	}
+	// Next probe is scored against the corrected prediction (130).
+	tr.PredictedRTTMS = 130
+	Merge(a, map[netsim.Prefix]int32{}, []Traceroute{tr})
+	if adj := a.AdjustMS[pfx(2)]; adj != 45 {
+		t.Fatalf("adjust after second probe = %v, want 45", adj)
+	}
+
+	// One absurd measurement cannot push the correction past the cap.
+	tr.PredictedRTTMS = 10
+	tr.Hops[1].RTTMS = 10_000
+	Merge(a, map[netsim.Prefix]int32{}, []Traceroute{tr})
+	if adj := a.AdjustMS[pfx(2)]; adj != MaxAdjustMS {
+		t.Fatalf("adjust = %v, want cap %v", adj, MaxAdjustMS)
+	}
+
+	// Unreached or unpredicted traceroutes learn nothing.
+	b := testAtlas()
+	unreached := tr
+	unreached.Hops = []Hop{{IP: ip(1), RTTMS: 10}}
+	Merge(b, map[netsim.Prefix]int32{}, []Traceroute{unreached})
+	if len(b.AdjustMS) != 0 {
+		t.Fatal("unreached traceroute learned a residual")
+	}
+	unpredicted := tr
+	unpredicted.Predicted = false
+	Merge(b, map[netsim.Prefix]int32{}, []Traceroute{unpredicted})
+	if len(b.AdjustMS) != 0 {
+		t.Fatal("unpredicted traceroute learned a residual")
+	}
+}
+
+func TestMeasuredRTT(t *testing.T) {
+	tr := Traceroute{Src: pfx(0), Dst: pfx(2)}
+	if _, ok := tr.MeasuredRTT(); ok {
+		t.Fatal("empty traceroute measured an RTT")
+	}
+	tr.Hops = []Hop{{IP: ip(1), RTTMS: 10}}
+	if _, ok := tr.MeasuredRTT(); ok {
+		t.Fatal("unreached traceroute measured an RTT")
+	}
+	tr.Hops = append(tr.Hops, Hop{IP: ip(2), RTTMS: 42})
+	if rtt, ok := tr.MeasuredRTT(); !ok || rtt != 42 {
+		t.Fatalf("MeasuredRTT = %v, %v", rtt, ok)
+	}
+}

@@ -66,6 +66,13 @@ var DefLatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// DefErrorBuckets spans relative prediction error from 1% to the feedback
+// tracker's 2.0 cap — fine resolution around the "prediction basically
+// right" region so error quantiles stay meaningful as accuracy improves.
+var DefErrorBuckets = []float64{
+	0.01, 0.02, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 0.85, 1.0, 1.5, 2.0,
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)

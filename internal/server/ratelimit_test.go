@@ -1,0 +1,66 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketsBurstAndRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTokenBuckets(2, 4, 0) // 2 tokens/s, burst 4
+	tb.nowFn = func() time.Time { return now }
+
+	if got := tb.take("a", 3); got != 3 {
+		t.Fatalf("initial take = %d, want 3", got)
+	}
+	if got := tb.take("a", 3); got != 1 {
+		t.Fatalf("burst exceeded: got %d, want 1", got)
+	}
+	if got := tb.take("a", 1); got != 0 {
+		t.Fatalf("empty bucket granted %d", got)
+	}
+	// Another source has its own bucket.
+	if got := tb.take("b", 4); got != 4 {
+		t.Fatalf("source b: %d, want 4", got)
+	}
+	// 1.5s refills 3 tokens for a, capped at burst.
+	now = now.Add(1500 * time.Millisecond)
+	if got := tb.take("a", 10); got != 3 {
+		t.Fatalf("after refill: %d, want 3", got)
+	}
+	// A long idle period caps at burst, not unbounded credit.
+	now = now.Add(time.Hour)
+	if got := tb.take("a", 10); got != 4 {
+		t.Fatalf("after idle: %d, want burst 4", got)
+	}
+}
+
+func TestTokenBucketsUnlimited(t *testing.T) {
+	tb := newTokenBuckets(-1, 4, 0)
+	if got := tb.take("a", 1_000_000); got != 1_000_000 {
+		t.Fatalf("negative rate should disable limiting: %d", got)
+	}
+}
+
+func TestTokenBucketsEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTokenBuckets(1, 1, 3)
+	tb.nowFn = func() time.Time { return now }
+	for i, k := range []string{"a", "b", "c"} {
+		now = now.Add(time.Duration(i) * time.Second)
+		tb.take(k, 1)
+	}
+	if tb.len() != 3 {
+		t.Fatalf("len = %d", tb.len())
+	}
+	// A fourth source evicts the stalest ("a"); the table stays bounded.
+	now = now.Add(time.Second)
+	tb.take("d", 1)
+	if tb.len() != 3 {
+		t.Fatalf("table grew past maxKeys: %d", tb.len())
+	}
+	// "a" was evicted: a fresh bucket starts at burst, not its drained state.
+	if got := tb.take("a", 1); got != 1 {
+		t.Fatalf("re-added source should start with burst: %d", got)
+	}
+}

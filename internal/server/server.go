@@ -28,10 +28,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	inano "inano"
 	"inano/internal/core"
+	"inano/internal/feedback"
 	"inano/internal/metrics"
 	"inano/internal/netsim"
 	"inano/internal/tcpmodel"
@@ -57,6 +59,11 @@ type Config struct {
 	StreamWindow int
 	// MaxBatchLineBytes caps one NDJSON request line (0 = 64KiB).
 	MaxBatchLineBytes int
+	// FeedbackRate is the per-source token refill rate of /v1/feedback in
+	// observations/second (0 = default 64; negative = unlimited).
+	FeedbackRate float64
+	// FeedbackBurst is the per-source bucket capacity (0 = default 256).
+	FeedbackBurst int
 	// Logf logs serving events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -73,6 +80,19 @@ type Server struct {
 	reloads      *metrics.Counter
 	reloadErrors *metrics.Counter
 	lastReload   *metrics.Gauge
+
+	// Feedback-loop instrumentation.
+	fbLimiter       *tokenBuckets
+	fbObservations  *metrics.Counter
+	fbRateLimited   *metrics.Counter
+	fbError         *metrics.Histogram
+	corrRounds      *metrics.Counter
+	corrProbes      *metrics.Counter
+	corrProbeErrors *metrics.Counter
+	corrMerged      *metrics.Counter
+
+	mu        sync.Mutex
+	lastRound feedback.Round
 
 	handlers map[string]*handlerMetrics
 }
@@ -95,16 +115,25 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	fbRate := cfg.FeedbackRate
+	if fbRate == 0 {
+		fbRate = 64
+	}
+	fbBurst := cfg.FeedbackBurst
+	if fbBurst <= 0 {
+		fbBurst = 256
+	}
 	s := &Server{
-		c:        cfg.Client,
-		cfg:      cfg,
-		reg:      metrics.NewRegistry(),
-		started:  time.Now(),
-		handlers: make(map[string]*handlerMetrics),
+		c:         cfg.Client,
+		cfg:       cfg,
+		reg:       metrics.NewRegistry(),
+		started:   time.Now(),
+		fbLimiter: newTokenBuckets(fbRate, fbBurst, 0),
+		handlers:  make(map[string]*handlerMetrics),
 	}
 	s.inflight = s.reg.NewGauge("inanod_http_inflight",
 		"Requests currently being served.", "")
-	for _, h := range []string{"query", "batch", "rank", "healthz", "metrics", "stats"} {
+	for _, h := range []string{"query", "batch", "rank", "feedback", "relay", "healthz", "metrics", "stats"} {
 		labels := `handler="` + h + `"`
 		s.handlers[h] = &handlerMetrics{
 			requests: s.reg.NewCounter("inanod_http_requests_total",
@@ -123,6 +152,33 @@ func New(cfg Config) *Server {
 		"Failed atlas reload attempts.", "")
 	s.lastReload = s.reg.NewGauge("inanod_atlas_last_reload_timestamp_seconds",
 		"Unix time of the last successful reload (0 = never).", "")
+
+	// Feedback loop: error distribution (the quantile source), ingestion
+	// accounting, and the corrective budget's spend.
+	s.fbObservations = s.reg.NewCounter("inanod_feedback_observations_total",
+		"Observations accepted over /v1/feedback.", "")
+	s.fbRateLimited = s.reg.NewCounter("inanod_feedback_rate_limited_total",
+		"Observations dropped by the per-source rate limit.", "")
+	s.fbError = s.reg.NewHistogram("inanod_feedback_prediction_error",
+		"Relative |observed-predicted|/observed RTT error of reported observations.",
+		"", metrics.DefErrorBuckets)
+	s.corrRounds = s.reg.NewCounter("inanod_corrective_rounds_total",
+		"Corrective scheduler rounds executed.", "")
+	s.corrProbes = s.reg.NewCounter("inanod_corrective_probes_issued_total",
+		"Corrective traceroutes issued.", "")
+	s.corrProbeErrors = s.reg.NewCounter("inanod_corrective_probe_errors_total",
+		"Corrective traceroutes that failed.", "")
+	s.corrMerged = s.reg.NewCounter("inanod_corrective_changes_merged_total",
+		"Atlas changes merged from corrective traceroutes.", "")
+	s.reg.NewGaugeFunc("inanod_corrective_budget_utilization",
+		"Fraction of the corrective budget spent in the last round.", "",
+		s.lastRoundUtilization)
+	s.reg.NewGaugeFunc("inanod_feedback_tracked_destinations",
+		"Destination clusters currently tracked by the error tracker.", "",
+		func() float64 { return float64(s.c.FeedbackStats().Entries) })
+	s.reg.NewGaugeFunc("inanod_feedback_mean_error",
+		"Mean EWMA relative RTT error over tracked destinations.", "",
+		func() float64 { return s.c.FeedbackStats().MeanErr })
 
 	// Engine-owned values are sampled at scrape time. The tree cache resets
 	// when a reload swaps the engine, so these are gauges, not counters.
@@ -159,6 +215,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/v1/rank", s.instrument("rank", s.handleRank))
+	mux.HandleFunc("/v1/feedback", s.instrument("feedback", s.handleFeedback))
+	mux.HandleFunc("/v1/relay", s.instrument("relay", s.handleRelay))
 	return mux
 }
 
@@ -224,15 +282,25 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) erro
 
 func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
+	return writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v without touching headers — for handlers that
+// already wrote a non-200 status.
+func writeJSONBody(w http.ResponseWriter, v any) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
 // --- wire types ---
 
-// pairRequest is one NDJSON line of a /v1/batch request.
+// pairRequest is one NDJSON line of a /v1/batch request. DeadlineMS, when
+// positive, bounds this pair alone (measured from line receipt): if its
+// prediction trees are not ready in time the pair comes back expired
+// while the stream continues.
 type pairRequest struct {
-	Src string `json:"src"`
-	Dst string `json:"dst"`
+	Src        string `json:"src"`
+	Dst        string `json:"dst"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
 }
 
 // queryResult is the answer for one (src, dst) pair, shared by /v1/query
@@ -268,21 +336,11 @@ func resultFor(src, dst string, day int, info inano.PathInfo, withPaths bool) qu
 	return res
 }
 
-// parseIP parses a dotted-quad IPv4 address.
+// parseIP parses a dotted-quad IPv4 address — one strict parser shared
+// with the /v1/feedback wire format, so the endpoints can never diverge
+// on what an address is.
 func parseIP(s string) (inano.IP, error) {
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return 0, fmt.Errorf("bad IPv4 address %q", s)
-	}
-	var ip uint32
-	for _, p := range parts {
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
-			return 0, fmt.Errorf("bad IPv4 address %q", s)
-		}
-		ip = ip<<8 | uint32(v)
-	}
-	return inano.IP(ip), nil
+	return feedback.ParseIPv4(s)
 }
 
 // --- endpoints ---
@@ -344,9 +402,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 // body is still being produced. Memory on the server is O(window)
 // regardless of batch size. The whole stream reads one atlas snapshot.
 //
-// A malformed line or an expired deadline terminates the stream with a
-// final {"error": ...} line; clients must treat a line bearing "error" as
-// the (failed) end of the stream.
+// A line may carry its own "deadline_ms": a per-pair answer-latency
+// bound measured from line receipt. A pair whose deadline passes before
+// its answer is ready — window buffering included, so clients pairing
+// tight deadlines with a large ?window= or a slow producer will expire
+// their own pairs — comes back as a per-pair failure line (src/dst
+// echoed, "found":false, "error":"deadline_ms exceeded") while the
+// stream continues: partial results instead of an aborted window.
+//
+// A malformed line or an expired request deadline terminates the stream
+// with a final {"error": ...} line; clients must treat a line bearing
+// "error" but no "src" as the (failed) end of the stream.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	if r.Method != http.MethodPost {
 		return httpError(w, http.StatusMethodNotAllowed, "use POST")
@@ -388,78 +454,100 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		_ = rc.Flush()
 	}
 
-	// The input sequence decodes request lines on demand; a parse error
-	// stops the sequence and is reported after the stream drains.
 	scanner := bufio.NewScanner(r.Body)
 	scanner.Buffer(make([]byte, 0, 4096), s.cfg.MaxBatchLineBytes)
 	var inputErr error
 	lineNo := 0
-	// echoes holds the source strings for pairs in flight, ring-indexed by
-	// pair number; the stream yields results in input order, at most
-	// window+1 windows behind, so 4*window slots are plenty.
-	type echo struct{ src, dst string }
-	ringSize := 4 * window
-	echoes := make([]echo, ringSize)
-	produced := 0
-	pairs := func(yield func([2]inano.IP) bool) {
-		for scanner.Scan() {
-			lineNo++
-			line := strings.TrimSpace(scanner.Text())
-			if line == "" {
-				continue
-			}
-			var req pairRequest
-			if err := json.Unmarshal([]byte(line), &req); err != nil {
-				inputErr = fmt.Errorf("line %d: bad pair: %v", lineNo, err)
-				return
-			}
-			src, err := parseIP(req.Src)
-			if err != nil {
-				inputErr = fmt.Errorf("line %d: src: %v", lineNo, err)
-				return
-			}
-			dst, err := parseIP(req.Dst)
-			if err != nil {
-				inputErr = fmt.Errorf("line %d: dst: %v", lineNo, err)
-				return
-			}
-			echoes[produced%ringSize] = echo{req.Src, req.Dst}
-			produced++
-			if !yield([2]inano.IP{src, dst}) {
-				return
-			}
-		}
-		if err := scanner.Err(); err != nil && inputErr == nil {
-			inputErr = fmt.Errorf("reading batch body: %w", err)
-		}
-	}
 
-	// One pinned snapshot serves the whole stream and labels every line.
+	// One pinned snapshot serves the whole stream and labels every line;
+	// prediction trees built for one window stay cached for the next.
 	snap := s.c.Snapshot()
 	day := snap.Day()
-	prefixPairs := func(yield func([2]inano.Prefix) bool) {
-		for pr := range pairs {
-			if !yield([2]inano.Prefix{netsim.PrefixOf(pr[0]), netsim.PrefixOf(pr[1])}) {
-				return
+
+	type echo struct{ src, dst string }
+	reqs := make([]core.PairReq, 0, window)
+	echoes := make([]echo, 0, window)
+	answered := 0
+	var streamErr error
+	// flushWindow answers the buffered window in one per-pair-deadline
+	// batch and streams the result lines. A request-level failure (ctx
+	// expiry) lands in streamErr for the terminal error line; a non-nil
+	// return means the client went away and there is nothing left to
+	// write.
+	flushWindow := func() error {
+		if len(reqs) == 0 {
+			return nil
+		}
+		infos, expired, err := snap.QueryReqs(ctx, reqs)
+		if err != nil {
+			streamErr = err
+			return nil
+		}
+		for i := range infos {
+			res := resultFor(echoes[i].src, echoes[i].dst, day, infos[i], false)
+			if expired[i] {
+				res.Error = "deadline_ms exceeded"
+			}
+			if encErr := enc.Encode(res); encErr != nil {
+				return fmt.Errorf("writing batch response: %w", encErr)
+			}
+			answered++
+		}
+		reqs = reqs[:0]
+		echoes = echoes[:0]
+		flush()
+		return nil
+	}
+
+	now := time.Now
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		var req pairRequest
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			inputErr = fmt.Errorf("line %d: bad pair: %v", lineNo, err)
+			break
+		}
+		src, err := parseIP(req.Src)
+		if err != nil {
+			inputErr = fmt.Errorf("line %d: src: %v", lineNo, err)
+			break
+		}
+		dst, err := parseIP(req.Dst)
+		if err != nil {
+			inputErr = fmt.Errorf("line %d: dst: %v", lineNo, err)
+			break
+		}
+		if req.DeadlineMS < 0 {
+			inputErr = fmt.Errorf("line %d: bad deadline_ms %d", lineNo, req.DeadlineMS)
+			break
+		}
+		pr := core.PairReq{Src: netsim.PrefixOf(src), Dst: netsim.PrefixOf(dst)}
+		if req.DeadlineMS > 0 {
+			pr.Deadline = now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+		}
+		reqs = append(reqs, pr)
+		echoes = append(echoes, echo{req.Src, req.Dst})
+		if len(reqs) >= window {
+			if err := flushWindow(); err != nil {
+				s.pairsTotal.Add(uint64(answered))
+				return err
+			}
+			if streamErr != nil {
+				break
 			}
 		}
 	}
-	answered := 0
-	var streamErr error
-	for info, err := range snap.QueryStream(ctx, prefixPairs, window) {
-		if err != nil {
-			streamErr = err
-			break
-		}
-		e := echoes[answered%ringSize]
-		if encErr := enc.Encode(resultFor(e.src, e.dst, day, info, false)); encErr != nil {
-			// Client went away; nothing else to write.
+	if err := scanner.Err(); err != nil && inputErr == nil && streamErr == nil {
+		inputErr = fmt.Errorf("reading batch body: %w", err)
+	}
+	if streamErr == nil {
+		if err := flushWindow(); err != nil {
 			s.pairsTotal.Add(uint64(answered))
-			return fmt.Errorf("writing batch response: %w", encErr)
-		}
-		answered++
-		if answered%window == 0 {
-			flush()
+			return err
 		}
 	}
 	s.pairsTotal.Add(uint64(answered))
@@ -601,8 +689,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			"errors":      s.reloadErrors.Value(),
 			"last_unix_s": s.lastReload.Value(),
 		},
+		"feedback":             s.feedbackStats(),
 		"inflight":             s.inflight.Value(),
 		"batch_pairs_streamed": s.pairsTotal.Value(),
 		"http":                 perHandler,
 	})
+}
+
+// feedbackStats renders the feedback loop's state for /debug/stats.
+func (s *Server) feedbackStats() map[string]any {
+	fs := s.c.FeedbackStats()
+	s.mu.Lock()
+	last := s.lastRound
+	s.mu.Unlock()
+	return map[string]any{
+		"observations":    s.fbObservations.Value(),
+		"rate_limited":    s.fbRateLimited.Value(),
+		"sources":         s.fbLimiter.len(),
+		"sources_evicted": s.fbLimiter.evictions(),
+		"tracked":         fs.Entries,
+		"mean_error":      fs.MeanErr,
+		"worst_error":     fs.WorstErr,
+		"error_p50":       s.fbError.Quantile(0.50),
+		"error_p90":       s.fbError.Quantile(0.90),
+		"error_p99":       s.fbError.Quantile(0.99),
+		"rounds":          s.corrRounds.Value(),
+		"probes_issued":   s.corrProbes.Value(),
+		"probe_errors":    s.corrProbeErrors.Value(),
+		"merged":          s.corrMerged.Value(),
+		"last_round": map[string]any{
+			"budget":      last.Budget,
+			"probes":      last.Probes,
+			"merged":      last.Merged,
+			"utilization": last.Utilization(),
+		},
+	}
 }

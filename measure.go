@@ -1,29 +1,19 @@
 package inano
 
 import (
-	"sort"
-
-	"inano/internal/atlas"
-	"inano/internal/cluster"
 	"inano/internal/core"
-	"inano/internal/netsim"
+	"inano/internal/feedback"
 )
 
 // TracerouteHop is one observed hop of a client-side traceroute. A zero IP
 // records an unresponsive hop.
-type TracerouteHop struct {
-	IP    IP
-	RTTMS float64
-}
+type TracerouteHop = feedback.Hop
 
 // LocalTraceroute is a traceroute measured by this host (the library's
 // measurement toolkit issues these daily to a few hundred random prefixes,
-// §5 "Client-side Measurements").
-type LocalTraceroute struct {
-	Src  Prefix
-	Dst  Prefix
-	Hops []TracerouteHop
-}
+// §5 "Client-side Measurements" — and the feedback corrector issues them
+// on demand at the worst-mispredicted destinations).
+type LocalTraceroute = feedback.Traceroute
 
 // AddTraceroutes merges locally measured traceroutes into the FROM_SRC
 // plane of the atlas, improving predictions for paths out of this host
@@ -31,25 +21,14 @@ type LocalTraceroute struct {
 // by their /24 (a coarse client-side approximation of the server's full
 // clustering). It returns the number of atlas changes merged (new links,
 // plane tags, attachment entries) and rebuilds the prediction engine when
-// anything changed.
+// anything changed. The merge mechanics live in internal/feedback, shared
+// with the corrective scheduler.
 func (c *Client) AddTraceroutes(trs []LocalTraceroute) int {
 	// A traceroute can only contribute through hops that answered: links
 	// need two resolvable hops, attachment entries one. A batch whose hops
 	// are all unresponsive (zero IP) is a no-op — skip the atlas clone and
 	// engine rebuild entirely.
-	responsive := false
-	for i := range trs {
-		for _, h := range trs[i].Hops {
-			if h.IP != 0 {
-				responsive = true
-				break
-			}
-		}
-		if responsive {
-			break
-		}
-	}
-	if !responsive {
+	if !feedback.AnyResponsive(trs) {
 		return 0
 	}
 	c.mu.Lock()
@@ -58,107 +37,19 @@ func (c *Client) AddTraceroutes(trs []LocalTraceroute) int {
 	next := c.atlas.Clone()
 	old := c.atlas
 	c.atlas = next
-	added := 0
-	fresh := make(map[uint64]bool)
-	for i := range trs {
-		added += c.mergeTraceroute(&trs[i], fresh)
-	}
-	if added == 0 && next.NumClusters == old.NumClusters {
+	structural, residual := feedback.Merge(next, c.localCluster, trs)
+	if structural == 0 && residual == 0 && next.NumClusters == old.NumClusters {
 		c.atlas = old // nothing merged; keep the original snapshot
 		return 0
 	}
-	sort.Slice(next.Links, func(i, j int) bool {
-		a, b := next.Links[i], next.Links[j]
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		return a.To < b.To
-	})
-	next.InvalidateIndex()
+	if structural == 0 && next.NumClusters == old.NumClusters {
+		// Residual-only merge: route computation is untouched, so the
+		// new engine adopts the warm prediction-tree cache instead of
+		// cold-starting the serving path every corrective round.
+		c.engine = core.NewWithCache(next, c.opts, c.engine)
+		return residual
+	}
+	feedback.Finalize(next)
 	c.engine = core.New(next, c.opts)
-	return added
-}
-
-func (c *Client) mergeTraceroute(tr *LocalTraceroute, fresh map[uint64]bool) int {
-	type hopRef struct {
-		cl  cluster.ClusterID
-		rtt float64
-	}
-	var hops []hopRef
-	for _, h := range tr.Hops {
-		if h.IP == 0 {
-			hops = append(hops, hopRef{cl: -1})
-			continue
-		}
-		cl, ok := c.clusterForIP(h.IP)
-		if !ok {
-			hops = append(hops, hopRef{cl: -1})
-			continue
-		}
-		hops = append(hops, hopRef{cl: cl, rtt: h.RTTMS})
-	}
-	added := 0
-	for i := 0; i+1 < len(hops); i++ {
-		a, b := hops[i], hops[i+1]
-		if a.cl < 0 || b.cl < 0 || a.cl == b.cl {
-			continue
-		}
-		key := atlas.LinkKey(a.cl, b.cl)
-		if fresh[key] {
-			continue // appended earlier in this batch
-		}
-		if li := c.atlas.LinkAt(a.cl, b.cl); li >= 0 {
-			// Known link: make sure the FROM_SRC plane sees it.
-			if c.atlas.Links[li].Planes&atlas.PlaneFromSrc == 0 {
-				c.atlas.Links[li].Planes |= atlas.PlaneFromSrc
-				added++
-			}
-			continue
-		}
-		lat := (b.rtt - a.rtt) / 2
-		if lat < 0.1 {
-			lat = 0.1
-		}
-		c.atlas.Links = append(c.atlas.Links, atlas.Link{
-			From:      a.cl,
-			To:        b.cl,
-			LatencyMS: float32(lat),
-			Planes:    atlas.PlaneFromSrc,
-		})
-		fresh[key] = true
-		added++
-	}
-	// Record this host's attachment cluster if the atlas lacks it.
-	if _, ok := c.atlas.PrefixCluster[tr.Src]; !ok {
-		for _, h := range hops {
-			if h.cl >= 0 {
-				c.atlas.PrefixCluster[tr.Src] = h.cl
-				added++
-				break
-			}
-		}
-	}
-	return added
-}
-
-// clusterForIP maps an interface to a cluster: the attachment cluster of
-// its /24 when the atlas knows it, otherwise a locally allocated cluster
-// shared by all interfaces of that /24.
-func (c *Client) clusterForIP(ip IP) (cluster.ClusterID, bool) {
-	p := netsim.PrefixOf(ip)
-	if cl, ok := c.atlas.PrefixCluster[p]; ok {
-		return cl, true
-	}
-	if id, ok := c.localCluster[p]; ok {
-		return cluster.ClusterID(id), true
-	}
-	asn, ok := c.atlas.PrefixAS[p]
-	if !ok {
-		return 0, false // not even BGP knows this space; ignore
-	}
-	id := int32(c.atlas.NumClusters)
-	c.atlas.NumClusters++
-	c.atlas.ClusterAS = append(c.atlas.ClusterAS, asn)
-	c.localCluster[p] = id
-	return cluster.ClusterID(id), true
+	return structural + residual
 }

@@ -1,6 +1,15 @@
 package inano
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"inano/internal/feedback"
+	"inano/internal/netsim"
+	"inano/sim"
+)
 
 // TestAddTraceroutesAllUnresponsiveIsNoOp is the regression test for the
 // no-op path: a batch of traceroutes whose hops are all unresponsive (zero
@@ -34,5 +43,224 @@ func TestAddTraceroutesAllUnresponsiveIsNoOp(t *testing.T) {
 	// Empty input is equally a no-op.
 	if added := c.AddTraceroutes(nil); added != 0 || c.engine != engineBefore {
 		t.Fatal("nil traceroute batch must not touch the engine")
+	}
+}
+
+// realTraceroutes measures a batch of traceroutes from src with the
+// world's harness, converted to the client wire type.
+func realTraceroutes(f *fixture, src Prefix, n int) []LocalTraceroute {
+	meter := f.w.Measure(sim.CampaignOptions{Day: 0, VPs: nil, Targets: f.targets[:1]}).Meter()
+	var trs []LocalTraceroute
+	for k := 0; len(trs) < n; k++ {
+		dst := f.targets[(k*7+1)%len(f.targets)]
+		if dst == src {
+			continue
+		}
+		mt := meter.Traceroute(src, dst)
+		lt := LocalTraceroute{Src: src, Dst: dst}
+		for _, h := range mt.Hops {
+			lt.Hops = append(lt.Hops, TracerouteHop{IP: h.IP, RTTMS: h.RTTMS})
+		}
+		trs = append(trs, lt)
+	}
+	return trs
+}
+
+// TestAddTraceroutesIdempotent: merging the same measurements into an
+// already-patched atlas must be a no-op — no second clone, no engine
+// rebuild, no cluster-count drift — so a client re-reporting yesterday's
+// traceroutes never invalidates its warm tree cache.
+func TestAddTraceroutesIdempotent(t *testing.T) {
+	f := buildFixture(t, 131, 0)
+	c := FromAtlas(f.a.Clone())
+	trs := realTraceroutes(f, f.vps[0], 8)
+	if added := c.AddTraceroutes(trs); added == 0 {
+		t.Skip("world produced no mergeable traceroutes")
+	}
+	engineAfterFirst, clustersAfterFirst := c.engine, c.atlas.NumClusters
+	if again := c.AddTraceroutes(trs); again != 0 {
+		t.Fatalf("second merge of identical traceroutes added %d changes", again)
+	}
+	if c.engine != engineAfterFirst {
+		t.Fatal("engine rebuilt for an idempotent merge")
+	}
+	if c.atlas.NumClusters != clustersAfterFirst {
+		t.Fatalf("cluster count drifted %d -> %d", clustersAfterFirst, c.atlas.NumClusters)
+	}
+}
+
+// TestAddTraceroutesDuplicateHops: interfaces repeating along a path
+// (consecutive duplicate answers, several interfaces of one cluster) must
+// never produce self-links.
+func TestAddTraceroutesDuplicateHops(t *testing.T) {
+	f := buildFixture(t, 132, 0)
+	c := FromAtlas(f.a.Clone())
+	trs := realTraceroutes(f, f.vps[0], 6)
+	// Duplicate every responsive hop in place.
+	for i := range trs {
+		var dup []TracerouteHop
+		for _, h := range trs[i].Hops {
+			dup = append(dup, h)
+			if h.IP != 0 {
+				dup = append(dup, TracerouteHop{IP: h.IP, RTTMS: h.RTTMS + 0.3})
+			}
+		}
+		trs[i].Hops = dup
+	}
+	c.AddTraceroutes(trs)
+	for _, l := range c.Atlas().Links {
+		if l.From == l.To {
+			t.Fatalf("self-link merged: %+v", l)
+		}
+	}
+}
+
+// TestAddTraceroutesDecreasingRTT: hop RTTs decreasing along a path (a
+// common artifact of asymmetric reverse paths) must clamp link latencies
+// at the floor, never merge a negative or zero latency.
+func TestAddTraceroutesDecreasingRTT(t *testing.T) {
+	f := buildFixture(t, 133, 0)
+	c := FromAtlas(f.a.Clone())
+	trs := realTraceroutes(f, f.vps[0], 6)
+	for i := range trs {
+		// Reverse each traceroute's RTT sequence so deltas go negative.
+		hops := trs[i].Hops
+		for j, k := 0, len(hops)-1; j < k; j, k = j+1, k-1 {
+			hops[j].RTTMS, hops[k].RTTMS = hops[k].RTTMS, hops[j].RTTMS
+		}
+	}
+	c.AddTraceroutes(trs)
+	for _, l := range c.Atlas().Links {
+		if l.LatencyMS < 0.1 {
+			t.Fatalf("link below latency floor: %+v", l)
+		}
+	}
+}
+
+// TestResidualOnlyMergeKeepsTreeCache: a corrective round that only
+// revises residual corrections (links already merged) must not
+// cold-start the warm prediction-tree cache — route computation is
+// untouched, so the new engine adopts the old cache.
+func TestResidualOnlyMergeKeepsTreeCache(t *testing.T) {
+	f := buildFixture(t, 108, 0)
+	c := FromAtlas(f.a.Clone())
+	src := f.vps[0]
+	trs := realTraceroutes(f, src, 6)
+	if c.AddTraceroutes(trs) == 0 {
+		t.Skip("world produced no mergeable traceroutes")
+	}
+	// Warm the cache.
+	for _, dst := range f.vps[1:] {
+		c.QueryPrefix(src, dst)
+	}
+	warm := c.CacheStats()
+	if warm.Len == 0 {
+		t.Fatal("no trees cached after warming queries")
+	}
+	// The same paths re-measured with a prediction attached: structurally
+	// a no-op, but the measured RTT teaches a residual.
+	for i := range trs {
+		info := c.QueryPrefix(trs[i].Src, trs[i].Dst)
+		trs[i].PredictedRTTMS = info.RTTMS + 1000 // force a large residual step
+		trs[i].Predicted = true
+	}
+	added := c.AddTraceroutes(trs)
+	if added == 0 {
+		t.Skip("no residuals learned (no traceroute reached its destination)")
+	}
+	if got := c.CacheStats(); got.Len < warm.Len || got.Builds < warm.Builds {
+		t.Fatalf("residual-only merge dropped the warm tree cache: %+v -> %+v", warm, got)
+	}
+	if len(c.Atlas().AdjustMS) == 0 {
+		t.Fatal("no residual corrections recorded")
+	}
+}
+
+// TestObserveAndCorrectClosesLoop drives the full client-side feedback
+// loop against the simulator: observations of true RTTs are tracked,
+// the corrective budget is spent on the worst-mispredicted destinations,
+// and the served predictions for those destinations move toward the
+// observed truth.
+func TestObserveAndCorrectClosesLoop(t *testing.T) {
+	f := buildFixture(t, 108, 0)
+	c := FromAtlas(f.a.Clone())
+	src := f.vps[0]
+	meter := f.w.Measure(sim.CampaignOptions{Day: 0, VPs: nil, Targets: f.targets[:1]}).Meter()
+
+	type workItem struct {
+		dst  Prefix
+		rtt  float64
+		err0 float64
+	}
+	// The workload queries the other vantage points: bidirectionally
+	// predictable destinations, so the RTT residual corrections apply
+	// (client-side probes cannot conjure reverse paths toward this host,
+	// §4.3.1's asymmetric contract).
+	var work []workItem
+	for _, dst := range f.vps[1:] {
+		if dst == src {
+			continue
+		}
+		rtt, ok := f.w.TrueRTT(0, src, dst)
+		if !ok {
+			continue
+		}
+		info := c.QueryPrefix(src, dst)
+		work = append(work, workItem{dst: dst, rtt: rtt, err0: feedback.RelErr(info.RTTMS, rtt, info.Found)})
+		sample := c.ObserveRTT(src.HostIP(), dst.HostIP(), rtt)
+		if sample.Err != work[len(work)-1].err0 {
+			t.Fatalf("ObserveRTT error mismatch: %v vs %v", sample.Err, work[len(work)-1].err0)
+		}
+	}
+	if len(work) < 8 {
+		t.Skip("world too sparse for a feedback workload")
+	}
+	if got := c.FeedbackStats(); got.Entries == 0 || got.TotalSamples == 0 {
+		t.Fatalf("tracker empty after observations: %+v", got)
+	}
+
+	round := c.CorrectOnce(context.Background(), feedback.SimProber{Meter: meter}, CorrectorConfig{
+		Budget:   8,
+		MinError: 0.05,
+		Cooldown: time.Hour,
+	})
+	if round.Probes == 0 {
+		t.Fatal("no corrective probes issued")
+	}
+	if round.Merged == 0 {
+		t.Fatal("corrective probes merged nothing")
+	}
+
+	before, after := 0.0, 0.0
+	for _, w := range work {
+		info := c.QueryPrefix(src, w.dst)
+		before += w.err0
+		after += feedback.RelErr(info.RTTMS, w.rtt, info.Found)
+	}
+	if !(after < before) {
+		t.Fatalf("mean error did not decrease: %.4f -> %.4f", before/float64(len(work)), after/float64(len(work)))
+	}
+}
+
+// TestAdjustMSLocalOnly: the residual corrections are client-local state —
+// they must survive Clone (the copy-on-write path) but never enter the
+// encoded atlas.
+func TestAdjustMSLocalOnly(t *testing.T) {
+	f := buildFixture(t, 135, 0)
+	a := f.a.Clone()
+	a.AdjustMS[netsim.Prefix(42)] = 7
+	if got := a.Clone().AdjustMS[netsim.Prefix(42)]; got != 7 {
+		t.Fatalf("Clone dropped AdjustMS: %v", got)
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Atlas().AdjustMS) != 0 {
+		t.Fatal("AdjustMS leaked through the codec")
 	}
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Smoke test for the inanod daemon: build it, serve a sim-generated atlas,
-# exercise /healthz, a single /v1/query, and a streamed /v1/batch, then
-# assert clean graceful shutdown on SIGTERM. Run from the repo root; used
-# by CI's smoke job and runnable locally.
+# exercise /healthz, a single /v1/query, a streamed /v1/batch, a
+# /v1/feedback observation report (with the corrective loop running
+# against the generating world), and /v1/relay, then assert clean graceful
+# shutdown on SIGTERM. Run from the repo root; used by CI's smoke job and
+# runnable locally.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
@@ -21,15 +23,16 @@ go build -o "$workdir/" ./cmd/inanod ./cmd/inano-build ./cmd/inano-query
 echo "== generating atlas"
 "$workdir/inano-build" -scale tiny -o "$workdir/atlas.bin" >/dev/null
 
-# Two known-good IPs: take the first two prefixes the atlas can answer for.
+# Known-good IPs: take the first prefixes the atlas can answer for.
 mapfile -t prefixes < <("$workdir/inano-query" -atlas "$workdir/atlas.bin" -list \
-  | sed -n 's#^\([0-9.]*\)\.0/24 .*#\1.1#p' | head -2)
+  | sed -n 's#^\([0-9.]*\)\.0/24 .*#\1.1#p' | head -6)
 src="${prefixes[0]}"
 dst="${prefixes[1]}"
 echo "== querying $src -> $dst"
 
-echo "== starting inanod"
+echo "== starting inanod (corrective loop against the generating world)"
 "$workdir/inanod" -atlas "$workdir/atlas.bin" -listen 127.0.0.1:0 \
+  -probe-sim tiny:42 -correct-interval 1s -correct-budget 4 \
   >"$workdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
@@ -65,8 +68,36 @@ if grep -q '"error"' "$batch_out"; then echo "FAIL: error line in batch stream";
 echo "   $lines results streamed"
 
 echo "== /metrics"
-curl -fsS "$base/metrics" | grep -q '^inanod_batch_pairs_streamed_total 500$' \
+# Capture, then grep: grep -q exiting early would SIGPIPE curl and trip
+# pipefail now that the metrics page is long.
+metrics="$(curl -fsS "$base/metrics")"
+grep -q '^inanod_batch_pairs_streamed_total 500$' <<<"$metrics" \
   || { echo "FAIL: streamed-pairs metric missing"; exit 1; }
+
+echo "== /v1/feedback (observation report)"
+feedback="$(printf '{"src":"%s","dst":"%s","rtt_ms":250}\n{"src":"%s","dst":"%s","rtt_ms":300}\n' \
+  "$src" "$dst" "$src" "${prefixes[2]}" \
+  | curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$base/v1/feedback")"
+echo "   $feedback"
+grep -q '"accepted":2' <<<"$feedback" || { echo "FAIL: feedback not accepted"; exit 1; }
+
+echo "== /v1/relay"
+relay="$(curl -fsS "$base/v1/relay?src=$src&dst=$dst&relays=${prefixes[3]},${prefixes[4]},${prefixes[5]}&k=2")"
+echo "   $relay"
+grep -q '"candidates":3' <<<"$relay" || { echo "FAIL: relay endpoint broken"; exit 1; }
+
+echo "== corrective loop alive"
+rounds_ok=""
+for _ in $(seq 1 30); do
+  metrics="$(curl -fsS "$base/metrics")"
+  if awk '/^inanod_corrective_rounds_total /{found=($2>=1)} END{exit !found}' <<<"$metrics"; then
+    rounds_ok=1; break
+  fi
+  sleep 0.2
+done
+[[ -n "$rounds_ok" ]] || { echo "FAIL: corrector never ran a round"; exit 1; }
+grep -q '^inanod_feedback_observations_total 2$' <<<"$metrics" \
+  || { echo "FAIL: feedback observations metric missing"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$daemon_pid"

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Extended -race soak of the inanod daemon under load: the daemon (built
+# with the race detector) serves concurrent singles, streamed batches,
+# feedback reports, and relay selections while the corrective loop patches
+# the atlas in the background — the full serving surface racing the full
+# mutation surface. Fails on request errors, a dirty shutdown, or any
+# detected data race.
+#
+# Tunables (env): SOAK_SINGLES (default 20000), SOAK_PAIRS (default
+# 100000), SOAK_CONC (default 8), SOAK_FEEDBACK_ROUNDS (default 20),
+# SOAK_OUT (artifact directory, default a fresh mktemp -d).
+set -euo pipefail
+
+singles="${SOAK_SINGLES:-20000}"
+pairs="${SOAK_PAIRS:-100000}"
+conc="${SOAK_CONC:-8}"
+fb_rounds="${SOAK_FEEDBACK_ROUNDS:-20}"
+out="${SOAK_OUT:-$(mktemp -d)}"
+mkdir -p "$out"
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building (daemon with -race)"
+go build -race -o "$workdir/inanod" ./cmd/inanod
+go build -o "$workdir/" ./cmd/inano-build ./cmd/inano-eval ./cmd/inano-query
+
+echo "== generating atlas (medium world)"
+"$workdir/inano-build" -scale medium -o "$workdir/atlas.bin" >"$out/build.log"
+
+echo "== starting inanod -race with the corrective loop"
+"$workdir/inanod" -atlas "$workdir/atlas.bin" -listen 127.0.0.1:0 \
+  -probe-sim medium:42 -correct-interval 2s -correct-budget 8 \
+  >"$out/daemon.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base="$(sed -n 's#^inanod: listening on \(http://[0-9.:]*\)$#\1#p' "$out/daemon.log" | head -1)"
+  [[ -n "$base" ]] && break
+  kill -0 "$daemon_pid" || { echo "FAIL: daemon died at startup"; cat "$out/daemon.log"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$base" ]] || { echo "FAIL: daemon never reported its address"; cat "$out/daemon.log"; exit 1; }
+echo "   daemon at $base"
+
+# Feedback + relay churn in the background: every round reports skewed
+# observations (keeping the corrector busy rebuilding the atlas
+# copy-on-write under the query load) and asks for a relay.
+mapfile -t ips < <("$workdir/inano-query" -atlas "$workdir/atlas.bin" -list \
+  | sed -n 's#^\([0-9.]*\)\.0/24 .*#\1.1#p' | head -8)
+feedback_churn() {
+  for i in $(seq 1 "$fb_rounds"); do
+    for j in 1 2 3 4; do
+      printf '{"src":"%s","dst":"%s","rtt_ms":%d}\n' "${ips[0]}" "${ips[$j]}" "$((100 + i + j))"
+    done | curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' \
+      "$base/v1/feedback" >>"$out/feedback.log" 2>&1 || true
+    echo >>"$out/feedback.log"
+    curl -fsS "$base/v1/relay?src=${ips[0]}&dst=${ips[1]}&relays=${ips[5]},${ips[6]},${ips[7]}" \
+      >>"$out/relay.log" 2>&1 || true
+    echo >>"$out/relay.log"
+    sleep 0.5
+  done
+}
+feedback_churn &
+churn_pid=$!
+
+echo "== loadgen: $singles concurrent singles"
+"$workdir/inano-eval" -loadgen "$base" -load-atlas "$workdir/atlas.bin" \
+  -load-n "$singles" -load-conc "$conc" | tee "$out/loadgen-singles.txt"
+
+echo "== loadgen: $pairs streamed batch pairs"
+"$workdir/inano-eval" -loadgen "$base" -load-atlas "$workdir/atlas.bin" \
+  -load-n "$pairs" -load-batch "$((pairs / conc))" -load-conc "$conc" | tee "$out/loadgen-batch.txt"
+
+wait "$churn_pid" || true
+
+echo "== final metrics snapshot"
+curl -fsS "$base/metrics" >"$out/metrics.txt"
+grep -E '^inanod_(feedback_observations_total|corrective_rounds_total|batch_pairs_streamed_total)' "$out/metrics.txt" || true
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+shutdown_rc=0
+wait "$daemon_pid" || shutdown_rc=$?
+daemon_pid=""
+[[ "$shutdown_rc" -eq 0 ]] || { echo "FAIL: daemon exited $shutdown_rc"; tail -50 "$out/daemon.log"; exit 1; }
+grep -q '^inanod: shutdown complete$' "$out/daemon.log" \
+  || { echo "FAIL: no clean shutdown marker"; tail -50 "$out/daemon.log"; exit 1; }
+if grep -q 'DATA RACE' "$out/daemon.log"; then
+  echo "FAIL: data race detected"; grep -A 20 'DATA RACE' "$out/daemon.log" | head -60; exit 1
+fi
+
+echo "PASS: inanod soak (artifacts in $out)"
