@@ -2,9 +2,25 @@
 // synthetic world and writes the resulting atlas (and, for day > 0, the
 // delta from the previous day) — the server side of §5.
 //
+// With -observations it folds an aggregated client-observation snapshot
+// (written by inanod -aggregate -obs-snapshot) into the build as the
+// GlobalAdjustMS dataset, so client-measured ground truth ships to every
+// peer inside the ordinary daily delta.
+//
+// A correction's lifecycle across days is managed through -prev: pass the
+// previous day's *archived* atlas (the -o output, corrections included)
+// and the build carries yesterday's corrections forward — re-supported
+// prefixes keep theirs, unsupported ones halve and expire, and the delta
+// (diffed against that same archive) ships the updates and deletions
+// clients need to stay exactly in sync. Without -prev the day-1 base is
+// rebuilt plain, which ships today's corrections but cannot expire
+// yesterday's on clients that follow deltas.
+//
 // Usage:
 //
 //	inano-build [-scale tiny|medium|eval] [-seed N] [-day D] [-vps N] [-o atlas.bin] [-delta delta.bin]
+//	inano-build -delta delta0.bin -observations obs.json                 # day-0 correction-only delta
+//	inano-build -day 1 -prev atlas0.bin -delta delta1.bin -observations obs.json
 package main
 
 import (
@@ -13,6 +29,8 @@ import (
 	"os"
 
 	"inano/internal/atlas"
+	"inano/internal/feedback"
+	"inano/internal/netsim"
 	"inano/sim"
 )
 
@@ -22,7 +40,10 @@ func main() {
 	day := flag.Int("day", 0, "measurement day")
 	vps := flag.Int("vps", 60, "number of vantage points")
 	out := flag.String("o", "atlas.bin", "output atlas file")
-	deltaOut := flag.String("delta", "", "also write the delta from day-1 to this file")
+	deltaOut := flag.String("delta", "", "also write the delta from the previous day to this file")
+	prevPath := flag.String("prev", "", "previous day's archived atlas (the -o output, corrections included): delta base and carried-correction source; default rebuilds the previous day without corrections")
+	obsPath := flag.String("observations", "", "aggregated observation snapshot (inanod -obs-snapshot) to fold into the build")
+	obsMinReporters := flag.Int("obs-min-reporters", 3, "fold only aggregates backed by at least this many reporting source clusters")
 	flag.Parse()
 
 	var sc sim.Scale
@@ -47,7 +68,42 @@ func main() {
 		c := w.Measure(sim.CampaignOptions{Day: d, VPs: vpList, Targets: targets})
 		return c.BuildAtlas()
 	}
-	a := build(*day)
+	var residuals map[netsim.Prefix]float64
+	if *obsPath != "" {
+		snap, err := feedback.LoadSnapshot(*obsPath)
+		if err != nil {
+			fatal(err)
+		}
+		residuals = snap.Residuals(*obsMinReporters)
+		fmt.Printf("observations: %d aggregated prefixes, %d folded (>= %d reporters)\n",
+			len(snap.Prefixes), len(residuals), *obsMinReporters)
+	}
+	var prev *atlas.Atlas
+	if *prevPath != "" {
+		pf, err := os.Open(*prevPath)
+		if err != nil {
+			fatal(err)
+		}
+		prev, err = atlas.Decode(pf)
+		pf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	plain := build(*day)
+	if prev != nil && len(prev.GlobalAdjustMS) > 0 {
+		// Yesterday's corrections carry onto today's build: fresh
+		// residuals keep theirs full strength, unsupported ones halve and
+		// expire — so the delta below can ship the deletions.
+		carried := atlas.CarryCorrections(plain, prev, residuals)
+		fmt.Printf("observations: %d corrections carried from %s\n", carried, *prevPath)
+	}
+	a := plain
+	if len(residuals) > 0 {
+		var folded int
+		a, folded = atlas.FoldObservations(plain, residuals)
+		fmt.Printf("observations: %d corrections shipped in the atlas\n", folded)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -64,9 +120,21 @@ func main() {
 		fmt.Printf("  %-38s %8d entries %8d bytes\n", s.Name, s.Entries, s.Compressed)
 	}
 
-	if *deltaOut != "" && *day > 0 {
-		prev := build(*day - 1)
-		d := atlas.Diff(prev, a)
+	if *deltaOut != "" && (*day > 0 || prev != nil || a != plain) {
+		// The delta's base is the archived previous atlas (-prev) when
+		// given, else yesterday's rebuild; at day 0 with folded
+		// observations it is today's *plain* build instead, yielding a
+		// correction-only delta (FromDay == ToDay) — an intra-day push of
+		// the aggregated corrections to clients already serving today's
+		// atlas.
+		base := prev
+		if base == nil {
+			base = plain
+			if *day > 0 {
+				base = build(*day - 1)
+			}
+		}
+		d := atlas.Diff(base, a)
 		df, err := os.Create(*deltaOut)
 		if err != nil {
 			fatal(err)
@@ -78,7 +146,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("delta day %d -> %d: %d entries -> %s (%d bytes)\n",
-			*day-1, *day, d.Entries(), *deltaOut, d.EncodedSize())
+			d.FromDay, d.ToDay, d.Entries(), *deltaOut, d.EncodedSize())
 	}
 }
 

@@ -31,6 +31,9 @@ func main() {
 	feedbackMode := flag.Bool("feedback", false, "run the measurement-feedback-loop experiment (error before/after corrective probes)")
 	fbBudget := flag.Int("feedback-budget", 8, "corrective probes per round in -feedback mode")
 	fbRounds := flag.Int("feedback-rounds", 4, "corrective rounds in -feedback mode")
+	upstreamMode := flag.Bool("upstream", false, "run the upstream-observation-sharing replay (non-reporting client error before/after the aggregated delta)")
+	upReporters := flag.Int("upstream-reporters", 0, "reporting clients in -upstream mode (0 = all validation sources but one)")
+	upMinReporters := flag.Int("upstream-min-reporters", 3, "min distinct reporters behind a folded aggregate in -upstream mode")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running inanod (e.g. http://127.0.0.1:7353)")
 	loadAtlas := flag.String("load-atlas", "atlas.bin", "atlas file the daemon serves (source of queryable prefixes)")
 	loadN := flag.Int("load-n", 10_000, "total queries (singles) or pairs (batch) to issue")
@@ -64,6 +67,23 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "inano-eval: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *upstreamMode {
+		fmt.Printf("# iPlane Nano upstream sharing — scale=%s seed=%d\n", *scale, *seed)
+		lab := experiments.NewLab(cfg)
+		fmt.Printf("world: %s\n\n", lab.W.Top.Stats())
+		res := experiments.UpstreamLoop(lab, *upReporters, *upMinReporters)
+		fmt.Print(res.Render())
+		if res.ErrAfter >= res.ErrBefore {
+			fmt.Fprintln(os.Stderr, "inano-eval: aggregated delta did not reduce the non-reporter's mean prediction error")
+			os.Exit(1)
+		}
+		if !res.AdvWithin {
+			fmt.Fprintln(os.Stderr, "inano-eval: adversarial reporter escaped the median bound")
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *feedbackMode {

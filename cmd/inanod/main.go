@@ -16,6 +16,9 @@
 //	inanod -atlas atlas.bin -watch-delta delta.bin -watch-interval 5s
 //	inanod -fetch-manifest atlas.manifest -delta-manifest delta.manifest
 //	inanod -atlas atlas.bin -probe-sim tiny:42 -correct-interval 30s -correct-budget 8
+//	inanod -atlas atlas.bin -aggregate -obs-snapshot obs.json          (build server)
+//	inanod -atlas atlas.bin -probe-sim tiny:42 \
+//	       -upload-observations http://build:7353/v1/observations      (sharing client)
 //
 // With -probe-sim the daemon closes the measurement feedback loop:
 // observations POSTed to /v1/feedback are aggregated per destination, and
@@ -24,6 +27,15 @@
 // synthetic world (scale:seed must match the served atlas's inano-build
 // invocation). Real deployments plug a real traceroute prober in via
 // server.RunCorrector.
+//
+// The loop's upstream half (§5 both ways): with -upload-observations the
+// daemon opts in to sharing its corrective observations with a build
+// server; with -aggregate it *is* the build server's ingest — clients'
+// observations POSTed to /v1/observations are validated against the
+// serving atlas, robustly aggregated (median per destination prefix
+// across reporting source clusters), and periodically snapshotted to
+// -obs-snapshot, where inano-build -observations folds them into the next
+// daily delta for the whole swarm.
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM, draining in-flight
 // requests, and prints "inanod: shutdown complete" when done.
@@ -69,6 +81,13 @@ func main() {
 	correctInterval := flag.Duration("correct-interval", time.Minute, "corrective round interval")
 	correctBudget := flag.Int("correct-budget", 8, "corrective traceroutes per round")
 	correctMinError := flag.Float64("correct-min-error", 0.10, "EWMA error below which a destination is never probed")
+	aggregate := flag.Bool("aggregate", false, "enable POST /v1/observations: aggregate clients' corrective observations for the next build")
+	obsSnapshot := flag.String("obs-snapshot", "", "write the observation aggregate to this file (with -aggregate; inano-build -observations folds it into the next delta)")
+	obsSnapshotInterval := flag.Duration("obs-snapshot-interval", time.Minute, "observation snapshot write interval")
+	obsRate := flag.Float64("obs-rate", 0, "per-source /v1/observations observations per second (0 = default 8, negative = unlimited)")
+	obsBurst := flag.Int("obs-burst", 0, "per-source /v1/observations burst (0 = default 64)")
+	uploadURL := flag.String("upload-observations", "", "opt in to sharing this daemon's corrective observations: a build server's /v1/observations URL")
+	uploadInterval := flag.Duration("upload-interval", time.Minute, "observation upload flush interval")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -83,14 +102,23 @@ func main() {
 	logf("inanod: atlas day %d loaded: %d clusters, %d links, %d prefixes",
 		a.Day, a.NumClusters, len(a.Links), len(a.PrefixCluster))
 
+	var agg *feedback.Aggregator
+	if *aggregate {
+		agg = feedback.NewAggregator(feedback.AggregatorConfig{})
+	} else if *obsSnapshot != "" {
+		fatal(errors.New("-obs-snapshot requires -aggregate"))
+	}
 	s := server.New(server.Config{
-		Client:          client,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		StreamWindow:    *window,
-		FeedbackRate:    *feedbackRate,
-		FeedbackBurst:   *feedbackBurst,
-		Logf:            logf,
+		Client:           client,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		StreamWindow:     *window,
+		FeedbackRate:     *feedbackRate,
+		FeedbackBurst:    *feedbackBurst,
+		Aggregator:       agg,
+		ObservationRate:  *obsRate,
+		ObservationBurst: *obsBurst,
+		Logf:             logf,
 	})
 
 	ln, err := net.Listen("tcp", *listen)
@@ -118,19 +146,62 @@ func main() {
 			s.WatchManifest(ctx, *deltaManifest, *manifestInterval)
 		}()
 	}
+	// Upstream sharing (opt-in): the corrector's successful traceroutes
+	// queue into an uploader that periodically flushes to the build server.
+	var uploader *inano.Uploader
+	if *uploadURL != "" {
+		uploader = inano.NewUploader(inano.UploaderConfig{URL: *uploadURL})
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			t := time.NewTicker(*uploadInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					// Final flush so a draining daemon ships what it has.
+					flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					if n, err := uploader.Flush(flushCtx); err != nil {
+						logf("inanod: final observation flush: %v", err)
+					} else if n > 0 {
+						logf("inanod: shipped %d observations upstream at shutdown", n)
+					}
+					cancel()
+					return
+				case <-t.C:
+					if n, err := uploader.Flush(ctx); err != nil {
+						logf("inanod: observation upload: %v", err)
+					} else if n > 0 {
+						logf("inanod: shipped %d observations upstream", n)
+					}
+				}
+			}
+		}()
+	}
 	if *probeSim != "" {
 		prober, err := simProber(*probeSim, client.Day)
 		if err != nil {
 			fatal(err)
 		}
+		cfg := feedback.Config{
+			Budget:   *correctBudget,
+			Interval: *correctInterval,
+			MinError: *correctMinError,
+		}
+		if uploader != nil {
+			cfg.Observe = uploader.Observe
+		}
 		watchers.Add(1)
 		go func() {
 			defer watchers.Done()
-			s.RunCorrector(ctx, prober, feedback.Config{
-				Budget:   *correctBudget,
-				Interval: *correctInterval,
-				MinError: *correctMinError,
-			})
+			s.RunCorrector(ctx, prober, cfg)
+		}()
+	}
+	if agg != nil && *obsSnapshot != "" {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			s.RunObservationSnapshots(ctx, *obsSnapshot, *obsSnapshotInterval)
 		}()
 	}
 

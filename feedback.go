@@ -26,7 +26,28 @@ type (
 	CorrectorRound = feedback.Round
 	// Prober issues one corrective traceroute.
 	Prober = feedback.Prober
+	// UpstreamObservation is one corrective observation shared with the
+	// build server.
+	UpstreamObservation = feedback.UpstreamObservation
+	// Uploader batches and ships corrective observations upstream.
+	Uploader = feedback.Uploader
+	// UploaderConfig tunes upstream observation shipping.
+	UploaderConfig = feedback.UploaderConfig
 )
+
+// NewUploader builds an uploader shipping this host's corrective
+// observations to a build server's POST /v1/observations endpoint — the
+// upstream half of the measurement loop (§5 both ways: the aggregate of
+// everyone's corrections comes back to every peer in the next daily
+// delta). Wire it into a corrector through the Observe hook:
+//
+//	up := inano.NewUploader(inano.UploaderConfig{URL: buildURL + "/v1/observations"})
+//	cor := client.NewCorrector(prober, inano.CorrectorConfig{Observe: up.Observe})
+//	// ... periodically: up.Flush(ctx)
+//
+// Sharing is strictly opt-in: a client that never constructs an uploader
+// shares nothing.
+func NewUploader(cfg UploaderConfig) *Uploader { return feedback.NewUploader(cfg) }
 
 // ObserveRTT reports an application-observed round-trip time for traffic
 // from src to dst and returns how it compares with the current

@@ -301,6 +301,15 @@ func (s Snapshot) QueryReqs(ctx context.Context, reqs []PairReq) ([]PathInfo, []
 	return s.e.QueryBatchPartial(ctx, reqs)
 }
 
+// AttachmentCluster returns the attachment cluster of a prefix in the
+// pinned atlas — the identity feedback attribution and upstream
+// observation ingest key on. ok is false when the atlas cannot place the
+// prefix.
+func (s Snapshot) AttachmentCluster(p Prefix) (int32, bool) {
+	cl, ok := s.e.AttachmentCluster(p)
+	return int32(cl), ok
+}
+
 // CacheStats reports the current engine's prediction-tree cache counters
 // (hits, misses, Dijkstra builds, trees resident) — the observability hook
 // behind inanod's /metrics and /debug/stats. Counters reset when a delta

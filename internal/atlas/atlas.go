@@ -109,8 +109,21 @@ type Atlas struct {
 	// the client never measured. The engine adds it to the one-way
 	// prediction toward the prefix (so a bidirectional query absorbs it
 	// once, on the forward leg). Local-only: never encoded, deltaed, or
-	// shipped.
+	// shipped; it decays across day rolls (see Delta.Apply).
 	AdjustMS map[netsim.Prefix]float32
+
+	// GlobalAdjustMS is the shipped counterpart of AdjustMS: signed
+	// per-destination-prefix corrections the *build server* folded from
+	// clients' uploaded corrective observations (robust median across
+	// reporting source clusters — see FoldObservations). Unlike AdjustMS
+	// it is real atlas structure: encoded, bounded (±MaxObservationFoldMS,
+	// enforced at decode), deltaed day over day, and distributed through
+	// the swarm, so a peer that never probed a destination still serves
+	// the swarm-wide correction for it. The engine applies it exactly
+	// like AdjustMS — once per answer, on the forward leg — and the two
+	// stack: the local term converges on whatever residual remains after
+	// the global one.
+	GlobalAdjustMS map[netsim.Prefix]float32
 
 	// linkIndex is the lazily built (From,To) -> Links index. It is an
 	// atomic pointer so concurrent readers stay lock-free; idxMu
@@ -122,16 +135,17 @@ type Atlas struct {
 // New returns an empty atlas with all maps allocated.
 func New() *Atlas {
 	return &Atlas{
-		Loss:          make(map[uint64]float32),
-		PrefixCluster: make(map[netsim.Prefix]cluster.ClusterID),
-		PrefixAS:      make(map[netsim.Prefix]netsim.ASN),
-		ASDegree:      make(map[netsim.ASN]int32),
-		Tuples:        make(map[uint64]bool),
-		Prefs:         make(map[uint64]bool),
-		Providers:     make(map[netsim.ASN][]netsim.ASN),
-		Rels:          make(map[uint64]netsim.Rel),
-		AdjustMS:      make(map[netsim.Prefix]float32),
-		LateExit:      make(map[uint64]bool),
+		Loss:           make(map[uint64]float32),
+		PrefixCluster:  make(map[netsim.Prefix]cluster.ClusterID),
+		PrefixAS:       make(map[netsim.Prefix]netsim.ASN),
+		ASDegree:       make(map[netsim.ASN]int32),
+		Tuples:         make(map[uint64]bool),
+		Prefs:          make(map[uint64]bool),
+		Providers:      make(map[netsim.ASN][]netsim.ASN),
+		Rels:           make(map[uint64]netsim.Rel),
+		AdjustMS:       make(map[netsim.Prefix]float32),
+		GlobalAdjustMS: make(map[netsim.Prefix]float32),
+		LateExit:       make(map[uint64]bool),
 	}
 }
 
@@ -272,6 +286,9 @@ func (a *Atlas) Clone() *Atlas {
 	}
 	for k, v := range a.AdjustMS {
 		b.AdjustMS[k] = v
+	}
+	for k, v := range a.GlobalAdjustMS {
+		b.GlobalAdjustMS[k] = v
 	}
 	return b
 }

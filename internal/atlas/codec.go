@@ -18,8 +18,10 @@ import (
 // records; latencies quantize to 0.01 ms and loss rates to 0.01%, matching
 // the paper's "pocket-sized" representation goals.
 const (
-	atlasMagic   = "INANOATL"
-	atlasVersion = 1
+	atlasMagic = "INANOATL"
+	// atlasVersion 2 added the aggregated-corrections dataset
+	// (GlobalAdjustMS) to both the atlas and the delta streams.
+	atlasVersion = 2
 
 	// maxDecodedBytes caps how far Decode will inflate a stream. Real
 	// atlases decompress to tens of megabytes; the cap only exists so a
@@ -46,6 +48,7 @@ const (
 	secProviders
 	secRels
 	secLateExit
+	secGlobalAdjust
 	numSections
 )
 
@@ -74,6 +77,8 @@ func SectionName(sec int) string {
 		return "AS relationships"
 	case secLateExit:
 		return "Late-exit pairs"
+	case secGlobalAdjust:
+		return "Aggregated corrections"
 	default:
 		return fmt.Sprintf("section %d", sec)
 	}
@@ -143,6 +148,64 @@ func quantLoss(l float32) uint64 {
 }
 
 func unquantLoss(u uint64) float32 { return float32(u) / 10000 }
+
+// quantAdj converts a signed correction to zigzagged 0.01 ms wire units.
+func quantAdj(ms float32) uint64 {
+	var q int64
+	if ms >= 0 {
+		q = int64(ms*100 + 0.5)
+	} else {
+		q = int64(ms*100 - 0.5)
+	}
+	return zigzag(q)
+}
+
+func unquantAdj(u uint64) float32 { return float32(unzigzag(u)) / 100 }
+
+// zigzag maps a signed value to an unsigned one with small magnitudes
+// staying small (varint-friendly): 0,-1,1,-2,2 -> 0,1,2,3,4.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// writePrefixF32 writes a prefix-keyed float32 map as sorted delta-coded
+// keys with zigzag-quantized values.
+func writePrefixF32(w *sectionWriter, m map[netsim.Prefix]float32) {
+	keys := make([]netsim.Prefix, 0, len(m))
+	for p := range m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.uvarint(uint64(len(keys)))
+	prev := uint64(0)
+	for _, p := range keys {
+		w.uvarint(uint64(p) - prev)
+		prev = uint64(p)
+		w.uvarint(quantAdj(m[p]))
+	}
+}
+
+// readPrefixF32 reads a map written by writePrefixF32.
+func readPrefixF32(r *sectionReader, into map[netsim.Prefix]float32) error {
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += d
+		q, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		into[netsim.Prefix(prev)] = unquantAdj(q)
+	}
+	return nil
+}
 
 // encodeSection renders one dataset into w.
 func (a *Atlas) encodeSection(sec int, w *sectionWriter) {
@@ -249,6 +312,8 @@ func (a *Atlas) encodeSection(sec int, w *sectionWriter) {
 		}
 	case secLateExit:
 		writeSortedSet(w, a.LateExit)
+	case secGlobalAdjust:
+		writePrefixF32(w, a.GlobalAdjustMS)
 	}
 }
 
@@ -468,6 +533,8 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 		}
 	case secLateExit:
 		return readSet(r, a.LateExit)
+	case secGlobalAdjust:
+		return readPrefixF32(r, a.GlobalAdjustMS)
 	}
 	return nil
 }
@@ -584,6 +651,13 @@ func (a *Atlas) validate() error {
 			return fmt.Errorf("prefix %v attaches to cluster %d outside cluster space %d", p, c, a.NumClusters)
 		}
 	}
+	for p, ms := range a.GlobalAdjustMS {
+		// The fold clamps to ±MaxObservationFoldMS; anything past the
+		// bound (plus quantization slack) is a forged or corrupt stream.
+		if ms > MaxObservationFoldMS+0.01 || ms < -MaxObservationFoldMS-0.01 {
+			return fmt.Errorf("prefix %v correction %.2f ms outside ±%v bound", p, ms, MaxObservationFoldMS)
+		}
+	}
 	return nil
 }
 
@@ -610,6 +684,7 @@ func (a *Atlas) SectionSizes() []SectionSize {
 		secProviders:     counts.Providers,
 		secRels:          counts.Rels,
 		secLateExit:      counts.LateExit,
+		secGlobalAdjust:  len(a.GlobalAdjustMS),
 	}
 	out := make([]SectionSize, 0, numSections)
 	for sec := 0; sec < numSections; sec++ {

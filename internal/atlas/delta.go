@@ -9,12 +9,19 @@ import (
 	"sort"
 
 	"inano/internal/cluster"
+	"inano/internal/netsim"
 )
+
+// AdjustDecayEpsilonMS is the magnitude below which a decayed client
+// residual correction is dropped entirely on a day roll (see Apply);
+// it matches the feedback merge's materiality threshold for learning a
+// correction in the first place.
+const AdjustDecayEpsilonMS = 0.5
 
 // Delta is the day-over-day update shipped to clients. Per §6.2.3 only the
 // fast-changing datasets travel daily — links (with re-annotated
-// latencies), loss rates, and 3-tuples; everything else refreshes with the
-// monthly full atlas.
+// latencies), loss rates, 3-tuples, and the aggregated client corrections;
+// everything else refreshes with the monthly full atlas.
 type Delta struct {
 	FromDay, ToDay int
 
@@ -29,11 +36,23 @@ type Delta struct {
 
 	AddTuples []uint64
 	DelTuples []uint64
+
+	// UpAdjust sets aggregated per-prefix corrections (GlobalAdjustMS);
+	// DelAdjust clears them — a destination nobody reports on any more
+	// sheds its correction with the next delta instead of keeping it
+	// forever.
+	UpAdjust  map[netsim.Prefix]float32
+	DelAdjust []uint64
 }
 
 // Diff computes the delta that transforms old's daily datasets into new's.
 func Diff(old, next *Atlas) *Delta {
-	d := &Delta{FromDay: old.Day, ToDay: next.Day, UpLoss: make(map[uint64]float32)}
+	d := &Delta{
+		FromDay:  old.Day,
+		ToDay:    next.Day,
+		UpLoss:   make(map[uint64]float32),
+		UpAdjust: make(map[netsim.Prefix]float32),
+	}
 
 	oldLinks := make(map[uint64]Link, len(old.Links))
 	for _, l := range old.Links {
@@ -77,13 +96,25 @@ func Diff(old, next *Atlas) *Delta {
 	}
 	sort.Slice(d.AddTuples, func(i, j int) bool { return d.AddTuples[i] < d.AddTuples[j] })
 	sort.Slice(d.DelTuples, func(i, j int) bool { return d.DelTuples[i] < d.DelTuples[j] })
+
+	for p, v := range next.GlobalAdjustMS {
+		if ov, ok := old.GlobalAdjustMS[p]; !ok || ov != v {
+			d.UpAdjust[p] = v
+		}
+	}
+	for p := range old.GlobalAdjustMS {
+		if _, ok := next.GlobalAdjustMS[p]; !ok {
+			d.DelAdjust = append(d.DelAdjust, uint64(p))
+		}
+	}
+	sort.Slice(d.DelAdjust, func(i, j int) bool { return d.DelAdjust[i] < d.DelAdjust[j] })
 	return d
 }
 
 // Entries returns the total record count of the delta.
 func (d *Delta) Entries() int {
 	return len(d.UpLinks) + len(d.DelLinks) + len(d.UpLoss) + len(d.DelLoss) +
-		len(d.AddTuples) + len(d.DelTuples)
+		len(d.AddTuples) + len(d.DelTuples) + len(d.UpAdjust) + len(d.DelAdjust)
 }
 
 // Apply updates a in place. Applying Diff(a, b) to a makes a's daily
@@ -134,6 +165,32 @@ func (a *Atlas) Apply(d *Delta) {
 	for _, k := range d.AddTuples {
 		a.Tuples[k] = true
 	}
+	if a.GlobalAdjustMS == nil && len(d.UpAdjust) > 0 {
+		a.GlobalAdjustMS = make(map[netsim.Prefix]float32, len(d.UpAdjust))
+	}
+	for _, k := range d.DelAdjust {
+		delete(a.GlobalAdjustMS, netsim.Prefix(k))
+	}
+	for p, v := range d.UpAdjust {
+		a.GlobalAdjustMS[p] = v
+	}
+	// Age client-learned residual corrections across the day roll: a
+	// correction learned against day N's structure says progressively less
+	// about later days' (the delta may even ship the aggregated fix for
+	// the same misprediction, which a surviving local correction would
+	// double-count). Halve per roll, drop below the materiality epsilon —
+	// a correction the host keeps re-earning stays, an abandoned one is
+	// gone within a few days instead of misadjusting day N+30.
+	if d.ToDay != d.FromDay {
+		for k, v := range a.AdjustMS {
+			v /= 2
+			if v < AdjustDecayEpsilonMS && v > -AdjustDecayEpsilonMS {
+				delete(a.AdjustMS, k)
+				continue
+			}
+			a.AdjustMS[k] = v
+		}
+	}
 	a.Day = d.ToDay
 	a.invalidateIndex()
 }
@@ -178,6 +235,8 @@ func (d *Delta) Encode(w io.Writer) error {
 	writeDeltaKeys(&sw, d.DelLoss)
 	writeDeltaKeys(&sw, d.AddTuples)
 	writeDeltaKeys(&sw, d.DelTuples)
+	writePrefixF32(&sw, d.UpAdjust)
+	writeDeltaKeys(&sw, d.DelAdjust)
 
 	if _, err := gz.Write(sw.buf.Bytes()); err != nil {
 		return err
@@ -305,6 +364,18 @@ func DecodeDelta(r io.Reader) (*Delta, error) {
 		return nil, err
 	}
 	if d.DelTuples, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	d.UpAdjust = make(map[netsim.Prefix]float32)
+	if err := readPrefixF32(sr, d.UpAdjust); err != nil {
+		return nil, err
+	}
+	for p, v := range d.UpAdjust {
+		if v > MaxObservationFoldMS+0.01 || v < -MaxObservationFoldMS-0.01 {
+			return nil, fmt.Errorf("atlas: delta correction for %v is %.2f ms, outside ±%v bound", p, v, MaxObservationFoldMS)
+		}
+	}
+	if d.DelAdjust, err = readDeltaKeys(sr); err != nil {
 		return nil, err
 	}
 	if n, err := io.Copy(io.Discard, br); err != nil {

@@ -1,0 +1,101 @@
+package atlas
+
+import (
+	"inano/internal/netsim"
+)
+
+// Folding aggregated client observations into the build (§5 both ways):
+// the build server's feedback.Aggregator reduces uploaded corrective
+// observations to one robust RTT residual per destination prefix;
+// FoldObservations turns those residuals into the atlas's
+// GlobalAdjustMS dataset so the correction ships to every peer inside
+// the ordinary daily delta — the encoded, bounded, auditable path the
+// client-local AdjustMS corrections deliberately never take.
+
+// MaxObservationFoldMS caps the magnitude of one shipped per-prefix
+// correction, mirroring the client-side cap on a single host's residual
+// corrections (feedback.MaxAdjustMS). Decoders reject atlases and deltas
+// that exceed it, so a compromised build cannot ship unbounded skew.
+const MaxObservationFoldMS = 100.0
+
+// FoldGain is the fraction of the aggregated residual one day's fold
+// applies. The build re-measures residuals against its *already
+// corrected* serving atlas, so successive days converge geometrically on
+// the measured truth (the same half-step the client-local merge uses);
+// a gain below 1 also damps the reporter-side noise a one-shot median
+// cannot remove.
+const FoldGain = 0.5
+
+// minFoldMS is the smallest correction worth shipping; below it the
+// signal drowns in the codec's 0.01ms quantization and day-to-day
+// annotation noise, and the delta bytes are better spent elsewhere.
+const minFoldMS = 0.25
+
+// FoldObservations returns a copy of a with the aggregated residuals
+// folded into its GlobalAdjustMS dataset, plus the number of corrections
+// now carried. Starting from the measured atlas's own (usually empty)
+// correction set, each aggregated prefix the atlas can place (a known
+// attachment cluster) gains the *stacked* correction: whatever the atlas
+// already carried for the prefix plus FoldGain of the newly measured
+// residual, clamped to ±MaxObservationFoldMS. Prefixes absent from the
+// snapshot keep (or shed, per the builder's choice of base) their prior
+// correction; prefixes the atlas cannot place are skipped.
+func FoldObservations(a *Atlas, residuals map[netsim.Prefix]float64) (*Atlas, int) {
+	b := a.Clone()
+	for p, r := range residuals {
+		if _, ok := b.PrefixCluster[p]; !ok {
+			continue
+		}
+		next := float64(b.GlobalAdjustMS[p]) + FoldGain*r
+		if next > MaxObservationFoldMS {
+			next = MaxObservationFoldMS
+		} else if next < -MaxObservationFoldMS {
+			next = -MaxObservationFoldMS
+		}
+		if next < minFoldMS && next > -minFoldMS {
+			delete(b.GlobalAdjustMS, p)
+			continue
+		}
+		b.GlobalAdjustMS[p] = float32(next)
+	}
+	return b, len(b.GlobalAdjustMS)
+}
+
+// BuildDeltaWithObservations computes the daily delta from prev to next
+// with the aggregated observation residuals folded into next first — so
+// the corrections ship to the swarm as ordinary delta structure and every
+// client applying the delta (reporting or not) serves them. next is
+// typically a fresh measurement build carrying prev's corrections forward
+// (CarryCorrections), so a destination nobody re-reported keeps its
+// correction until the builder expires it. It returns the delta, the
+// folded next-day atlas (what the build should archive as the day's
+// canonical atlas), and the number of corrections it carries.
+func BuildDeltaWithObservations(prev, next *Atlas, residuals map[netsim.Prefix]float64) (*Delta, *Atlas, int) {
+	folded, n := FoldObservations(next, residuals)
+	return Diff(prev, folded), folded, n
+}
+
+// CarryCorrections copies prev's aggregated corrections onto a freshly
+// measured atlas (which starts with none), dropping prefixes the new
+// atlas cannot place and halving entries absent from keep — the same
+// decay discipline clients apply to their local corrections — so a
+// correction no reporter re-supports fades over a few builds instead of
+// fossilizing. keep may be nil (everything decays).
+func CarryCorrections(next, prev *Atlas, keep map[netsim.Prefix]float64) int {
+	if next.GlobalAdjustMS == nil {
+		next.GlobalAdjustMS = make(map[netsim.Prefix]float32)
+	}
+	for p, v := range prev.GlobalAdjustMS {
+		if _, ok := next.PrefixCluster[p]; !ok {
+			continue
+		}
+		if _, fresh := keep[p]; !fresh {
+			v /= 2
+			if v < minFoldMS && v > -minFoldMS {
+				continue
+			}
+		}
+		next.GlobalAdjustMS[p] = v
+	}
+	return len(next.GlobalAdjustMS)
+}

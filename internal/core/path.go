@@ -81,23 +81,26 @@ func (e *Engine) predictForwardRaw(src, dst netsim.Prefix) Prediction {
 	return p
 }
 
-// adjustLatency applies the client-learned residual correction for the
-// prediction's destination prefix (see atlas.AdjustMS): the latency
-// shifts by the signed converging residual of this host's own
-// measurements toward dst, floored so a correction can never drive a
-// latency to zero or below. Applied exactly once per answer — on a
-// standalone one-way prediction, or on the forward leg of a
-// bidirectional query (see composeQuery). A no-op for unfound
-// predictions and for atlases without local measurements.
+// adjustLatency applies the residual corrections for the prediction's
+// destination prefix: the swarm-shipped aggregate (atlas.GlobalAdjustMS,
+// folded by the build from everyone's uploaded observations) plus the
+// client-local converging term (atlas.AdjustMS, this host's own probes).
+// The two stack — the local term is learned against served predictions
+// that already include the global one, so it converges on whatever
+// residual remains. Applied exactly once per answer — on a standalone
+// one-way prediction, or on the forward leg of a bidirectional query
+// (see composeQuery) — and floored so a correction can never drive a
+// latency to zero or below. A no-op for unfound predictions and for
+// atlases without corrections.
 func (e *Engine) adjustLatency(p *Prediction, dst netsim.Prefix) {
-	if !p.Found || len(e.a.AdjustMS) == 0 {
+	if !p.Found || (len(e.a.AdjustMS) == 0 && len(e.a.GlobalAdjustMS) == 0) {
 		return
 	}
-	adj, ok := e.a.AdjustMS[dst]
-	if !ok {
+	adj := float64(e.a.GlobalAdjustMS[dst]) + float64(e.a.AdjustMS[dst])
+	if adj == 0 {
 		return
 	}
-	p.LatencyMS += float64(adj)
+	p.LatencyMS += adj
 	if p.LatencyMS < 0.05 {
 		p.LatencyMS = 0.05
 	}

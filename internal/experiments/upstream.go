@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	inano "inano"
+	"inano/internal/atlas"
+	"inano/internal/feedback"
+	"inano/internal/netsim"
+)
+
+// UpstreamResult reports the upstream-observation-sharing experiment: N
+// reporting clients measure ground-truth RTTs against the served
+// predictions and upload the residuals, the build folds the robust
+// aggregate into the next day's delta, and a client that never reported
+// anything is scored before and after applying that delta — the paper's
+// §5 promise that every peer benefits from any peer's probes.
+type UpstreamResult struct {
+	// Reporters is the number of reporting clients (distinct source
+	// clusters); Observations counts what they fed the aggregator.
+	Reporters, Observations int
+	// AggregatedPrefixes is the snapshot size; FoldedPrefixes how many
+	// cleared the min-reporter bar; Corrections how many shipped
+	// per-prefix corrections the folded atlas carries.
+	AggregatedPrefixes, FoldedPrefixes, Corrections int
+	// Pairs is the non-reporting client's held-out workload size.
+	Pairs int
+	// ErrBefore/ErrAfter are the non-reporter's mean capped relative RTT
+	// errors against next-day ground truth, after applying the plain
+	// day-roll delta vs the observation-folded one.
+	ErrBefore, ErrAfter float64
+	// AnsweredBefore/AnsweredAfter count pairs with a prediction.
+	AnsweredBefore, AnsweredAfter int
+
+	// Poisoning bound: a single adversarial reporter claiming the maximum
+	// residual for every prefix is re-aggregated, and the per-prefix shift
+	// it causes is compared against the honest reporters' spread (median
+	// with one outlier added can never leave the honest min..max range).
+	AdvMaxShiftMS float64
+	AdvMaxSpread  float64
+	AdvWithin     bool
+}
+
+// UpstreamLoop runs the upstream experiment across days 0 -> 1:
+// reporters observe day-0 ground truth toward the shared target set,
+// residuals are computed against the day-0 served predictions (as
+// /v1/observations does), the aggregate folds into the day-0 -> day-1
+// delta via atlas.BuildDeltaWithObservations, and the non-reporting
+// client (the first validation source, its observations never uploaded)
+// is scored on its held-out pairs against day-1 truth with the plain vs
+// the folded delta. minReporters gates the fold (3 buys the median's
+// single-liar bound).
+func UpstreamLoop(l *Lab, reporters, minReporters int) UpstreamResult {
+	d0, d1 := l.Day(0), l.Day(1)
+	res := UpstreamResult{}
+
+	// The non-reporter is the first validation source; reporters are the
+	// rest, capped to the requested count.
+	nonReporter := l.ValSrcs[0]
+	reps := l.ValSrcs[1:]
+	if reporters > 0 && len(reps) > reporters {
+		reps = reps[:reporters]
+	}
+	res.Reporters = len(reps)
+
+	// The shared probe-target set: every destination any validation pair
+	// names — the paper's clients traceroute a few hundred prefixes a
+	// day, so overlapping targets across reporters are the norm (and what
+	// gives the median its support).
+	dstSet := make(map[netsim.Prefix]bool)
+	for _, vp := range d0.Validation {
+		dstSet[vp.Dst] = true
+	}
+	dsts := make([]netsim.Prefix, 0, len(dstSet))
+	for d := range dstSet {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+
+	// Serve day-0 predictions the way /v1/observations computes residuals:
+	// against the build server's own (uncorrected) atlas.
+	serving := inano.FromAtlas(d0.Atlas.Clone())
+	snap := serving.Snapshot()
+	agg := feedback.NewAggregator(feedback.AggregatorConfig{})
+	honest := make(map[netsim.Prefix][]float64) // for the adversarial bound
+	for _, r := range reps {
+		srcCl, ok := snap.AttachmentCluster(r)
+		if !ok {
+			continue
+		}
+		for _, dst := range dsts {
+			trueRTT, ok := l.W.TrueRTT(0, r, dst)
+			if !ok {
+				continue
+			}
+			info := snap.Query(r.HostIP(), dst.HostIP())
+			if !info.Found {
+				continue
+			}
+			resid := trueRTT - info.RTTMS
+			agg.Record(srcCl, dst, resid)
+			honest[dst] = append(honest[dst], clampResid(resid))
+			res.Observations++
+		}
+	}
+
+	obsSnap := agg.Snapshot(0)
+	res.AggregatedPrefixes = len(obsSnap.Prefixes)
+	residuals := obsSnap.Residuals(minReporters)
+	res.FoldedPrefixes = len(residuals)
+
+	plainDelta := atlas.Diff(d0.Atlas, d1.Atlas)
+	obsDelta, _, folded := atlas.BuildDeltaWithObservations(d0.Atlas, d1.Atlas, residuals)
+	res.Corrections = folded
+
+	// Score the non-reporter's held-out pairs against day-1 truth.
+	var work []VPair
+	for _, vp := range d0.Validation {
+		if vp.Src == nonReporter {
+			work = append(work, vp)
+		}
+	}
+	res.Pairs = len(work)
+	score := func(d *atlas.Delta) (float64, int) {
+		a := d0.Atlas.Clone()
+		a.Apply(d)
+		client := inano.FromAtlas(a)
+		sum, answered := 0.0, 0
+		n := 0
+		for _, vp := range work {
+			trueRTT, ok := l.W.TrueRTT(1, vp.Src, vp.Dst)
+			if !ok {
+				continue
+			}
+			n++
+			info := client.QueryPrefix(vp.Src, vp.Dst)
+			if info.Found {
+				answered++
+			}
+			sum += feedback.RelErr(info.RTTMS, trueRTT, info.Found)
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		return sum / float64(n), answered
+	}
+	res.ErrBefore, res.AnsweredBefore = score(plainDelta)
+	res.ErrAfter, res.AnsweredAfter = score(obsDelta)
+
+	// Poisoning bound: one adversarial reporter (a single source cluster,
+	// per the ingest's identity rule) claims the maximum positive residual
+	// for every aggregated prefix. The median may move, but never outside
+	// the honest reporters' range.
+	res.AdvWithin = true
+	liar := int32(1 << 30) // a cluster id no honest reporter used
+	for _, p := range obsSnap.Prefixes {
+		agg.Record(liar, p.Prefix, feedback.MaxAdjustMS)
+	}
+	advSnap := agg.Snapshot(0)
+	advByPrefix := make(map[netsim.Prefix]float64, len(advSnap.Prefixes))
+	for _, p := range advSnap.Prefixes {
+		advByPrefix[p.Prefix] = p.ResidualMS
+	}
+	for _, p := range obsSnap.Prefixes {
+		hs := honest[p.Prefix]
+		if len(hs) < 2 {
+			continue // with one honest reporter the median bound needs >= 2
+		}
+		shift := advByPrefix[p.Prefix] - p.ResidualMS
+		if shift < 0 {
+			shift = -shift
+		}
+		lo, hi := hs[0], hs[0]
+		for _, h := range hs {
+			if h < lo {
+				lo = h
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		spread := hi - lo
+		if shift > res.AdvMaxShiftMS {
+			res.AdvMaxShiftMS = shift
+		}
+		if spread > res.AdvMaxSpread {
+			res.AdvMaxSpread = spread
+		}
+		if adv := advByPrefix[p.Prefix]; adv < lo-1e-9 || adv > hi+1e-9 {
+			res.AdvWithin = false
+		}
+	}
+	return res
+}
+
+func clampResid(r float64) float64 {
+	if r > feedback.MaxAdjustMS {
+		return feedback.MaxAdjustMS
+	}
+	if r < -feedback.MaxAdjustMS {
+		return -feedback.MaxAdjustMS
+	}
+	return r
+}
+
+// Render formats the upstream experiment.
+func (r UpstreamResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Upstream sharing: %d reporters, %d observations -> %d aggregated prefixes (%d folded, %d corrections shipped)\n",
+		r.Reporters, r.Observations, r.AggregatedPrefixes, r.FoldedPrefixes, r.Corrections)
+	fmt.Fprintf(&b, "  non-reporting client, %d held-out pairs vs day-1 truth:\n", r.Pairs)
+	fmt.Fprintf(&b, "  mean RTT error, plain delta    %.3f (answered %d/%d)\n", r.ErrBefore, r.AnsweredBefore, r.Pairs)
+	fmt.Fprintf(&b, "  mean RTT error, folded delta   %.3f (answered %d/%d)\n", r.ErrAfter, r.AnsweredAfter, r.Pairs)
+	if r.ErrBefore > 0 {
+		fmt.Fprintf(&b, "  error reduction: %.1f%%\n", 100*(r.ErrBefore-r.ErrAfter)/r.ErrBefore)
+	}
+	fmt.Fprintf(&b, "  single-liar shift: max %.2f ms (honest spread up to %.2f ms, within bound: %v)\n",
+		r.AdvMaxShiftMS, r.AdvMaxSpread, r.AdvWithin)
+	return b.String()
+}

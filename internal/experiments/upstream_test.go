@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestUpstreamLoopImprovesNonReporter is the acceptance test of the
+// upstream sharing loop: after the reporting clients' observations fold
+// into the day-0 -> day-1 delta, a client that never reported must see
+// its mean RTT error strictly decrease vs the plain delta — and a single
+// adversarial reporter must stay inside the median bound.
+func TestUpstreamLoopImprovesNonReporter(t *testing.T) {
+	l := NewLab(QuickConfig(42))
+	res := UpstreamLoop(l, 0, 3)
+	t.Logf("\n%s", res.Render())
+	if res.Reporters < 3 {
+		t.Fatalf("only %d reporters; the median bound needs at least 3", res.Reporters)
+	}
+	if res.Observations == 0 || res.Corrections == 0 {
+		t.Fatalf("nothing aggregated: %+v", res)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("non-reporter has no held-out workload")
+	}
+	if res.ErrAfter >= res.ErrBefore {
+		t.Fatalf("aggregated delta did not improve the non-reporter: before %.4f after %.4f",
+			res.ErrBefore, res.ErrAfter)
+	}
+	if !res.AdvWithin {
+		t.Fatalf("adversarial reporter escaped the median bound: shift %.2f ms", res.AdvMaxShiftMS)
+	}
+	if res.AdvMaxShiftMS > res.AdvMaxSpread {
+		t.Fatalf("liar shift %.2f ms exceeds the honest spread %.2f ms", res.AdvMaxShiftMS, res.AdvMaxSpread)
+	}
+}

@@ -1,0 +1,293 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"inano/internal/netsim"
+)
+
+// Aggregator collects upstream observations on the build server and
+// reduces them to one robust residual per destination prefix, ready to
+// fold into the next atlas delta (atlas.BuildDeltaWithObservations).
+//
+// Abuse bounds, designed in from day one (the centralized component of an
+// otherwise peer-to-peer system is the obvious poisoning target):
+//
+//   - Reporter identity is the *source attachment cluster* derived from
+//     the serving atlas, not anything the reporter claims: rotating source
+//     addresses inside one network buys no extra votes.
+//   - Observations dedup per (source-cluster, dst-prefix): a reporter's
+//     newest residual for a destination replaces its older one instead of
+//     stacking.
+//   - The per-prefix aggregate is the median over reporters, so a single
+//     lying reporter cannot move a prefix's aggregate outside the range of
+//     the honest reporters' residuals (for >= 2 honest reporters).
+//   - Residual magnitude is capped at MaxAdjustMS per observation, and
+//     both the prefix table and the per-prefix reporter sets are bounded
+//     with stalest-eviction.
+type Aggregator struct {
+	mu  sync.Mutex
+	cfg AggregatorConfig
+
+	prefixes map[netsim.Prefix]*prefixAgg
+	recorded int
+	evicted  int
+	nowFn    func() time.Time // test hook
+}
+
+// AggregatorConfig bounds the aggregation tables. The zero value uses
+// defaults.
+type AggregatorConfig struct {
+	// MaxPrefixes caps tracked destination prefixes (default 8192); beyond
+	// it the prefix with the stalest newest-report is evicted.
+	MaxPrefixes int
+	// MaxReportersPerPrefix caps reporter slots per prefix (default 32);
+	// beyond it the stalest reporter is evicted.
+	MaxReportersPerPrefix int
+	// StaleAfter drops a reporter's residual from aggregation when its
+	// newest report is older than this (default 24h: an aggregate folded
+	// into tomorrow's delta should reflect today's measurements).
+	StaleAfter time.Duration
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.MaxPrefixes <= 0 {
+		c.MaxPrefixes = 8192
+	}
+	if c.MaxReportersPerPrefix <= 0 {
+		c.MaxReportersPerPrefix = 32
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 24 * time.Hour
+	}
+	return c
+}
+
+// prefixAgg is one destination prefix's reporter table.
+type prefixAgg struct {
+	reporters map[int32]reporterObs // keyed by source attachment cluster
+	newest    time.Time
+}
+
+type reporterObs struct {
+	residualMS float64
+	at         time.Time
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	return &Aggregator{
+		cfg:      cfg.withDefaults(),
+		prefixes: make(map[netsim.Prefix]*prefixAgg),
+		nowFn:    time.Now,
+	}
+}
+
+// Record folds one validated observation into the aggregate: the reporter
+// at srcCluster observed residualMS (measured - predicted) toward dst.
+// The residual is clamped to ±MaxAdjustMS. The caller (the /v1/observations
+// handler) is responsible for identity: srcCluster must come from the
+// serving atlas's view of the reporting peer, never from the report body.
+func (g *Aggregator) Record(srcCluster int32, dst netsim.Prefix, residualMS float64) {
+	if residualMS > MaxAdjustMS {
+		residualMS = MaxAdjustMS
+	} else if residualMS < -MaxAdjustMS {
+		residualMS = -MaxAdjustMS
+	}
+	now := g.nowFn()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.recorded++
+	pa := g.prefixes[dst]
+	if pa == nil {
+		if len(g.prefixes) >= g.cfg.MaxPrefixes {
+			g.evictStalestPrefixLocked()
+		}
+		pa = &prefixAgg{reporters: make(map[int32]reporterObs)}
+		g.prefixes[dst] = pa
+	}
+	if _, ok := pa.reporters[srcCluster]; !ok && len(pa.reporters) >= g.cfg.MaxReportersPerPrefix {
+		evictStalestReporter(pa)
+	}
+	pa.reporters[srcCluster] = reporterObs{residualMS: residualMS, at: now}
+	if now.After(pa.newest) {
+		pa.newest = now
+	}
+}
+
+func (g *Aggregator) evictStalestPrefixLocked() {
+	var victim netsim.Prefix
+	var victimAt time.Time
+	first := true
+	for p, pa := range g.prefixes {
+		if first || pa.newest.Before(victimAt) {
+			victim, victimAt, first = p, pa.newest, false
+		}
+	}
+	if !first {
+		delete(g.prefixes, victim)
+		g.evicted++
+	}
+}
+
+func evictStalestReporter(pa *prefixAgg) {
+	var victim int32
+	var victimAt time.Time
+	first := true
+	for c, r := range pa.reporters {
+		if first || r.at.Before(victimAt) {
+			victim, victimAt, first = c, r.at, false
+		}
+	}
+	if !first {
+		delete(pa.reporters, victim)
+	}
+}
+
+// AggregatedPrefix is one prefix's robust aggregate.
+type AggregatedPrefix struct {
+	// Prefix is the destination /24.
+	Prefix netsim.Prefix `json:"prefix"`
+	// ResidualMS is the median over reporters' residuals (measured minus
+	// predicted RTT, positive = atlas underpredicts).
+	ResidualMS float64 `json:"residual_ms"`
+	// Reporters is how many distinct source clusters back the aggregate.
+	Reporters int `json:"reporters"`
+}
+
+// ObservationSnapshot is the durable form of an aggregation round: what
+// the build pipeline folds into the next delta.
+type ObservationSnapshot struct {
+	// Day is the serving atlas day the residuals were measured against.
+	Day int `json:"day"`
+	// TakenUnix is when the snapshot was cut (Unix seconds).
+	TakenUnix int64 `json:"taken_unix"`
+	// Prefixes holds one robust aggregate per destination prefix, sorted
+	// by prefix.
+	Prefixes []AggregatedPrefix `json:"prefixes"`
+}
+
+// Residuals indexes the snapshot for the fold: prefix -> median residual,
+// keeping only aggregates backed by at least minReporters distinct source
+// clusters (minReporters < 1 means 1). Callers wanting the single-liar
+// median bound should require at least 3.
+func (s *ObservationSnapshot) Residuals(minReporters int) map[netsim.Prefix]float64 {
+	if minReporters < 1 {
+		minReporters = 1
+	}
+	out := make(map[netsim.Prefix]float64, len(s.Prefixes))
+	for _, p := range s.Prefixes {
+		if p.Reporters >= minReporters {
+			out[p.Prefix] = p.ResidualMS
+		}
+	}
+	return out
+}
+
+// Snapshot cuts the current aggregate: per prefix, the median residual
+// over reporters whose newest report is fresher than StaleAfter. day
+// labels the atlas the residuals were measured against.
+func (g *Aggregator) Snapshot(day int) ObservationSnapshot {
+	now := g.nowFn()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	snap := ObservationSnapshot{Day: day, TakenUnix: now.Unix()}
+	for p, pa := range g.prefixes {
+		var resids []float64
+		for _, r := range pa.reporters {
+			if now.Sub(r.at) <= g.cfg.StaleAfter {
+				resids = append(resids, r.residualMS)
+			}
+		}
+		if len(resids) == 0 {
+			continue
+		}
+		snap.Prefixes = append(snap.Prefixes, AggregatedPrefix{
+			Prefix:     p,
+			ResidualMS: median(resids),
+			Reporters:  len(resids),
+		})
+	}
+	sort.Slice(snap.Prefixes, func(i, j int) bool { return snap.Prefixes[i].Prefix < snap.Prefixes[j].Prefix })
+	return snap
+}
+
+// AggregatorStats summarizes the aggregator for metrics.
+type AggregatorStats struct {
+	// Prefixes is the number of destination prefixes tracked.
+	Prefixes int
+	// Reporters is the total reporter slots in use across prefixes.
+	Reporters int
+	// Recorded counts observations folded in since creation.
+	Recorded int
+	// EvictedPrefixes counts prefixes dropped to stay within MaxPrefixes.
+	EvictedPrefixes int
+}
+
+// Stats summarizes the aggregator.
+func (g *Aggregator) Stats() AggregatorStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := AggregatorStats{
+		Prefixes:        len(g.prefixes),
+		Recorded:        g.recorded,
+		EvictedPrefixes: g.evicted,
+	}
+	for _, pa := range g.prefixes {
+		st.Reporters += len(pa.reporters)
+	}
+	return st
+}
+
+// median returns the middle residual (mean of the middle two for even
+// counts). xs is mutated (sorted).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// SaveSnapshot writes the snapshot as JSON, atomically (temp file +
+// rename), so a build pipeline reading the path never sees a torn write.
+func SaveSnapshot(path string, s ObservationSnapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".obs-snapshot-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot.
+func LoadSnapshot(path string) (ObservationSnapshot, error) {
+	var s ObservationSnapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("feedback: snapshot %s: %w", path, err)
+	}
+	return s, nil
+}

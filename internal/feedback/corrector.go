@@ -62,6 +62,10 @@ type Config struct {
 	// per-destination residual learning in the merge (atlas.AdjustMS).
 	// inano.Client.NewCorrector wires this automatically.
 	Predict func(src, dst netsim.Prefix) (float64, bool)
+	// Observe, when set, receives each round's successfully measured
+	// traceroutes after the merge — the hook upstream observation sharing
+	// rides on (Uploader.Observe queues them for the build server).
+	Observe func([]Traceroute)
 }
 
 func (c Config) withDefaults() Config {
@@ -116,12 +120,13 @@ type Corrector struct {
 	prober  Prober
 	merge   func([]Traceroute) int
 	cfg     Config
+	nowFn   func() time.Time // injected clock; tests use a fake
 }
 
 // NewCorrector wires a corrector. merge must be safe for concurrent use
 // with queries (Client.AddTraceroutes is).
 func NewCorrector(t *Tracker, p Prober, merge func([]Traceroute) int, cfg Config) *Corrector {
-	return &Corrector{tracker: t, prober: p, merge: merge, cfg: cfg.withDefaults()}
+	return &Corrector{tracker: t, prober: p, merge: merge, cfg: cfg.withDefaults(), nowFn: time.Now}
 }
 
 // Config returns the corrector's effective (defaulted) configuration.
@@ -131,7 +136,7 @@ func (c *Corrector) Config() Config { return c.cfg }
 // stops issuing probes when ctx is cancelled; results already measured
 // are still merged.
 func (c *Corrector) RunOnce(ctx context.Context) Round {
-	now := time.Now()
+	now := c.nowFn()
 	targets := c.tracker.Worst(c.cfg.Budget, c.cfg.MinSamples, c.cfg.MinError, c.cfg.Cooldown, now)
 	r := Round{Budget: c.cfg.Budget, Targets: len(targets)}
 	var trs []Traceroute
@@ -157,6 +162,9 @@ func (c *Corrector) RunOnce(ctx context.Context) Round {
 	}
 	if len(trs) > 0 {
 		r.Merged = c.merge(trs)
+		if c.cfg.Observe != nil {
+			c.cfg.Observe(trs)
+		}
 	}
 	return r
 }

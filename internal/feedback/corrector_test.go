@@ -103,6 +103,84 @@ func TestCorrectorPredictHook(t *testing.T) {
 	}
 }
 
+// TestCorrectorCooldownExpiresOnFakeClock drives the cooldown through an
+// injected clock: a probed destination is ineligible inside the cooldown
+// window and schedulable again after it — with no wall-clock sleeps, so
+// the test cannot flake under load.
+func TestCorrectorCooldownExpiresOnFakeClock(t *testing.T) {
+	tr := NewTracker(TrackerConfig{StaleAfter: 24 * time.Hour})
+	base := time.Unix(10_000, 0)
+	tr.Record(1, netsim.Prefix(1), netsim.Prefix(100), 0, 100, false, base)
+
+	probed := 0
+	prober := ProberFunc(func(_ context.Context, src, dst netsim.Prefix) (Traceroute, error) {
+		probed++
+		return Traceroute{Src: src, Dst: dst, Hops: []Hop{{IP: 1, RTTMS: 5}}}, nil
+	})
+	cor := NewCorrector(tr, prober, func(trs []Traceroute) int { return len(trs) },
+		Config{Budget: 1, Cooldown: 10 * time.Minute})
+	now := base
+	cor.nowFn = func() time.Time { return now }
+
+	if r := cor.RunOnce(context.Background()); r.Probes != 1 {
+		t.Fatalf("first round: %+v", r)
+	}
+	// Inside the cooldown nothing is eligible — even many rounds later.
+	now = now.Add(9 * time.Minute)
+	tr.Record(1, netsim.Prefix(1), netsim.Prefix(100), 0, 100, false, now)
+	if r := cor.RunOnce(context.Background()); r.Probes != 0 {
+		t.Fatalf("probed inside cooldown: %+v", r)
+	}
+	// Past the cooldown the destination is schedulable again.
+	now = now.Add(2 * time.Minute)
+	if r := cor.RunOnce(context.Background()); r.Probes != 1 {
+		t.Fatalf("cooldown never expired: %+v", r)
+	}
+	if probed != 2 {
+		t.Fatalf("probes issued = %d, want 2", probed)
+	}
+}
+
+// TestCorrectorStalenessOnFakeClock: tracked error older than the
+// tracker's StaleAfter says nothing about the current atlas and must not
+// be probed, however large it is.
+func TestCorrectorStalenessOnFakeClock(t *testing.T) {
+	tr := NewTracker(TrackerConfig{StaleAfter: 15 * time.Minute})
+	base := time.Unix(10_000, 0)
+	tr.Record(1, netsim.Prefix(1), netsim.Prefix(100), 0, 100, false, base)
+
+	cor := NewCorrector(tr, ProberFunc(func(_ context.Context, src, dst netsim.Prefix) (Traceroute, error) {
+		return Traceroute{Src: src, Dst: dst}, nil
+	}), func(trs []Traceroute) int { return 0 }, Config{Budget: 4})
+	now := base.Add(16 * time.Minute)
+	cor.nowFn = func() time.Time { return now }
+
+	if r := cor.RunOnce(context.Background()); r.Probes != 0 {
+		t.Fatalf("stale destination probed: %+v", r)
+	}
+	// A fresh observation revives it.
+	tr.Record(1, netsim.Prefix(1), netsim.Prefix(100), 0, 100, false, now)
+	if r := cor.RunOnce(context.Background()); r.Probes != 1 {
+		t.Fatalf("fresh destination not probed: %+v", r)
+	}
+}
+
+func TestCorrectorObserveHook(t *testing.T) {
+	tr := seedTracker(2)
+	prober := ProberFunc(func(_ context.Context, src, dst netsim.Prefix) (Traceroute, error) {
+		return Traceroute{Src: src, Dst: dst, Hops: []Hop{{IP: 1, RTTMS: 5}}}, nil
+	})
+	var observed []Traceroute
+	cor := NewCorrector(tr, prober, func(trs []Traceroute) int { return len(trs) }, Config{
+		Budget:  2,
+		Observe: func(trs []Traceroute) { observed = append(observed, trs...) },
+	})
+	cor.RunOnce(context.Background())
+	if len(observed) != 2 {
+		t.Fatalf("observe hook saw %d traceroutes, want 2", len(observed))
+	}
+}
+
 func TestCorrectorCancelledContext(t *testing.T) {
 	tr := seedTracker(10)
 	probes := 0

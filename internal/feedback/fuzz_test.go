@@ -36,3 +36,43 @@ func FuzzFeedbackReport(f *testing.F) {
 		}
 	})
 }
+
+// FuzzObservationReport feeds the /v1/observations NDJSON parser
+// arbitrary bytes. Like the feedback-report target it must never panic
+// and every accepted observation must satisfy the hardening contract:
+// bounded counts, sane RTTs and predictions, bounded well-formed hops.
+func FuzzObservationReport(f *testing.F) {
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5,"predicted_ms":40}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5,"predicted_ms":40,"hops":[{"ip":"10.0.1.2","rtt_ms":1},{"ip":"","rtt_ms":0}]}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":1,"predicted_ms":1e308}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":1,"predicted_ms":2,"hops":[{"ip":"x","rtt_ms":-1}]}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(strings.Repeat(`{"src":"9.9.9.9","dst":"8.8.8.8","rtt_ms":1,"predicted_ms":1}`+"\n", 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs, _ := ParseObservationReport(strings.NewReader(string(data)))
+		if len(obs) > MaxUpstreamObservations {
+			t.Fatalf("parser exceeded MaxUpstreamObservations: %d", len(obs))
+		}
+		for i, o := range obs {
+			if !(o.RTTMS > 0) || o.RTTMS > MaxObservedRTTMS {
+				t.Fatalf("observation %d has out-of-bounds rtt %v", i, o.RTTMS)
+			}
+			if !(o.PredictedMS > 0) || o.PredictedMS > MaxObservedRTTMS {
+				t.Fatalf("observation %d has out-of-bounds prediction %v", i, o.PredictedMS)
+			}
+			if len(o.Hops) > MaxObservationHops {
+				t.Fatalf("observation %d has %d hops", i, len(o.Hops))
+			}
+			for j, h := range o.Hops {
+				if h.RTTMS < 0 || h.RTTMS > MaxObservedRTTMS {
+					t.Fatalf("observation %d hop %d rtt %v", i, j, h.RTTMS)
+				}
+			}
+			if back, err := ParseIPv4(o.Dst.String()); err != nil || back != o.Dst {
+				t.Fatalf("observation %d dst does not round-trip: %v", i, o.Dst)
+			}
+		}
+	})
+}

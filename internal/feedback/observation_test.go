@@ -1,0 +1,114 @@
+package feedback
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+func TestObservationRoundTrip(t *testing.T) {
+	obs := []UpstreamObservation{
+		{Src: 0x0a000101, Dst: 0x0a000201, RTTMS: 42.5, PredictedMS: 38.25},
+		{Src: 0x0a000301, Dst: 0x0a000401, RTTMS: 120, PredictedMS: 200,
+			Hops: []Hop{{IP: 0x0a000302, RTTMS: 1.5}, {IP: 0, RTTMS: 0}, {IP: 0x0a000401, RTTMS: 120}}},
+	}
+	var buf bytes.Buffer
+	if err := EncodeObservations(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseObservationReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(obs) {
+		t.Fatalf("got %d observations, want %d", len(got), len(obs))
+	}
+	for i := range obs {
+		if got[i].Src != obs[i].Src || got[i].Dst != obs[i].Dst ||
+			got[i].RTTMS != obs[i].RTTMS || got[i].PredictedMS != obs[i].PredictedMS {
+			t.Fatalf("observation %d mismatch: %+v vs %+v", i, got[i], obs[i])
+		}
+		if len(got[i].Hops) != len(obs[i].Hops) {
+			t.Fatalf("observation %d hops: %d vs %d", i, len(got[i].Hops), len(obs[i].Hops))
+		}
+		for j := range obs[i].Hops {
+			if got[i].Hops[j] != obs[i].Hops[j] {
+				t.Fatalf("observation %d hop %d: %+v vs %+v", i, j, got[i].Hops[j], obs[i].Hops[j])
+			}
+		}
+	}
+	if r := obs[1].ResidualMS(); r != -80 {
+		t.Fatalf("residual = %v, want -80", r)
+	}
+}
+
+func TestObservationParserRejects(t *testing.T) {
+	cases := []string{
+		`{"src":"bad","dst":"10.0.2.1","rtt_ms":10,"predicted_ms":5}`,
+		`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":-1,"predicted_ms":5}`,
+		`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":10}`,                     // no prediction
+		`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":10,"predicted_ms":1e99}`, // absurd prediction
+		`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":10,"predicted_ms":5,"hops":[{"ip":"zap","rtt_ms":1}]}`,
+		`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":10,"predicted_ms":5,"hops":[{"ip":"1.2.3.4","rtt_ms":-3}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if obs, err := ParseObservationReport(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q -> %+v", c, obs)
+		}
+	}
+	// A good prefix before a bad line is still returned with the error.
+	good := `{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":10,"predicted_ms":5}`
+	obs, err := ParseObservationReport(strings.NewReader(good + "\nnope\n"))
+	if err == nil || len(obs) != 1 {
+		t.Fatalf("good prefix not preserved: %d obs, err=%v", len(obs), err)
+	}
+	// Hop-count cap.
+	var b strings.Builder
+	b.WriteString(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":10,"predicted_ms":5,"hops":[`)
+	for i := 0; i <= MaxObservationHops; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"ip":"1.2.3.4","rtt_ms":1}`)
+	}
+	b.WriteString("]}")
+	if _, err := ParseObservationReport(strings.NewReader(b.String())); err == nil {
+		t.Fatal("hop cap not enforced")
+	}
+}
+
+func TestObservationFromTraceroute(t *testing.T) {
+	dst := netsim.Prefix(0x0a0002)
+	tr := Traceroute{
+		Src: netsim.Prefix(0x0a0001), Dst: dst,
+		Hops:           []Hop{{IP: 0x0a000102, RTTMS: 2}, {IP: dst.HostIP(), RTTMS: 55}},
+		PredictedRTTMS: 40, Predicted: true,
+	}
+	o, ok := ObservationFromTraceroute(&tr)
+	if !ok {
+		t.Fatal("traceroute with measured RTT and prediction rejected")
+	}
+	if o.RTTMS != 55 || o.PredictedMS != 40 || o.Dst != dst.HostIP() {
+		t.Fatalf("bad observation: %+v", o)
+	}
+	if o.ResidualMS() != 15 {
+		t.Fatalf("residual = %v, want 15", o.ResidualMS())
+	}
+
+	// Destination never answered: nothing to share.
+	unreached := tr
+	unreached.Hops = []Hop{{IP: 0x0a000102, RTTMS: 2}, {IP: 0, RTTMS: 0}}
+	if _, ok := ObservationFromTraceroute(&unreached); ok {
+		t.Fatal("unreached traceroute produced an observation")
+	}
+	// No prediction at schedule time: no residual.
+	unpredicted := tr
+	unpredicted.Predicted = false
+	if _, ok := ObservationFromTraceroute(&unpredicted); ok {
+		t.Fatal("unpredicted traceroute produced an observation")
+	}
+}

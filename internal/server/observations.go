@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	inano "inano"
+	"inano/internal/feedback"
+	"inano/internal/netsim"
+)
+
+// Upstream observation ingest: the build-server half of the paper's
+// bidirectional §5 loop. Clients POST their corrective observations
+// (measured vs predicted RTT per destination, NDJSON) to
+// /v1/observations; the daemon validates them against the serving atlas,
+// attributes each report to the connecting peer's source attachment
+// cluster, and feeds a feedback.Aggregator whose periodic snapshots the
+// build pipeline folds into the next daily delta
+// (atlas.BuildDeltaWithObservations). The endpoint is enabled by setting
+// Config.Aggregator (inanod -aggregate); without one it answers 501.
+
+// maxObservationBody caps one /v1/observations request body: 512 full-size
+// observation lines is far beyond any honest corrective budget, and small
+// enough that a hostile stream cannot hold the handler's memory hostage.
+const maxObservationBody = 512 * feedback.MaxObservationLineBytes
+
+// observationsResponse summarizes one /v1/observations report.
+type observationsResponse struct {
+	// Accepted observations entered the aggregate.
+	Accepted int `json:"accepted"`
+	// RateLimited observations were dropped by the per-source token
+	// bucket; retry after backing off.
+	RateLimited int `json:"rate_limited"`
+	// Unknown observations named destinations (or came from sources) the
+	// serving atlas cannot place, so they cannot join the aggregate.
+	Unknown int `json:"unknown"`
+	// Error reports a malformed report line; observations before it were
+	// still processed.
+	Error string `json:"error,omitempty"`
+	Day   int    `json:"day"`
+}
+
+// handleObservations ingests an NDJSON upstream-observation report: one
+// {"src","dst","rtt_ms","predicted_ms","hops":[...]} line per corrective
+// measurement (see feedback.ParseObservationReport for the hardened
+// contract). Ingestion is token-bucket rate-limited per connecting peer.
+// Each accepted observation is validated against the serving atlas: the
+// destination must have an attachment cluster, the reporter must resolve
+// to one (see reporterCluster — the connecting peer's cluster when the
+// atlas can place it, so claimed addresses buy no extra votes), and the
+// residual is computed against the *server's own* prediction for the
+// pair, so a stale or lying predicted_ms cannot skew the aggregate.
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return httpError(w, http.StatusMethodNotAllowed, "use POST")
+	}
+	if s.cfg.Aggregator == nil {
+		return httpError(w, http.StatusNotImplemented, "observation ingest not enabled on this daemon")
+	}
+	body := http.MaxBytesReader(w, r.Body, maxObservationBody)
+	obs, parseErr := feedback.ParseObservationReport(body)
+	if parseErr != nil && len(obs) == 0 {
+		return httpError(w, http.StatusBadRequest, "%v", parseErr)
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		return httpError(w, http.StatusBadRequest, "%v", err)
+	}
+	defer cancel()
+	granted := s.obsLimiter.take(sourceKey(r), len(obs))
+	// One pinned snapshot scores and labels the whole report: a hot
+	// reload mid-report cannot mix residuals measured against different
+	// atlas days into one aggregate entry.
+	snap := s.c.Snapshot()
+	resp := observationsResponse{
+		RateLimited: len(obs) - granted,
+		Day:         snap.Day(),
+	}
+	if parseErr != nil {
+		resp.Error = parseErr.Error()
+	}
+	for i := range obs[:granted] {
+		ok, err := s.ingestObservation(ctx, r, snap, &obs[i])
+		if err != nil {
+			resp.Error = err.Error()
+			break
+		}
+		if !ok {
+			resp.Unknown++
+			continue
+		}
+		resp.Accepted++
+	}
+	s.obsAccepted.Add(uint64(resp.Accepted))
+	s.obsUnknown.Add(uint64(resp.Unknown))
+	s.obsRateLimited.Add(uint64(resp.RateLimited))
+	if granted == 0 && resp.RateLimited > 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		return writeJSONBody(w, resp)
+	}
+	return writeJSON(w, resp)
+}
+
+// ingestObservation validates one observation against the serving atlas
+// and records it. ok=false means the atlas cannot place the observation
+// (unknown source or destination, or no served prediction for the pair).
+func (s *Server) ingestObservation(ctx context.Context, r *http.Request, snap inano.Snapshot, o *feedback.UpstreamObservation) (bool, error) {
+	srcP, dstP := netsim.PrefixOf(o.Src), netsim.PrefixOf(o.Dst)
+	srcCl, ok := s.reporterCluster(r, snap, srcP)
+	if !ok {
+		return false, nil
+	}
+	if _, ok := snap.AttachmentCluster(dstP); !ok {
+		return false, nil
+	}
+	// The served prediction may build trees for a cold destination; the
+	// request deadline bounds that work.
+	infos, err := snap.QueryBatch(ctx, [][2]netsim.Prefix{{srcP, dstP}})
+	if err != nil {
+		return false, err
+	}
+	if !infos[0].Found {
+		return false, nil
+	}
+	s.cfg.Aggregator.Record(srcCl, dstP, o.RTTMS-infos[0].RTTMS)
+	return true, nil
+}
+
+// reporterCluster resolves the reporter's identity in the aggregate: the
+// attachment cluster of the *connecting peer* whenever the serving atlas
+// can place it — a reporter cannot claim its way into other networks'
+// votes by rotating the report's src field. Only when the connection
+// address is meaningless to the atlas (labs, NATed deployments) does the
+// claimed source's cluster stand in; the per-connection rate limit still
+// bounds how fast such a reporter can touch slots. The claimed src always
+// drives the prediction pair the residual is scored against.
+func (s *Server) reporterCluster(r *http.Request, snap inano.Snapshot, claimed netsim.Prefix) (int32, bool) {
+	if ip, err := feedback.ParseIPv4(sourceKey(r)); err == nil {
+		if cl, ok := snap.AttachmentCluster(netsim.PrefixOf(ip)); ok {
+			return cl, true
+		}
+	}
+	return snap.AttachmentCluster(claimed)
+}
+
+// RunObservationSnapshots periodically cuts the aggregator's snapshot to
+// path (atomically), where the build pipeline picks it up for the next
+// delta (inano-build -observations). It blocks until ctx is done, writing
+// one final snapshot on shutdown so the freshest aggregate survives a
+// restart. Run it in a goroutine alongside the HTTP server.
+func (s *Server) RunObservationSnapshots(ctx context.Context, path string, interval time.Duration) {
+	if s.cfg.Aggregator == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	write := func() {
+		snap := s.cfg.Aggregator.Snapshot(s.c.Day())
+		if err := feedback.SaveSnapshot(path, snap); err != nil {
+			s.cfg.Logf("inanod: observation snapshot %s: %v", path, err)
+			return
+		}
+		s.obsSnapshots.Inc()
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			write()
+			return
+		case <-t.C:
+			write()
+		}
+	}
+}

@@ -64,6 +64,18 @@ type Config struct {
 	FeedbackRate float64
 	// FeedbackBurst is the per-source bucket capacity (0 = default 256).
 	FeedbackBurst int
+	// Aggregator enables POST /v1/observations (upstream observation
+	// sharing): validated reports feed it, and RunObservationSnapshots
+	// periodically cuts its state to disk for the build pipeline. Nil
+	// disables the endpoint (501).
+	Aggregator *feedback.Aggregator
+	// ObservationRate is the per-source token refill rate of
+	// /v1/observations in observations/second (0 = default 8; negative =
+	// unlimited). Deliberately tighter than FeedbackRate: observations
+	// mutate the global build, feedback only local scheduling.
+	ObservationRate float64
+	// ObservationBurst is the per-source bucket capacity (0 = default 64).
+	ObservationBurst int
 	// Logf logs serving events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -90,6 +102,13 @@ type Server struct {
 	corrProbes      *metrics.Counter
 	corrProbeErrors *metrics.Counter
 	corrMerged      *metrics.Counter
+
+	// Upstream observation ingest instrumentation.
+	obsLimiter     *tokenBuckets
+	obsAccepted    *metrics.Counter
+	obsUnknown     *metrics.Counter
+	obsRateLimited *metrics.Counter
+	obsSnapshots   *metrics.Counter
 
 	mu        sync.Mutex
 	lastRound feedback.Round
@@ -123,17 +142,26 @@ func New(cfg Config) *Server {
 	if fbBurst <= 0 {
 		fbBurst = 256
 	}
+	obsRate := cfg.ObservationRate
+	if obsRate == 0 {
+		obsRate = 8
+	}
+	obsBurst := cfg.ObservationBurst
+	if obsBurst <= 0 {
+		obsBurst = 64
+	}
 	s := &Server{
-		c:         cfg.Client,
-		cfg:       cfg,
-		reg:       metrics.NewRegistry(),
-		started:   time.Now(),
-		fbLimiter: newTokenBuckets(fbRate, fbBurst, 0),
-		handlers:  make(map[string]*handlerMetrics),
+		c:          cfg.Client,
+		cfg:        cfg,
+		reg:        metrics.NewRegistry(),
+		started:    time.Now(),
+		fbLimiter:  newTokenBuckets(fbRate, fbBurst, 0),
+		obsLimiter: newTokenBuckets(obsRate, obsBurst, 0),
+		handlers:   make(map[string]*handlerMetrics),
 	}
 	s.inflight = s.reg.NewGauge("inanod_http_inflight",
 		"Requests currently being served.", "")
-	for _, h := range []string{"query", "batch", "rank", "feedback", "relay", "healthz", "metrics", "stats"} {
+	for _, h := range []string{"query", "batch", "rank", "feedback", "relay", "observations", "healthz", "metrics", "stats"} {
 		labels := `handler="` + h + `"`
 		s.handlers[h] = &handlerMetrics{
 			requests: s.reg.NewCounter("inanod_http_requests_total",
@@ -170,6 +198,25 @@ func New(cfg Config) *Server {
 		"Corrective traceroutes that failed.", "")
 	s.corrMerged = s.reg.NewCounter("inanod_corrective_changes_merged_total",
 		"Atlas changes merged from corrective traceroutes.", "")
+
+	// Upstream observation ingest: what clients share toward the next
+	// build, and the aggregate's size.
+	s.obsAccepted = s.reg.NewCounter("inanod_observations_accepted_total",
+		"Upstream observations accepted over /v1/observations.", "")
+	s.obsUnknown = s.reg.NewCounter("inanod_observations_unknown_total",
+		"Upstream observations the serving atlas could not place.", "")
+	s.obsRateLimited = s.reg.NewCounter("inanod_observations_rate_limited_total",
+		"Upstream observations dropped by the per-source rate limit.", "")
+	s.obsSnapshots = s.reg.NewCounter("inanod_observation_snapshots_total",
+		"Aggregator snapshots written to disk.", "")
+	if cfg.Aggregator != nil {
+		s.reg.NewGaugeFunc("inanod_observation_prefixes",
+			"Destination prefixes in the upstream-observation aggregate.", "",
+			func() float64 { return float64(cfg.Aggregator.Stats().Prefixes) })
+		s.reg.NewGaugeFunc("inanod_observation_reporters",
+			"Reporter slots in use across aggregated prefixes.", "",
+			func() float64 { return float64(cfg.Aggregator.Stats().Reporters) })
+	}
 	s.reg.NewGaugeFunc("inanod_corrective_budget_utilization",
 		"Fraction of the corrective budget spent in the last round.", "",
 		s.lastRoundUtilization)
@@ -217,6 +264,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/rank", s.instrument("rank", s.handleRank))
 	mux.HandleFunc("/v1/feedback", s.instrument("feedback", s.handleFeedback))
 	mux.HandleFunc("/v1/relay", s.instrument("relay", s.handleRelay))
+	mux.HandleFunc("/v1/observations", s.instrument("observations", s.handleObservations))
 	return mux
 }
 
@@ -690,10 +738,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			"last_unix_s": s.lastReload.Value(),
 		},
 		"feedback":             s.feedbackStats(),
+		"observations":         s.observationStats(),
 		"inflight":             s.inflight.Value(),
 		"batch_pairs_streamed": s.pairsTotal.Value(),
 		"http":                 perHandler,
 	})
+}
+
+// observationStats renders the upstream-observation ingest state for
+// /debug/stats.
+func (s *Server) observationStats() map[string]any {
+	out := map[string]any{
+		"enabled":      s.cfg.Aggregator != nil,
+		"accepted":     s.obsAccepted.Value(),
+		"unknown":      s.obsUnknown.Value(),
+		"rate_limited": s.obsRateLimited.Value(),
+		"snapshots":    s.obsSnapshots.Value(),
+	}
+	if s.cfg.Aggregator != nil {
+		st := s.cfg.Aggregator.Stats()
+		out["prefixes"] = st.Prefixes
+		out["reporters"] = st.Reporters
+		out["evicted_prefixes"] = st.EvictedPrefixes
+	}
+	return out
 }
 
 // feedbackStats renders the feedback loop's state for /debug/stats.

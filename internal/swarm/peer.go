@@ -30,9 +30,26 @@ type Peer struct {
 	rng   *rand.Rand
 	close sync.Once
 	done  chan struct{}
+	// wake is signaled (capacity 1, collapsing) whenever something that
+	// could unblock the download loop happens: a new connection, a peer's
+	// bitfield growing, a chunk arriving. The loop blocks on it instead of
+	// busy-rescanning when nothing is requestable.
+	wake chan struct{}
+	// idleHook, when set, is called once per download-loop pass that found
+	// nothing requestable (test instrumentation for the no-busy-spin
+	// contract).
+	idleHook func()
 
 	mu    sync.Mutex
 	conns map[string]*peerConn
+}
+
+// wakeDownload nudges the download loop; a pending nudge is enough.
+func (p *Peer) wakeDownload() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
 }
 
 type peerConn struct {
@@ -92,6 +109,7 @@ func newPeer(m Manifest, st *store) (*Peer, error) {
 		ln:    ln,
 		rng:   rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(ln.Addr().(*net.TCPAddr).Port))),
 		done:  make(chan struct{}),
+		wake:  make(chan struct{}, 1),
 		conns: make(map[string]*peerConn),
 	}
 	go p.accept()
@@ -171,6 +189,7 @@ func (p *Peer) runConn(conn net.Conn, addr string) {
 	}
 	p.conns[addr] = pc
 	p.mu.Unlock()
+	p.wakeDownload()
 	defer func() {
 		p.mu.Lock()
 		delete(p.conns, addr)
@@ -188,6 +207,7 @@ func (p *Peer) runConn(conn net.Conn, addr string) {
 			pc.bitM.Lock()
 			pc.bits = m.Bits
 			pc.bitM.Unlock()
+			p.wakeDownload()
 		case 'A':
 			pc.bitM.Lock()
 			for len(pc.bits) <= m.Index {
@@ -197,6 +217,7 @@ func (p *Peer) runConn(conn net.Conn, addr string) {
 				pc.bits[m.Index] = true
 			}
 			pc.bitM.Unlock()
+			p.wakeDownload()
 		case 'R':
 			data := p.st.get(m.Index)
 			if data == nil {
@@ -266,6 +287,16 @@ func FetchAndSeed(ctx context.Context, trackerAddr string, m Manifest) (*Peer, [
 	return p, data, nil
 }
 
+// Stall pacing for the download loop: when nothing is requestable the
+// loop re-announces to the tracker at most every downloadRefreshEvery and
+// then *blocks* — on the wake channel (a new connection, bitfield growth,
+// or an arriving chunk ends the stall instantly) with downloadIdleWait as
+// the tracker-repoll backstop — instead of spinning through the scan.
+const (
+	downloadRefreshEvery = 50 * time.Millisecond
+	downloadIdleWait     = 100 * time.Millisecond
+)
+
 func (p *Peer) download(ctx context.Context, trackerAddr string) error {
 	refresh := func() {
 		peers, err := announce(trackerAddr, p.id, p.Addr())
@@ -278,6 +309,28 @@ func (p *Peer) download(ctx context.Context, trackerAddr string) error {
 	}
 	refresh()
 	lastRefresh := time.Now()
+	// stall blocks until something changes (or the backstop timer fires);
+	// it returns a non-nil error only when the download should abort.
+	stall := func() error {
+		if time.Since(lastRefresh) > downloadRefreshEvery {
+			refresh()
+			lastRefresh = time.Now()
+		}
+		if p.idleHook != nil {
+			p.idleHook()
+		}
+		t := time.NewTimer(downloadIdleWait)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.done:
+			return errClosed
+		case <-p.wake:
+		case <-t.C:
+		}
+		return nil
+	}
 	for !p.st.complete() {
 		select {
 		case <-ctx.Done():
@@ -299,14 +352,9 @@ func (p *Peer) download(ctx context.Context, trackerAddr string) error {
 		}
 		idx := pickRarest(p.st.bitfield(), bitfields, p.rng)
 		if idx < 0 {
-			if time.Since(lastRefresh) > 50*time.Millisecond {
-				refresh()
-				lastRefresh = time.Now()
-			}
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(10 * time.Millisecond):
+			// No connected peer has anything we need: wait for one.
+			if err := stall(); err != nil {
+				return err
 			}
 			continue
 		}
@@ -318,10 +366,23 @@ func (p *Peer) download(ctx context.Context, trackerAddr string) error {
 			}
 		}
 		if len(holders) == 0 {
+			// The holder vanished between the snapshot and the re-check;
+			// wait for the connection set to change rather than re-scanning
+			// in a hot loop.
+			if err := stall(); err != nil {
+				return err
+			}
 			continue
 		}
 		c := holders[p.rng.Intn(len(holders))]
 		if err := c.send(&peerMsg{Kind: 'R', Index: idx}); err != nil {
+			// A conn whose send fails is dead but may linger until its
+			// reader notices; close it now and pause so a half-closed
+			// socket cannot turn the request loop into a spin.
+			c.conn.Close()
+			if err := stall(); err != nil {
+				return err
+			}
 			continue
 		}
 		select {
@@ -339,6 +400,7 @@ func (p *Peer) download(ctx context.Context, trackerAddr string) error {
 			// Peer unresponsive; drop it and re-announce.
 			c.conn.Close()
 			refresh()
+			lastRefresh = time.Now()
 		}
 	}
 	return nil

@@ -1,0 +1,146 @@
+package swarm
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStalledDownloadDoesNotSpin: a downloader whose swarm has no seed
+// must block between scans, not busy-spin. The idle hook counts scheduler
+// passes that found nothing requestable; with the 100ms idle backstop a
+// 600ms stall allows a handful of passes, not the thousands a hot loop
+// would rack up.
+func TestStalledDownloadDoesNotSpin(t *testing.T) {
+	data := testData(100_000, 20)
+	m := NewManifest("stalled", data, 16<<10)
+	tr, err := StartTracker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	p, err := newPeer(m, newStore(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var idle atomic.Int64
+	p.idleHook = func() { idle.Add(1) }
+
+	ctx, cancel := context.WithTimeout(context.Background(), 600*time.Millisecond)
+	defer cancel()
+	if err := p.download(ctx, tr.Addr()); err == nil {
+		t.Fatal("download completed with no seed")
+	}
+	// 600ms / 100ms backstop ≈ 6 passes; allow generous slack for timer
+	// jitter and spurious wakes. The pre-fix loop ran 10ms sleeps at best
+	// (≥60) and unbounded spins at worst.
+	if n := idle.Load(); n > 25 {
+		t.Fatalf("stalled download looped %d times in 600ms; loop is spinning", n)
+	} else if n == 0 {
+		t.Fatal("idle hook never ran; test is not exercising the stall path")
+	}
+}
+
+// TestStalledDownloadWakesOnLateSeed: a downloader that started before
+// any seed existed must pick the file up once a seed joins — the stall
+// must end via tracker re-polling (the wake channel cannot know about
+// peers it has never met).
+func TestStalledDownloadWakesOnLateSeed(t *testing.T) {
+	data := testData(120_000, 21)
+	m := NewManifest("late-seed", data, 16<<10)
+	tr, err := StartTracker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	fetched := make(chan error, 1)
+	var got []byte
+	go func() {
+		b, err := Fetch(ctx, tr.Addr(), m)
+		got = b
+		fetched <- err
+	}()
+
+	time.Sleep(250 * time.Millisecond) // let the fetcher stall first
+	seed, err := StartSeed(tr.Addr(), m, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	if err := <-fetched; err != nil {
+		t.Fatalf("fetch after late seed: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("fetched data differs")
+	}
+}
+
+// TestFetchErrorClosesPeer: when Fetch fails (context cancelled before
+// the swarm could supply the data), the temporary peer it spun up must be
+// fully closed — its listener unreachable — not leaked.
+func TestFetchErrorClosesPeer(t *testing.T) {
+	data := testData(80_000, 22)
+	m := NewManifest("close-on-error", data, 16<<10)
+	tr, err := StartTracker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Fetch(ctx, tr.Addr(), m)
+		errCh <- err
+	}()
+
+	// The fetching peer announces itself immediately; grab its address
+	// through a tracker query (empty Addr = query only).
+	var peerAddr string
+	for i := 0; i < 50 && peerAddr == ""; i++ {
+		peers, err := announce(tr.Addr(), m.ID(), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peers) > 0 {
+			peerAddr = peers[0]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if peerAddr == "" {
+		t.Fatal("fetching peer never announced itself")
+	}
+	// While the fetch is alive its listener accepts.
+	conn, err := net.DialTimeout("tcp", peerAddr, time.Second)
+	if err != nil {
+		t.Fatalf("fetching peer unreachable while downloading: %v", err)
+	}
+	conn.Close()
+
+	if err := <-errCh; err == nil {
+		t.Fatal("fetch succeeded with no seed")
+	}
+	// After the error return the peer must be gone: the listener refuses.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", peerAddr, 200*time.Millisecond)
+		if err != nil {
+			break // closed, as required
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("failed Fetch left its peer listening")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

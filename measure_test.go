@@ -242,6 +242,74 @@ func TestObserveAndCorrectClosesLoop(t *testing.T) {
 	}
 }
 
+// TestGlobalAdjustAppliesAndStacks: swarm-shipped corrections
+// (GlobalAdjustMS, folded by the build from uploaded observations) shift
+// served RTTs exactly once, survive the codec (unlike the local
+// AdjustMS), and stack with a locally learned correction.
+func TestGlobalAdjustAppliesAndStacks(t *testing.T) {
+	f := buildFixture(t, 136, 0)
+	c := FromAtlas(f.a.Clone())
+	var src, dst Prefix
+	var base float64
+	found := false
+	for _, s := range f.vps {
+		for _, d := range f.vps {
+			if s == d {
+				continue
+			}
+			if info := c.QueryPrefix(s, d); info.Found {
+				src, dst, base, found = s, d, info.RTTMS, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("world has no predictable pair")
+	}
+
+	a := f.a.Clone()
+	a.GlobalAdjustMS[dst] = 25
+	c2 := FromAtlas(a)
+	if got := c2.QueryPrefix(src, dst).RTTMS; !close2(got, base+25) {
+		t.Fatalf("global correction not applied: %v, want %v", got, base+25)
+	}
+	// The reverse query toward src must not absorb dst's correction
+	// twice: only the forward leg of an answer carries its destination's
+	// adjustment.
+	if revBase := c.QueryPrefix(dst, src).RTTMS; revBase > 0 {
+		if got := c2.QueryPrefix(dst, src).RTTMS; !close2(got, revBase) {
+			t.Fatalf("reverse query absorbed dst correction: %v vs %v", got, revBase)
+		}
+	}
+
+	// A local correction stacks on top of the shipped one.
+	a2 := f.a.Clone()
+	a2.GlobalAdjustMS[dst] = 25
+	a2.AdjustMS[dst] = -10
+	c3 := FromAtlas(a2)
+	if got := c3.QueryPrefix(src, dst).RTTMS; !close2(got, base+15) {
+		t.Fatalf("corrections did not stack: %v, want %v", got, base+15)
+	}
+
+	// And unlike AdjustMS, the global dataset survives the codec.
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Atlas().GlobalAdjustMS[dst]; got != 25 {
+		t.Fatalf("global correction lost in the codec: %v", got)
+	}
+}
+
+func close2(a, b float64) bool { d := a - b; return d < 0.01 && d > -0.01 }
+
 // TestAdjustMSLocalOnly: the residual corrections are client-local state —
 // they must survive Clone (the copy-on-write path) but never enter the
 // encoded atlas.

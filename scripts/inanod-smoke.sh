@@ -3,19 +3,41 @@
 # exercise /healthz, a single /v1/query, a streamed /v1/batch, a
 # /v1/feedback observation report (with the corrective loop running
 # against the generating world), and /v1/relay, then assert clean graceful
-# shutdown on SIGTERM. Run from the repo root; used by CI's smoke job and
+# shutdown on SIGTERM. A second phase drives the upstream observation loop
+# end to end: POST /v1/observations into an aggregating daemon, snapshot
+# the aggregate, fold it into the next day's delta with inano-build, hot-
+# reload the delta through the file watcher, and assert the corrected
+# prediction is served. Run from the repo root; used by CI's smoke job and
 # runnable locally.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
 daemon_pid=""
+daemon2_pid=""
 cleanup() {
-  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
-    kill -9 "$daemon_pid" 2>/dev/null || true
-  fi
+  for pid in "$daemon_pid" "$daemon2_pid"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+# wait_for_addr LOGFILE PID: echoes the daemon's base URL once it appears.
+wait_for_addr() {
+  local log="$1" pid="$2" base=""
+  for _ in $(seq 1 50); do
+    base="$(sed -n 's#^inanod: listening on \(http://[0-9.:]*\)$#\1#p' "$log" | head -1)"
+    [[ -n "$base" ]] && { echo "$base"; return 0; }
+    kill -0 "$pid" || { echo "FAIL: daemon died at startup" >&2; cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "FAIL: daemon never reported its address" >&2; cat "$log" >&2; return 1
+}
+
+# rtt_of JSON: extracts the rtt_ms number from a /v1/query answer.
+rtt_of() { sed -n 's#.*"rtt_ms":\([0-9.]*\).*#\1#p' <<<"$1"; }
 
 echo "== building binaries"
 go build -o "$workdir/" ./cmd/inanod ./cmd/inano-build ./cmd/inano-query
@@ -36,14 +58,7 @@ echo "== starting inanod (corrective loop against the generating world)"
   >"$workdir/daemon.log" 2>&1 &
 daemon_pid=$!
 
-base=""
-for _ in $(seq 1 50); do
-  base="$(sed -n 's#^inanod: listening on \(http://[0-9.:]*\)$#\1#p' "$workdir/daemon.log" | head -1)"
-  [[ -n "$base" ]] && break
-  kill -0 "$daemon_pid" || { echo "FAIL: daemon died at startup"; cat "$workdir/daemon.log"; exit 1; }
-  sleep 0.1
-done
-[[ -n "$base" ]] || { echo "FAIL: daemon never reported its address"; cat "$workdir/daemon.log"; exit 1; }
+base="$(wait_for_addr "$workdir/daemon.log" "$daemon_pid")"
 echo "   daemon at $base"
 
 echo "== /healthz"
@@ -107,5 +122,109 @@ daemon_pid=""
 [[ "$shutdown_rc" -eq 0 ]] || { echo "FAIL: daemon exited $shutdown_rc"; cat "$workdir/daemon.log"; exit 1; }
 grep -q '^inanod: shutdown complete$' "$workdir/daemon.log" \
   || { echo "FAIL: no clean shutdown marker"; cat "$workdir/daemon.log"; exit 1; }
+
+echo "== upstream loop: starting aggregating daemon (watching delta1.bin)"
+"$workdir/inanod" -atlas "$workdir/atlas.bin" -listen 127.0.0.1:0 \
+  -aggregate -obs-snapshot "$workdir/obs.json" -obs-snapshot-interval 1s \
+  -watch-delta "$workdir/delta1.bin" -watch-interval 1s \
+  >"$workdir/daemon2.log" 2>&1 &
+daemon2_pid=$!
+base2="$(wait_for_addr "$workdir/daemon2.log" "$daemon2_pid")"
+echo "   daemon at $base2"
+
+# Find a predictable pair for the observation report.
+obs_src="" obs_dst="" rtt0=""
+for cand in "${prefixes[@]:1}"; do
+  answer="$(curl -fsS "$base2/v1/query?src=${prefixes[0]}&dst=$cand")"
+  if grep -q '"found":true' <<<"$answer"; then
+    obs_src="${prefixes[0]}"; obs_dst="$cand"; rtt0="$(rtt_of "$answer")"
+    break
+  fi
+done
+[[ -n "$obs_dst" ]] || { echo "FAIL: no predictable pair for the observation report"; exit 1; }
+echo "   observing $obs_src -> $obs_dst (served rtt ${rtt0}ms)"
+
+echo "== POST /v1/observations (measured = served + 50ms)"
+measured="$(awk -v r="$rtt0" 'BEGIN{print r+50}')"
+obs_resp="$(printf '{"src":"%s","dst":"%s","rtt_ms":%s,"predicted_ms":%s}\n' \
+  "$obs_src" "$obs_dst" "$measured" "$rtt0" \
+  | curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$base2/v1/observations")"
+echo "   $obs_resp"
+grep -q '"accepted":1' <<<"$obs_resp" || { echo "FAIL: observation not accepted"; exit 1; }
+
+echo "== waiting for the aggregator snapshot"
+snap_ok=""
+for _ in $(seq 1 40); do
+  if [[ -s "$workdir/obs.json" ]] && grep -q '"residual_ms"' "$workdir/obs.json"; then
+    snap_ok=1; break
+  fi
+  sleep 0.25
+done
+[[ -n "$snap_ok" ]] || { echo "FAIL: aggregator snapshot never written"; cat "$workdir/daemon2.log"; exit 1; }
+
+echo "== inano-build: folding the snapshot into a correction delta"
+build_out="$("$workdir/inano-build" -scale tiny -o "$workdir/atlas-obs.bin" \
+  -delta "$workdir/delta-obs.bin" -observations "$workdir/obs.json" -obs-min-reporters 1)"
+grep -q 'corrections shipped' <<<"$build_out" || { echo "FAIL: build folded nothing"; echo "$build_out"; exit 1; }
+
+# The fold must change the file-level prediction for the observed pair by
+# roughly FoldGain * 50ms = +25ms over the plain atlas.
+q_plain="$("$workdir/inano-query" -atlas "$workdir/atlas.bin" "$obs_src" "$obs_dst" \
+  | sed -n 's#^RTT estimate:[[:space:]]*\([0-9.]*\) ms$#\1#p')"
+q_obs="$("$workdir/inano-query" -atlas "$workdir/atlas-obs.bin" "$obs_src" "$obs_dst" \
+  | sed -n 's#^RTT estimate:[[:space:]]*\([0-9.]*\) ms$#\1#p')"
+awk -v a="$q_obs" -v b="$q_plain" 'BEGIN{d=a-b; exit !(d>10 && d<50)}' \
+  || { echo "FAIL: fold shifted file-level prediction by $q_plain -> $q_obs, want ~+25ms"; exit 1; }
+echo "   file-level prediction: $q_plain -> $q_obs ms"
+
+echo "== hot reload: publishing the correction delta to the watcher"
+cp "$workdir/delta-obs.bin" "$workdir/delta1.bin"
+reload_ok=""
+for _ in $(seq 1 40); do
+  metrics2="$(curl -fsS "$base2/metrics")"
+  if grep -q '^inanod_atlas_reloads_total 1$' <<<"$metrics2"; then reload_ok=1; break; fi
+  sleep 0.25
+done
+[[ -n "$reload_ok" ]] || { echo "FAIL: correction delta never hot-applied"; cat "$workdir/daemon2.log"; exit 1; }
+
+echo "== corrected prediction is served"
+answer1="$(curl -fsS "$base2/v1/query?src=$obs_src&dst=$obs_dst")"
+rtt1="$(rtt_of "$answer1")"
+awk -v served="$rtt1" -v want="$q_obs" 'BEGIN{d=served-want; if (d<0) d=-d; exit !(d<1.0)}' \
+  || { echo "FAIL: served rtt $rtt1 != folded-atlas rtt $q_obs"; exit 1; }
+awk -v served="$rtt1" -v plain="$q_plain" 'BEGIN{exit !(served-plain>10)}' \
+  || { echo "FAIL: served rtt $rtt1 does not carry the correction (plain $q_plain)"; exit 1; }
+echo "   served $rtt1 ms (uncorrected atlas would serve $q_plain ms)"
+
+echo "== day roll: corrections carry and decay (inano-build -prev)"
+build2_out="$("$workdir/inano-build" -scale tiny -day 1 -prev "$workdir/atlas-obs.bin" \
+  -o "$workdir/atlas2.bin" -delta "$workdir/delta2.bin")"
+grep -q 'corrections carried' <<<"$build2_out" || { echo "FAIL: -prev carried nothing"; echo "$build2_out"; exit 1; }
+"$workdir/inano-build" -scale tiny -day 1 -o "$workdir/atlas2-plain.bin" >/dev/null
+q2="$("$workdir/inano-query" -atlas "$workdir/atlas2.bin" "$obs_src" "$obs_dst" \
+  | sed -n 's#^RTT estimate:[[:space:]]*\([0-9.]*\) ms$#\1#p')"
+q2_plain="$("$workdir/inano-query" -atlas "$workdir/atlas2-plain.bin" "$obs_src" "$obs_dst" \
+  | sed -n 's#^RTT estimate:[[:space:]]*\([0-9.]*\) ms$#\1#p')"
+# The unsupported correction halves on the roll: ~+12.5ms over plain day 1.
+awk -v a="$q2" -v b="$q2_plain" 'BEGIN{d=a-b; exit !(d>5 && d<20)}' \
+  || { echo "FAIL: day-roll carry: $q2_plain -> $q2, want ~+12.5ms"; exit 1; }
+echo "   day-1 prediction: $q2_plain plain, $q2 with the decayed carried correction"
+
+# The day-roll delta (based on the archived folded atlas) hot-applies too.
+cp "$workdir/delta2.bin" "$workdir/delta1.bin"
+roll_ok=""
+for _ in $(seq 1 40); do
+  if curl -fsS "$base2/healthz" | grep -q '"day":1'; then roll_ok=1; break; fi
+  sleep 0.25
+done
+[[ -n "$roll_ok" ]] || { echo "FAIL: day-roll delta never hot-applied"; cat "$workdir/daemon2.log"; exit 1; }
+echo "   daemon rolled to day 1"
+
+echo "== upstream daemon graceful shutdown"
+kill -TERM "$daemon2_pid"
+shutdown_rc=0
+wait "$daemon2_pid" || shutdown_rc=$?
+daemon2_pid=""
+[[ "$shutdown_rc" -eq 0 ]] || { echo "FAIL: daemon2 exited $shutdown_rc"; cat "$workdir/daemon2.log"; exit 1; }
 
 echo "PASS: inanod smoke"
