@@ -1,0 +1,148 @@
+// Command doccheck keeps the repository's markdown honest: it walks the
+// given files and directories, extracts every [text](target) link from
+// the .md files, and fails when a relative link points at a file that
+// does not exist or an anchor no heading generates. External links
+// (http, https, mailto) are not fetched — CI must not flake on the
+// internet — but everything the repository can verify about itself is
+// verified on every push, so the docs cannot rot silently.
+//
+// Usage:
+//
+//	doccheck README.md ROADMAP.md docs
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links; images share the syntax and are
+// checked the same way.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings, the only style the repo uses.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// codeFenceRe strips fenced code blocks so example links inside them are
+// not validated.
+var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+func main() {
+	var files []string
+	for _, arg := range os.Args[1:] {
+		st, err := os.Stat(arg)
+		if err != nil {
+			fatal(err)
+		}
+		if !st.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no markdown files given"))
+	}
+	broken := 0
+	checked := 0
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		body := codeFenceRe.ReplaceAllString(string(b), "")
+		for _, m := range linkRe.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			checked++
+			if err := checkLink(f, target); err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", f, err)
+				broken++
+			}
+		}
+	}
+	fmt.Printf("doccheck: %d links across %d files", checked, len(files))
+	if broken > 0 {
+		fmt.Printf(", %d broken\n", broken)
+		os.Exit(1)
+	}
+	fmt.Println(", all resolvable")
+}
+
+// checkLink validates one link target relative to the file containing it.
+func checkLink(from, target string) error {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return nil // external: not fetched
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	if path == "" {
+		// Same-file anchor.
+		return checkAnchor(from, frag)
+	}
+	resolved := filepath.Join(filepath.Dir(from), path)
+	st, err := os.Stat(resolved)
+	if err != nil {
+		return fmt.Errorf("broken link %q: %v", target, err)
+	}
+	if frag != "" {
+		if st.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return fmt.Errorf("link %q carries an anchor into a non-markdown target", target)
+		}
+		return checkAnchor(resolved, frag)
+	}
+	return nil
+}
+
+// checkAnchor verifies a #fragment against the GitHub-style anchors the
+// target file's headings generate.
+func checkAnchor(file, frag string) error {
+	if frag == "" {
+		return nil
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	// Strip fenced code blocks first: a `# comment` inside an example is
+	// not a heading and generates no anchor on the rendered page.
+	body := codeFenceRe.ReplaceAllString(string(b), "")
+	for _, m := range headingRe.FindAllStringSubmatch(body, -1) {
+		if anchorOf(m[1]) == strings.ToLower(frag) {
+			return nil
+		}
+	}
+	return fmt.Errorf("broken anchor #%s (no matching heading in %s)", frag, file)
+}
+
+// anchorOf reproduces GitHub's heading-to-anchor rule closely enough for
+// this repository: lowercase, punctuation dropped, spaces to hyphens.
+func anchorOf(h string) string {
+	// Inline code and links inside headings keep their text.
+	h = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(h)
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(h)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(2)
+}

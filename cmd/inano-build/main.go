@@ -3,9 +3,11 @@
 // delta from the previous day) — the server side of §5.
 //
 // With -observations it folds an aggregated client-observation snapshot
-// (written by inanod -aggregate -obs-snapshot) into the build as the
-// GlobalAdjustMS dataset, so client-measured ground truth ships to every
-// peer inside the ordinary daily delta.
+// (written by inanod -aggregate -obs-snapshot) into the build: scalar
+// residuals become the GlobalAdjustMS dataset, and reporter-agreed hop
+// paths become real links and attachment entries (FoldPaths) — so
+// client-measured ground truth, structural coverage included, ships to
+// every peer inside the ordinary daily delta.
 //
 // A correction's lifecycle across days is managed through -prev: pass the
 // previous day's *archived* atlas (the -o output, corrections included)
@@ -69,14 +71,18 @@ func main() {
 		return c.BuildAtlas()
 	}
 	var residuals map[netsim.Prefix]float64
+	var agreedPaths []atlas.ObservedPath
 	if *obsPath != "" {
 		snap, err := feedback.LoadSnapshot(*obsPath)
 		if err != nil {
 			fatal(err)
 		}
 		residuals = snap.Residuals(*obsMinReporters)
+		agreedPaths = snap.AgreedPaths(*obsMinReporters)
 		fmt.Printf("observations: %d aggregated prefixes, %d folded (>= %d reporters)\n",
 			len(snap.Prefixes), len(residuals), *obsMinReporters)
+		fmt.Printf("observations: %d voted path tails, %d agreed (>= %d reporters per link)\n",
+			len(snap.Paths), len(agreedPaths), *obsMinReporters)
 	}
 	var prev *atlas.Atlas
 	if *prevPath != "" {
@@ -98,11 +104,28 @@ func main() {
 		carried := atlas.CarryCorrections(plain, prev, residuals)
 		fmt.Printf("observations: %d corrections carried from %s\n", carried, *prevPath)
 	}
+	if prev != nil && (len(prev.ObservedLinks) > 0 || len(prev.ObservedAttach) > 0) {
+		// Crowd-observed structure decays the same way: entries the
+		// campaign re-measured graduate, entries today's snapshot
+		// re-agrees on re-fold at full lifetime below, the rest lose one
+		// roll and eventually drop — shipping the deletions in the delta.
+		carried, dropped := atlas.CarryFoldedPaths(plain, prev)
+		fmt.Printf("observations: %d observed links/attachments carried from %s, %d expired\n",
+			carried, *prevPath, dropped)
+	}
 	a := plain
 	if len(residuals) > 0 {
 		var folded int
 		a, folded = atlas.FoldObservations(plain, residuals)
 		fmt.Printf("observations: %d corrections shipped in the atlas\n", folded)
+	}
+	if len(agreedPaths) > 0 {
+		if a == plain {
+			a = plain.Clone()
+		}
+		st := atlas.FoldPaths(a, agreedPaths)
+		fmt.Printf("observations: %d agreed paths folded (%d new links, %d refreshed, %d already measured, %d new attachments, %d skipped)\n",
+			st.PathsFolded, st.NewLinks, st.RefreshedLinks, st.MeasuredLinks, st.NewAttach, st.PathsSkipped)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -32,8 +32,9 @@ func main() {
 	fbBudget := flag.Int("feedback-budget", 8, "corrective probes per round in -feedback mode")
 	fbRounds := flag.Int("feedback-rounds", 4, "corrective rounds in -feedback mode")
 	upstreamMode := flag.Bool("upstream", false, "run the upstream-observation-sharing replay (non-reporting client error before/after the aggregated delta)")
-	upReporters := flag.Int("upstream-reporters", 0, "reporting clients in -upstream mode (0 = all validation sources but one)")
-	upMinReporters := flag.Int("upstream-min-reporters", 3, "min distinct reporters behind a folded aggregate in -upstream mode")
+	upStructMode := flag.Bool("upstream-structure", false, "run the structural upstream replay (non-reporting client hop-level path accuracy before/after the hop-fold delta)")
+	upReporters := flag.Int("upstream-reporters", 0, "reporting clients in -upstream/-upstream-structure mode (0 = all validation sources but one)")
+	upMinReporters := flag.Int("upstream-min-reporters", 3, "min distinct reporters behind a folded aggregate in -upstream/-upstream-structure mode")
 	loadgen := flag.String("loadgen", "", "load-generator mode: base URL of a running inanod (e.g. http://127.0.0.1:7353)")
 	loadAtlas := flag.String("load-atlas", "atlas.bin", "atlas file the daemon serves (source of queryable prefixes)")
 	loadN := flag.Int("load-n", 10_000, "total queries (singles) or pairs (batch) to issue")
@@ -67,6 +68,23 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "inano-eval: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *upStructMode {
+		fmt.Printf("# iPlane Nano upstream structure — scale=%s seed=%d\n", *scale, *seed)
+		lab := experiments.NewLab(cfg)
+		fmt.Printf("world: %s\n\n", lab.W.Top.Stats())
+		res := experiments.UpstreamStructure(lab, *upReporters, *upMinReporters)
+		fmt.Print(res.Render())
+		if res.AccAfter <= res.AccBefore {
+			fmt.Fprintln(os.Stderr, "inano-eval: hop-fold delta did not improve the non-reporter's hop-level path accuracy")
+			os.Exit(1)
+		}
+		if res.FabricatedShipped != 0 {
+			fmt.Fprintln(os.Stderr, "inano-eval: a single lying reporter shipped fabricated path structure")
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *upstreamMode {

@@ -310,6 +310,23 @@ func (s Snapshot) AttachmentCluster(p Prefix) (int32, bool) {
 	return int32(cl), ok
 }
 
+// HopCluster places a traceroute hop interface in the pinned atlas's
+// cluster space: the interface-prefix table first (infrastructure /24s
+// observed by the build), then the end-host attachment table. The
+// upstream observation ingest clusterizes uploaded hop lists through it.
+// ok is false when the atlas has never seen the hop's /24.
+func (s Snapshot) HopCluster(ip IP) (int32, bool) {
+	a := s.e.Atlas()
+	p := netsim.PrefixOf(ip)
+	if cl, ok := a.IfaceCluster[p]; ok {
+		return int32(cl), true
+	}
+	if cl, ok := a.PrefixCluster[p]; ok {
+		return int32(cl), true
+	}
+	return 0, false
+}
+
 // CacheStats reports the current engine's prediction-tree cache counters
 // (hits, misses, Dijkstra builds, trees resident) — the observability hook
 // behind inanod's /metrics and /debug/stats. Counters reset when a delta

@@ -33,6 +33,10 @@ import (
 const (
 	PlaneToDst   uint8 = 1 << 0
 	PlaneFromSrc uint8 = 1 << 1
+
+	// PlaneMask is the set of defined plane bits; decoders reject links
+	// carrying bits outside it.
+	PlaneMask = PlaneToDst | PlaneFromSrc
 )
 
 // Link is one directed inter-cluster (or intra-AS cluster-to-cluster) link.
@@ -81,6 +85,14 @@ type Atlas struct {
 	// destinations: the last infrastructure cluster before the host; for
 	// sources: the first-hop cluster).
 	PrefixCluster map[netsim.Prefix]cluster.ClusterID
+	// IfaceCluster maps infrastructure /24s — the address space traceroute
+	// hops answer from — to the cluster owning most of their observed
+	// interfaces. It is what lets an atlas consumer place a raw hop IP
+	// with nothing but the atlas in hand: the upstream-observation ingest
+	// clusterizes uploaded hop lists through it. Kept separate from
+	// PrefixCluster so end-host attachment semantics (and the client-side
+	// merge that keys on them) are unaffected.
+	IfaceCluster map[netsim.Prefix]cluster.ClusterID
 	// PrefixAS is the BGP origin table.
 	PrefixAS map[netsim.Prefix]netsim.ASN
 	// ASDegree is the degree of each AS in the observed AS graph.
@@ -125,6 +137,25 @@ type Atlas struct {
 	// the global one.
 	GlobalAdjustMS map[netsim.Prefix]float32
 
+	// ObservedLinks records the provenance and remaining lifetime of links
+	// the build folded from clients' uploaded traceroute hops rather than
+	// from its own measurement campaign (see FoldPaths): LinkKey -> rolls
+	// of unsupported carry remaining. A freshly agreed path resets its
+	// links to ObservedTTLDays; each day roll without renewed reporter
+	// agreement decrements (CarryFoldedPaths), and at zero the link drops
+	// out of the next build — the structural mirror of CarryCorrections'
+	// halve-then-drop. A link the measurement campaign later observes
+	// itself graduates out of this table (it no longer needs crowd
+	// support to survive).
+	ObservedLinks map[uint64]uint8
+
+	// ObservedAttach is the same lifetime bookkeeping for prefix
+	// attachment entries learned from uploaded hops: destinations the
+	// measurement campaign never probed gain a PrefixCluster entry from
+	// the agreed path's last infrastructure cluster, and shed it again a
+	// few rolls after reporters stop re-supporting it.
+	ObservedAttach map[netsim.Prefix]uint8
+
 	// linkIndex is the lazily built (From,To) -> Links index. It is an
 	// atomic pointer so concurrent readers stay lock-free; idxMu
 	// serializes (re)builds.
@@ -137,6 +168,7 @@ func New() *Atlas {
 	return &Atlas{
 		Loss:           make(map[uint64]float32),
 		PrefixCluster:  make(map[netsim.Prefix]cluster.ClusterID),
+		IfaceCluster:   make(map[netsim.Prefix]cluster.ClusterID),
 		PrefixAS:       make(map[netsim.Prefix]netsim.ASN),
 		ASDegree:       make(map[netsim.ASN]int32),
 		Tuples:         make(map[uint64]bool),
@@ -146,6 +178,8 @@ func New() *Atlas {
 		AdjustMS:       make(map[netsim.Prefix]float32),
 		GlobalAdjustMS: make(map[netsim.Prefix]float32),
 		LateExit:       make(map[uint64]bool),
+		ObservedLinks:  make(map[uint64]uint8),
+		ObservedAttach: make(map[netsim.Prefix]uint8),
 	}
 }
 
@@ -263,6 +297,9 @@ func (a *Atlas) Clone() *Atlas {
 	for k, v := range a.PrefixCluster {
 		b.PrefixCluster[k] = v
 	}
+	for k, v := range a.IfaceCluster {
+		b.IfaceCluster[k] = v
+	}
 	for k, v := range a.PrefixAS {
 		b.PrefixAS[k] = v
 	}
@@ -289,6 +326,12 @@ func (a *Atlas) Clone() *Atlas {
 	}
 	for k, v := range a.GlobalAdjustMS {
 		b.GlobalAdjustMS[k] = v
+	}
+	for k, v := range a.ObservedLinks {
+		b.ObservedLinks[k] = v
+	}
+	for k, v := range a.ObservedAttach {
+		b.ObservedAttach[k] = v
 	}
 	return b
 }

@@ -242,14 +242,36 @@ func Build(in BuildInput) *Atlas {
 			addVote(tr.Dst, last)
 		}
 	})
-	for p, vs := range votes {
+	pickBest := func(vs map[cluster.ClusterID]int) cluster.ClusterID {
 		best, bestN := cluster.ClusterID(-1), -1
 		for c, n := range vs {
 			if n > bestN || (n == bestN && c < best) {
 				best, bestN = c, n
 			}
 		}
-		a.PrefixCluster[p] = best
+		return best
+	}
+	for p, vs := range votes {
+		a.PrefixCluster[p] = pickBest(vs)
+	}
+
+	// 4b. Interface prefixes: every clustered interface votes its /24 for
+	// its own cluster, building the hop-placement table (IfaceCluster)
+	// the upstream-observation ingest resolves uploaded traceroute hops
+	// through. A /24 spanning several clusters goes to the majority — a
+	// coarsening the agreement voting downstream tolerates.
+	ifaceVotes := make(map[netsim.Prefix]map[cluster.ClusterID]int)
+	for ip, c := range cl.ClusterOf {
+		p := netsim.PrefixOf(ip)
+		m := ifaceVotes[p]
+		if m == nil {
+			m = make(map[cluster.ClusterID]int)
+			ifaceVotes[p] = m
+		}
+		m[c]++
+	}
+	for p, vs := range ifaceVotes {
+		a.IfaceCluster[p] = pickBest(vs)
 	}
 
 	// 5. BGP origin table (full, as RouteViews provides).

@@ -21,7 +21,12 @@ const (
 	atlasMagic = "INANOATL"
 	// atlasVersion 2 added the aggregated-corrections dataset
 	// (GlobalAdjustMS) to both the atlas and the delta streams.
-	atlasVersion = 2
+	// atlasVersion 3 added the crowd-observed structure fold: the
+	// observed-link and observed-attachment TTL sections in the atlas
+	// stream, and cluster growth + prefix-attachment updates in the delta
+	// stream, so structure learned from uploaded traceroute hops ships to
+	// delta-following clients.
+	atlasVersion = 3
 
 	// maxDecodedBytes caps how far Decode will inflate a stream. Real
 	// atlases decompress to tens of megabytes; the cap only exists so a
@@ -49,6 +54,9 @@ const (
 	secRels
 	secLateExit
 	secGlobalAdjust
+	secObservedLink
+	secObservedAttach
+	secIfaceCluster
 	numSections
 )
 
@@ -79,6 +87,12 @@ func SectionName(sec int) string {
 		return "Late-exit pairs"
 	case secGlobalAdjust:
 		return "Aggregated corrections"
+	case secObservedLink:
+		return "Observed-link lifetimes"
+	case secObservedAttach:
+		return "Observed-attachment lifetimes"
+	case secIfaceCluster:
+		return "Interface prefix to cluster"
 	default:
 		return fmt.Sprintf("section %d", sec)
 	}
@@ -207,6 +221,84 @@ func readPrefixF32(r *sectionReader, into map[netsim.Prefix]float32) error {
 	return nil
 }
 
+// writeKeyU8 writes a uint64-keyed uint8 map as sorted delta-coded keys
+// with uvarint values.
+func writeKeyU8(w *sectionWriter, m map[uint64]uint8) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.uvarint(uint64(len(keys)))
+	prev := uint64(0)
+	for _, k := range keys {
+		w.uvarint(k - prev)
+		prev = k
+		w.uvarint(uint64(m[k]))
+	}
+}
+
+// readKeyU8 reads a map written by writeKeyU8.
+func readKeyU8(r *sectionReader, set func(k uint64, v uint8)) error {
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += d
+		v, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		set(prev, uint8(v))
+	}
+	return nil
+}
+
+// writePrefixClusterMap writes a prefix -> cluster map as sorted
+// delta-coded keys with uvarint cluster IDs.
+func writePrefixClusterMap(w *sectionWriter, m map[netsim.Prefix]cluster.ClusterID) {
+	keys := make([]netsim.Prefix, 0, len(m))
+	for p := range m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.uvarint(uint64(len(keys)))
+	prev := uint64(0)
+	for _, p := range keys {
+		w.uvarint(uint64(p) - prev)
+		prev = uint64(p)
+		w.uvarint(uint64(uint32(m[p])))
+	}
+}
+
+// readPrefixClusterMap reads a map written by writePrefixClusterMap.
+func readPrefixClusterMap(r *sectionReader, into map[netsim.Prefix]cluster.ClusterID) error {
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += d
+		c, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		into[netsim.Prefix(prev)] = cluster.ClusterID(uint32(c))
+	}
+	return nil
+}
+
 // encodeSection renders one dataset into w.
 func (a *Atlas) encodeSection(sec int, w *sectionWriter) {
 	switch sec {
@@ -236,18 +328,7 @@ func (a *Atlas) encodeSection(sec int, w *sectionWriter) {
 			w.uvarint(quantLoss(a.Loss[k]))
 		}
 	case secPrefixCluster:
-		keys := make([]netsim.Prefix, 0, len(a.PrefixCluster))
-		for p := range a.PrefixCluster {
-			keys = append(keys, p)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		w.uvarint(uint64(len(keys)))
-		prev := uint64(0)
-		for _, p := range keys {
-			w.uvarint(uint64(p) - prev)
-			prev = uint64(p)
-			w.uvarint(uint64(uint32(a.PrefixCluster[p])))
-		}
+		writePrefixClusterMap(w, a.PrefixCluster)
 	case secPrefixAS:
 		keys := make([]netsim.Prefix, 0, len(a.PrefixAS))
 		for p := range a.PrefixAS {
@@ -314,6 +395,16 @@ func (a *Atlas) encodeSection(sec int, w *sectionWriter) {
 		writeSortedSet(w, a.LateExit)
 	case secGlobalAdjust:
 		writePrefixF32(w, a.GlobalAdjustMS)
+	case secObservedLink:
+		writeKeyU8(w, a.ObservedLinks)
+	case secObservedAttach:
+		m := make(map[uint64]uint8, len(a.ObservedAttach))
+		for p, v := range a.ObservedAttach {
+			m[uint64(p)] = v
+		}
+		writeKeyU8(w, m)
+	case secIfaceCluster:
+		writePrefixClusterMap(w, a.IfaceCluster)
 	}
 }
 
@@ -428,23 +519,7 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 			a.Loss[prev] = unquantLoss(q)
 		}
 	case secPrefixCluster:
-		n, err := r.count()
-		if err != nil {
-			return err
-		}
-		prev := uint64(0)
-		for i := uint64(0); i < n; i++ {
-			d, err := r.uvarint()
-			if err != nil {
-				return err
-			}
-			prev += d
-			c, err := r.uvarint()
-			if err != nil {
-				return err
-			}
-			a.PrefixCluster[netsim.Prefix(prev)] = cluster.ClusterID(uint32(c))
-		}
+		return readPrefixClusterMap(r, a.PrefixCluster)
 	case secPrefixAS:
 		n, err := r.count()
 		if err != nil {
@@ -535,6 +610,12 @@ func (a *Atlas) decodeSection(sec int, r *sectionReader) error {
 		return readSet(r, a.LateExit)
 	case secGlobalAdjust:
 		return readPrefixF32(r, a.GlobalAdjustMS)
+	case secObservedLink:
+		return readKeyU8(r, func(k uint64, v uint8) { a.ObservedLinks[k] = v })
+	case secObservedAttach:
+		return readKeyU8(r, func(k uint64, v uint8) { a.ObservedAttach[netsim.Prefix(k)] = v })
+	case secIfaceCluster:
+		return readPrefixClusterMap(r, a.IfaceCluster)
 	}
 	return nil
 }
@@ -645,10 +726,18 @@ func (a *Atlas) validate() error {
 		if int(l.From) >= a.NumClusters || int(l.To) >= a.NumClusters || l.From < 0 || l.To < 0 {
 			return fmt.Errorf("link %d endpoints (%d,%d) outside cluster space %d", i, l.From, l.To, a.NumClusters)
 		}
+		if l.Planes&^PlaneMask != 0 {
+			return fmt.Errorf("link %d carries undefined plane bits %#x", i, l.Planes)
+		}
 	}
 	for p, c := range a.PrefixCluster {
 		if int(c) >= a.NumClusters || c < 0 {
 			return fmt.Errorf("prefix %v attaches to cluster %d outside cluster space %d", p, c, a.NumClusters)
+		}
+	}
+	for p, c := range a.IfaceCluster {
+		if int(c) >= a.NumClusters || c < 0 {
+			return fmt.Errorf("interface prefix %v maps to cluster %d outside cluster space %d", p, c, a.NumClusters)
 		}
 	}
 	for p, ms := range a.GlobalAdjustMS {
@@ -656,6 +745,19 @@ func (a *Atlas) validate() error {
 		// bound (plus quantization slack) is a forged or corrupt stream.
 		if ms > MaxObservationFoldMS+0.01 || ms < -MaxObservationFoldMS-0.01 {
 			return fmt.Errorf("prefix %v correction %.2f ms outside ±%v bound", p, ms, MaxObservationFoldMS)
+		}
+	}
+	// Crowd-observed lifetimes: the fold never writes TTLs above
+	// ObservedTTLDays, so a larger value is a forged stream trying to make
+	// unsupported structure immortal.
+	for k, ttl := range a.ObservedLinks {
+		if ttl == 0 || ttl > ObservedTTLDays {
+			return fmt.Errorf("observed link %#x lifetime %d outside 1..%d", k, ttl, ObservedTTLDays)
+		}
+	}
+	for p, ttl := range a.ObservedAttach {
+		if ttl == 0 || ttl > ObservedTTLDays {
+			return fmt.Errorf("observed attachment %v lifetime %d outside 1..%d", p, ttl, ObservedTTLDays)
 		}
 	}
 	return nil
@@ -673,18 +775,21 @@ type SectionSize struct {
 func (a *Atlas) SectionSizes() []SectionSize {
 	counts := a.Counts()
 	entries := []int{
-		secClusterAS:     len(a.ClusterAS),
-		secLinks:         counts.Links,
-		secLoss:          counts.Loss,
-		secPrefixCluster: counts.PrefixCluster,
-		secPrefixAS:      counts.PrefixAS,
-		secASDegree:      counts.ASDegree,
-		secTuples:        counts.Tuples,
-		secPrefs:         counts.Prefs,
-		secProviders:     counts.Providers,
-		secRels:          counts.Rels,
-		secLateExit:      counts.LateExit,
-		secGlobalAdjust:  len(a.GlobalAdjustMS),
+		secClusterAS:      len(a.ClusterAS),
+		secLinks:          counts.Links,
+		secLoss:           counts.Loss,
+		secPrefixCluster:  counts.PrefixCluster,
+		secPrefixAS:       counts.PrefixAS,
+		secASDegree:       counts.ASDegree,
+		secTuples:         counts.Tuples,
+		secPrefs:          counts.Prefs,
+		secProviders:      counts.Providers,
+		secRels:           counts.Rels,
+		secLateExit:       counts.LateExit,
+		secGlobalAdjust:   len(a.GlobalAdjustMS),
+		secObservedLink:   len(a.ObservedLinks),
+		secObservedAttach: len(a.ObservedAttach),
+		secIfaceCluster:   len(a.IfaceCluster),
 	}
 	out := make([]SectionSize, 0, numSections)
 	for sec := 0; sec < numSections; sec++ {

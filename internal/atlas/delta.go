@@ -43,15 +43,39 @@ type Delta struct {
 	// forever.
 	UpAdjust  map[netsim.Prefix]float32
 	DelAdjust []uint64
+
+	// AddClusterAS grows the cluster space: the owning ASes of the
+	// clusters the new day's registry allocated beyond the old day's
+	// NumClusters. Registry-stabilized clustering (cluster.Stabilize)
+	// keeps surviving IDs identical day over day, so growth is always an
+	// append. Without it, delta-shipped links into new clusters — the
+	// crowd-observed structure fold among them — would be dead on arrival.
+	AddClusterAS []netsim.ASN
+
+	// UpPrefixCluster re-homes or adds prefix attachment entries;
+	// DelPrefixCluster (prefix keys) removes them. Attachment entries
+	// learned from uploaded hops ride here, and day-over-day re-homing no
+	// longer waits for the monthly full atlas.
+	UpPrefixCluster  map[netsim.Prefix]cluster.ClusterID
+	DelPrefixCluster []uint64
+
+	// UpIfaceCluster/DelIfaceCluster keep the hop-placement table
+	// (IfaceCluster) current on delta-following daemons, so an
+	// aggregating inanod can clusterize uploaded hops against today's
+	// registry without waiting for a full atlas.
+	UpIfaceCluster  map[netsim.Prefix]cluster.ClusterID
+	DelIfaceCluster []uint64
 }
 
 // Diff computes the delta that transforms old's daily datasets into new's.
 func Diff(old, next *Atlas) *Delta {
 	d := &Delta{
-		FromDay:  old.Day,
-		ToDay:    next.Day,
-		UpLoss:   make(map[uint64]float32),
-		UpAdjust: make(map[netsim.Prefix]float32),
+		FromDay:         old.Day,
+		ToDay:           next.Day,
+		UpLoss:          make(map[uint64]float32),
+		UpAdjust:        make(map[netsim.Prefix]float32),
+		UpPrefixCluster: make(map[netsim.Prefix]cluster.ClusterID),
+		UpIfaceCluster:  make(map[netsim.Prefix]cluster.ClusterID),
 	}
 
 	oldLinks := make(map[uint64]Link, len(old.Links))
@@ -108,18 +132,61 @@ func Diff(old, next *Atlas) *Delta {
 		}
 	}
 	sort.Slice(d.DelAdjust, func(i, j int) bool { return d.DelAdjust[i] < d.DelAdjust[j] })
+
+	if next.NumClusters > old.NumClusters {
+		lo, hi := old.NumClusters, next.NumClusters
+		if hi > len(next.ClusterAS) {
+			hi = len(next.ClusterAS) // defensive: malformed atlas
+		}
+		if lo < hi {
+			d.AddClusterAS = append([]netsim.ASN(nil), next.ClusterAS[lo:hi]...)
+		}
+	}
+	for p, c := range next.PrefixCluster {
+		if oc, ok := old.PrefixCluster[p]; !ok || oc != c {
+			d.UpPrefixCluster[p] = c
+		}
+	}
+	for p := range old.PrefixCluster {
+		if _, ok := next.PrefixCluster[p]; !ok {
+			d.DelPrefixCluster = append(d.DelPrefixCluster, uint64(p))
+		}
+	}
+	sort.Slice(d.DelPrefixCluster, func(i, j int) bool { return d.DelPrefixCluster[i] < d.DelPrefixCluster[j] })
+	for p, c := range next.IfaceCluster {
+		if oc, ok := old.IfaceCluster[p]; !ok || oc != c {
+			d.UpIfaceCluster[p] = c
+		}
+	}
+	for p := range old.IfaceCluster {
+		if _, ok := next.IfaceCluster[p]; !ok {
+			d.DelIfaceCluster = append(d.DelIfaceCluster, uint64(p))
+		}
+	}
+	sort.Slice(d.DelIfaceCluster, func(i, j int) bool { return d.DelIfaceCluster[i] < d.DelIfaceCluster[j] })
 	return d
 }
 
 // Entries returns the total record count of the delta.
 func (d *Delta) Entries() int {
 	return len(d.UpLinks) + len(d.DelLinks) + len(d.UpLoss) + len(d.DelLoss) +
-		len(d.AddTuples) + len(d.DelTuples) + len(d.UpAdjust) + len(d.DelAdjust)
+		len(d.AddTuples) + len(d.DelTuples) + len(d.UpAdjust) + len(d.DelAdjust) +
+		len(d.AddClusterAS) + len(d.UpPrefixCluster) + len(d.DelPrefixCluster) +
+		len(d.UpIfaceCluster) + len(d.DelIfaceCluster)
 }
 
 // Apply updates a in place. Applying Diff(a, b) to a makes a's daily
-// datasets identical to b's.
+// datasets identical to b's (links, loss, tuples, corrections, cluster
+// growth, and prefix attachments; the build-side observed-lifetime tables
+// are archive metadata and do not travel).
 func (a *Atlas) Apply(d *Delta) {
+	// Cluster growth first: everything below may reference the new IDs.
+	if len(d.AddClusterAS) > 0 {
+		a.ClusterAS = append(a.ClusterAS, d.AddClusterAS...)
+		if a.NumClusters < len(a.ClusterAS) {
+			a.NumClusters = len(a.ClusterAS)
+		}
+	}
 	del := make(map[uint64]bool, len(d.DelLinks))
 	for _, k := range d.DelLinks {
 		del[k] = true
@@ -173,6 +240,27 @@ func (a *Atlas) Apply(d *Delta) {
 	}
 	for p, v := range d.UpAdjust {
 		a.GlobalAdjustMS[p] = v
+	}
+	for _, k := range d.DelPrefixCluster {
+		delete(a.PrefixCluster, netsim.Prefix(k))
+	}
+	for p, c := range d.UpPrefixCluster {
+		if c < 0 || int(c) >= a.NumClusters {
+			continue // defensive: never attach outside the cluster space
+		}
+		a.PrefixCluster[p] = c
+	}
+	if a.IfaceCluster == nil && len(d.UpIfaceCluster) > 0 {
+		a.IfaceCluster = make(map[netsim.Prefix]cluster.ClusterID, len(d.UpIfaceCluster))
+	}
+	for _, k := range d.DelIfaceCluster {
+		delete(a.IfaceCluster, netsim.Prefix(k))
+	}
+	for p, c := range d.UpIfaceCluster {
+		if c < 0 || int(c) >= a.NumClusters {
+			continue
+		}
+		a.IfaceCluster[p] = c
 	}
 	// Age client-learned residual corrections across the day roll: a
 	// correction learned against day N's structure says progressively less
@@ -237,6 +325,15 @@ func (d *Delta) Encode(w io.Writer) error {
 	writeDeltaKeys(&sw, d.DelTuples)
 	writePrefixF32(&sw, d.UpAdjust)
 	writeDeltaKeys(&sw, d.DelAdjust)
+
+	sw.uvarint(uint64(len(d.AddClusterAS)))
+	for _, asn := range d.AddClusterAS {
+		sw.uvarint(uint64(asn))
+	}
+	writePrefixClusterMap(&sw, d.UpPrefixCluster)
+	writeDeltaKeys(&sw, d.DelPrefixCluster)
+	writePrefixClusterMap(&sw, d.UpIfaceCluster)
+	writeDeltaKeys(&sw, d.DelIfaceCluster)
 
 	if _, err := gz.Write(sw.buf.Bytes()); err != nil {
 		return err
@@ -376,6 +473,34 @@ func DecodeDelta(r io.Reader) (*Delta, error) {
 		}
 	}
 	if d.DelAdjust, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	n, err = sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		d.AddClusterAS = make([]netsim.ASN, 0, allocHint(n))
+		for i := uint64(0); i < n; i++ {
+			asn, err := sr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			d.AddClusterAS = append(d.AddClusterAS, netsim.ASN(asn))
+		}
+	}
+	d.UpPrefixCluster = make(map[netsim.Prefix]cluster.ClusterID)
+	if err := readPrefixClusterMap(sr, d.UpPrefixCluster); err != nil {
+		return nil, err
+	}
+	if d.DelPrefixCluster, err = readDeltaKeys(sr); err != nil {
+		return nil, err
+	}
+	d.UpIfaceCluster = make(map[netsim.Prefix]cluster.ClusterID)
+	if err := readPrefixClusterMap(sr, d.UpIfaceCluster); err != nil {
+		return nil, err
+	}
+	if d.DelIfaceCluster, err = readDeltaKeys(sr); err != nil {
 		return nil, err
 	}
 	if n, err := io.Copy(io.Discard, br); err != nil {

@@ -46,6 +46,12 @@ func makeRandomAtlas(rng *rand.Rand, day int) *Atlas {
 			netsim.ASN(1+rng.Intn(10)),
 			netsim.ASN(1+rng.Intn(10)))] = true
 	}
+	for i := 0; i < 10+rng.Intn(30); i++ {
+		a.PrefixCluster[netsim.Prefix(100+rng.Intn(200))] = cluster.ClusterID(rng.Intn(n))
+	}
+	for i := 0; i < 10+rng.Intn(30); i++ {
+		a.IfaceCluster[netsim.Prefix(1000+rng.Intn(200))] = cluster.ClusterID(rng.Intn(n))
+	}
 	a.invalidateIndex()
 	return a
 }
@@ -94,6 +100,22 @@ func TestDiffApplyPropertyRandomAtlases(t *testing.T) {
 		}
 		for k := range b.Tuples {
 			if !got.Tuples[k] {
+				return false
+			}
+		}
+		if got.NumClusters != b.NumClusters {
+			return false
+		}
+		if len(got.PrefixCluster) != len(b.PrefixCluster) || len(got.IfaceCluster) != len(b.IfaceCluster) {
+			return false
+		}
+		for p, c := range b.PrefixCluster {
+			if got.PrefixCluster[p] != c {
+				return false
+			}
+		}
+		for p, c := range b.IfaceCluster {
+			if got.IfaceCluster[p] != c {
 				return false
 			}
 		}

@@ -1,6 +1,9 @@
 package atlas
 
 import (
+	"sort"
+
+	"inano/internal/cluster"
 	"inano/internal/netsim"
 )
 
@@ -73,6 +76,239 @@ func FoldObservations(a *Atlas, residuals map[netsim.Prefix]float64) (*Atlas, in
 func BuildDeltaWithObservations(prev, next *Atlas, residuals map[netsim.Prefix]float64) (*Delta, *Atlas, int) {
 	folded, n := FoldObservations(next, residuals)
 	return Diff(prev, folded), folded, n
+}
+
+// Structural fold (the FROM_SRC growth loop): beyond scalar residuals,
+// uploaded corrective traceroutes carry hop lists. The ingest clusterizes
+// them against the serving atlas, the aggregator reduces them to one
+// reporter-agreed destination-side tail per prefix, and FoldPaths turns
+// those agreed tails into real atlas structure — links and attachment
+// entries — so a destination only reporting clients ever probed becomes
+// predictable for every peer through the ordinary daily delta. This is
+// the ROADMAP's "clients as measurement vantage points": a cluster
+// sequence corroborated by independent reporter networks is treated as
+// vantage-point-grade evidence, so folded links carry both plane tags.
+
+// ObservedTTLDays is the carry lifetime of crowd-observed structure: a
+// folded link or attachment entry survives this many day rolls without
+// renewed reporter agreement before the build drops it (the structural
+// mirror of CarryCorrections' halve-then-drop for scalar corrections).
+const ObservedTTLDays = 2
+
+// MinObservedLatencyMS floors a folded link's latency annotation: hop RTT
+// deltas are noisy (reverse-path asymmetry) and can go negative, and a
+// zero-cost link would distort every tree that touches it.
+const MinObservedLatencyMS = 0.1
+
+// ObservedPath is one reporter-agreed destination-side path tail, ready to
+// fold into the build: the cluster sequence (source end first, every
+// cluster already known to the serving atlas) and the per-link one-way
+// latency estimates derived from the reporters' hop RTTs
+// (len(LinkMS) == len(Clusters)-1).
+type ObservedPath struct {
+	Dst      netsim.Prefix
+	Clusters []cluster.ClusterID
+	LinkMS   []float64
+}
+
+// PathFoldStats summarizes one FoldPaths run.
+type PathFoldStats struct {
+	// PathsFolded counts agreed paths applied; PathsSkipped counts paths
+	// rejected at fold time (clusters outside the build's registry, loops,
+	// too short — a stale or corrupt snapshot, not an honest aggregate).
+	PathsFolded, PathsSkipped int
+	// NewLinks is links the fold added; RefreshedLinks is folded links
+	// whose agreement was renewed; MeasuredLinks counts agreed links the
+	// campaign had already measured itself (nothing to add).
+	NewLinks, RefreshedLinks, MeasuredLinks int
+	// NewAttach counts destination attachment entries learned from tails.
+	NewAttach int
+}
+
+// FoldPaths folds reporter-agreed path tails into a, in place (the caller
+// owns copy-on-write; inano-build applies it to the already-cloned folded
+// atlas). For each agreed tail it adds the missing directed links
+// (annotated with the reporters' median hop-RTT-delta latencies, both
+// plane tags, and an ObservedLinks TTL), refreshes the TTL of folded links
+// the snapshot re-supports, and — when the destination prefix has no
+// attachment cluster — learns one from the tail's last infrastructure
+// cluster, so the destination becomes predictable at all. Links entering
+// the destination prefix's origin AS also fold in reverse (stub access
+// circuits are symmetric; the same reversal the builder applies). Paths
+// naming clusters outside a's registry are skipped: agreement happened
+// against a serving day whose IDs this build no longer carries.
+func FoldPaths(a *Atlas, paths []ObservedPath) PathFoldStats {
+	var st PathFoldStats
+	if a.ObservedLinks == nil {
+		a.ObservedLinks = make(map[uint64]uint8)
+	}
+	if a.ObservedAttach == nil {
+		a.ObservedAttach = make(map[netsim.Prefix]uint8)
+	}
+	changed := false
+	fresh := make(map[uint64]bool)
+	for _, p := range paths {
+		if !foldablePath(a, p) {
+			st.PathsSkipped++
+			continue
+		}
+		st.PathsFolded++
+		originAS := a.PrefixAS[p.Dst]
+		for i := 0; i+1 < len(p.Clusters); i++ {
+			from, to := p.Clusters[i], p.Clusters[i+1]
+			lat := p.LinkMS[i]
+			if lat < MinObservedLatencyMS {
+				lat = MinObservedLatencyMS
+			}
+			if foldLink(a, &st, fresh, from, to, lat) {
+				changed = true
+			}
+			// Access-tail reversal, as in the builder: links inside (or
+			// entering) the destination's origin AS are the same circuits
+			// in both directions, and without the reverse direction no
+			// path out of the destination's network is ever predictable.
+			if originAS != 0 && a.ClusterAS[to] == originAS {
+				if foldLink(a, &st, fresh, to, from, lat) {
+					changed = true
+				}
+			}
+		}
+		last := p.Clusters[len(p.Clusters)-1]
+		if _, ok := a.PrefixCluster[p.Dst]; !ok {
+			a.PrefixCluster[p.Dst] = last
+			a.ObservedAttach[p.Dst] = ObservedTTLDays
+			st.NewAttach++
+			changed = true
+		} else if _, obs := a.ObservedAttach[p.Dst]; obs {
+			a.ObservedAttach[p.Dst] = ObservedTTLDays
+		}
+	}
+	if changed {
+		sort.Slice(a.Links, func(i, j int) bool {
+			if a.Links[i].From != a.Links[j].From {
+				return a.Links[i].From < a.Links[j].From
+			}
+			return a.Links[i].To < a.Links[j].To
+		})
+		a.invalidateIndex()
+	}
+	return st
+}
+
+// foldablePath validates one agreed tail against the build's registry.
+func foldablePath(a *Atlas, p ObservedPath) bool {
+	if len(p.Clusters) < 2 || len(p.LinkMS) != len(p.Clusters)-1 {
+		return false
+	}
+	seen := make(map[cluster.ClusterID]bool, len(p.Clusters))
+	for _, c := range p.Clusters {
+		if c < 0 || int(c) >= a.NumClusters || seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// foldLink folds one agreed directed link, reporting whether the link set
+// changed. Links the campaign measured itself are left untouched — a
+// precise vantage-point annotation beats a hop-RTT-delta estimate — and
+// graduate out of the observed table. fresh tracks links appended earlier
+// in this fold, which the stale link index cannot see yet.
+func foldLink(a *Atlas, st *PathFoldStats, fresh map[uint64]bool, from, to cluster.ClusterID, lat float64) bool {
+	k := LinkKey(from, to)
+	if fresh[k] {
+		a.ObservedLinks[k] = ObservedTTLDays
+		return false
+	}
+	if li := a.LinkAt(from, to); li >= 0 {
+		if _, obs := a.ObservedLinks[k]; obs {
+			a.ObservedLinks[k] = ObservedTTLDays
+			st.RefreshedLinks++
+		} else {
+			st.MeasuredLinks++
+		}
+		return false
+	}
+	a.Links = append(a.Links, Link{
+		From:      from,
+		To:        to,
+		LatencyMS: float32(lat),
+		Planes:    PlaneToDst | PlaneFromSrc,
+	})
+	a.ObservedLinks[k] = ObservedTTLDays
+	fresh[k] = true
+	st.NewLinks++
+	return true
+}
+
+// CarryFoldedPaths carries prev's crowd-observed structure onto a freshly
+// measured atlas, decaying what reporters no longer support: every
+// surviving ObservedLinks/ObservedAttach entry loses one TTL roll, entries
+// reaching zero are dropped (their links and attachment entries with
+// them), and entries whose link the new campaign measured itself graduate
+// out of the observed table. Run it before FoldPaths — a tail re-agreed in
+// today's snapshot re-folds at full TTL afterwards. Returns the carried
+// and dropped entry counts (links + attachments).
+func CarryFoldedPaths(next, prev *Atlas) (carried, dropped int) {
+	if next.ObservedLinks == nil {
+		next.ObservedLinks = make(map[uint64]uint8)
+	}
+	if next.ObservedAttach == nil {
+		next.ObservedAttach = make(map[netsim.Prefix]uint8)
+	}
+	changed := false
+	for k, ttl := range prev.ObservedLinks {
+		from := cluster.ClusterID(uint32(k >> 32))
+		to := cluster.ClusterID(uint32(k))
+		if int(from) >= next.NumClusters || int(to) >= next.NumClusters {
+			dropped++
+			continue
+		}
+		if next.LinkAt(from, to) >= 0 {
+			continue // measured this campaign: graduated
+		}
+		if ttl <= 1 {
+			dropped++
+			continue
+		}
+		li := prev.LinkAt(from, to)
+		if li < 0 {
+			dropped++ // prev lost the link some other way
+			continue
+		}
+		next.Links = append(next.Links, prev.Links[li])
+		next.ObservedLinks[k] = ttl - 1
+		carried++
+		changed = true
+	}
+	for p, ttl := range prev.ObservedAttach {
+		cl, ok := prev.PrefixCluster[p]
+		if !ok || int(cl) >= next.NumClusters {
+			dropped++
+			continue
+		}
+		if _, measured := next.PrefixCluster[p]; measured {
+			continue // the campaign probed it: graduated
+		}
+		if ttl <= 1 {
+			dropped++
+			continue
+		}
+		next.PrefixCluster[p] = cl
+		next.ObservedAttach[p] = ttl - 1
+		carried++
+	}
+	if changed {
+		sort.Slice(next.Links, func(i, j int) bool {
+			if next.Links[i].From != next.Links[j].From {
+				return next.Links[i].From < next.Links[j].From
+			}
+			return next.Links[i].To < next.Links[j].To
+		})
+		next.invalidateIndex()
+	}
+	return carried, dropped
 }
 
 // CarryCorrections copies prev's aggregated corrections onto a freshly

@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestUpstreamStructureImprovesNonReporter is the acceptance test of the
+// structural upstream fold: reporters' uploaded hop tails toward
+// destinations the campaign never probed must, after agreement voting and
+// the build fold, strictly improve a non-reporting client's hop-level
+// path accuracy on those destinations — while a single fabricating
+// reporter ships nothing.
+func TestUpstreamStructureImprovesNonReporter(t *testing.T) {
+	l := NewLab(QuickConfig(42))
+	res := UpstreamStructure(l, 0, 3)
+	t.Logf("\n%s", res.Render())
+	if res.Reporters < 3 {
+		t.Fatalf("only %d reporters; agreement voting needs at least 3", res.Reporters)
+	}
+	if res.HiddenDsts == 0 || res.Uploads == 0 {
+		t.Fatalf("nothing uploaded: %+v", res)
+	}
+	if res.AgreedPaths == 0 || res.Fold.NewLinks == 0 || res.Fold.NewAttach == 0 {
+		t.Fatalf("nothing folded: %+v", res)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("non-reporter has no hidden-destination workload")
+	}
+	if res.AnsweredBefore != 0 {
+		t.Fatalf("hidden destinations must be unanswerable before the fold, got %d answered", res.AnsweredBefore)
+	}
+	if res.AnsweredAfter == 0 {
+		t.Fatal("fold opened no hidden destination to the non-reporter")
+	}
+	if res.AccAfter <= res.AccBefore {
+		t.Fatalf("hop-fold delta did not improve hop-level accuracy: before %.4f after %.4f",
+			res.AccBefore, res.AccAfter)
+	}
+	if res.FabricatedShipped != 0 {
+		t.Fatalf("a single lying reporter shipped %d fabricated links", res.FabricatedShipped)
+	}
+}
+
+// TestUpstreamStructureLiarAloneShipsNothing drives the pipeline with
+// zero honest reporters: the adversary's uploads are the only structural
+// reports, and nothing may clear agreement.
+func TestUpstreamStructureLiarAloneShipsNothing(t *testing.T) {
+	l := NewLab(QuickConfig(7))
+	// One reporter = the minimum the harness accepts; the fabricating
+	// reporter rides along as always. With a single honest voice plus one
+	// liar, no link reaches 2 distinct agreeing reporters unless they
+	// coincide — and the fabricated pair never coincides with truth.
+	res := UpstreamStructure(l, 1, 3)
+	t.Logf("\n%s", res.Render())
+	if res.FabricatedShipped != 0 {
+		t.Fatalf("liar shipped fabricated structure: %+v", res)
+	}
+	if res.AgreedPaths != 0 {
+		t.Fatalf("structure shipped without multi-reporter agreement: %+v", res)
+	}
+}

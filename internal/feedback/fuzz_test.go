@@ -45,6 +45,7 @@ func FuzzObservationReport(f *testing.F) {
 	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5,"predicted_ms":40}`))
 	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5,"predicted_ms":40,"hops":[{"ip":"10.0.1.2","rtt_ms":1},{"ip":"","rtt_ms":0}]}`))
 	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5}`))
+	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":42.5,"hops":[{"ip":"10.0.1.2","rtt_ms":1}]}`))
 	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":1,"predicted_ms":1e308}`))
 	f.Add([]byte(`{"src":"10.0.1.1","dst":"10.0.2.1","rtt_ms":1,"predicted_ms":2,"hops":[{"ip":"x","rtt_ms":-1}]}`))
 	f.Add([]byte("\n\n"))
@@ -59,7 +60,14 @@ func FuzzObservationReport(f *testing.F) {
 			if !(o.RTTMS > 0) || o.RTTMS > MaxObservedRTTMS {
 				t.Fatalf("observation %d has out-of-bounds rtt %v", i, o.RTTMS)
 			}
-			if !(o.PredictedMS > 0) || o.PredictedMS > MaxObservedRTTMS {
+			// predicted_ms is optional for structure-only observations:
+			// zero is valid iff the line carries hops, and any nonzero
+			// value must be a sane RTT.
+			if o.PredictedMS == 0 {
+				if len(o.Hops) == 0 {
+					t.Fatalf("observation %d carries neither prediction nor hops", i)
+				}
+			} else if !(o.PredictedMS > 0) || o.PredictedMS > MaxObservedRTTMS {
 				t.Fatalf("observation %d has out-of-bounds prediction %v", i, o.PredictedMS)
 			}
 			if len(o.Hops) > MaxObservationHops {

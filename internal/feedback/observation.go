@@ -28,9 +28,10 @@ type UpstreamObservation struct {
 	Src, Dst netsim.IP
 	// RTTMS is the measured end-to-end round-trip time.
 	RTTMS float64
-	// PredictedMS is the client's prediction for the pair at probe time.
-	// Required: without it the observation carries no residual, which is
-	// the only thing the aggregate consumes.
+	// PredictedMS is the client's prediction for the pair at probe time;
+	// zero when no prediction existed. An observation must carry a
+	// residual (positive PredictedMS), hops, or both — one with neither
+	// tells the aggregate nothing and is rejected at parse.
 	PredictedMS float64
 	// Hops are the traceroute hops behind the measurement (optional,
 	// bounded by MaxObservationHops; a zero IP is an unresponsive hop).
@@ -133,8 +134,14 @@ func ParseObservationReport(r io.Reader) ([]UpstreamObservation, error) {
 		if !validRTT(w.RTTMS) {
 			return out, fmt.Errorf("line %d: bad rtt_ms %v", lineNo, w.RTTMS)
 		}
-		if !validRTT(w.PredictedMS) {
+		// predicted_ms is optional when the line carries hops (a
+		// structure-only observation from a pair the client could not
+		// predict); a line with neither residual nor hops says nothing.
+		if w.PredictedMS != 0 && !validRTT(w.PredictedMS) {
 			return out, fmt.Errorf("line %d: bad predicted_ms %v", lineNo, w.PredictedMS)
+		}
+		if w.PredictedMS == 0 && len(w.Hops) == 0 {
+			return out, fmt.Errorf("line %d: observation carries neither predicted_ms nor hops", lineNo)
 		}
 		if len(w.Hops) > MaxObservationHops {
 			return out, fmt.Errorf("line %d: %d hops exceeds %d", lineNo, len(w.Hops), MaxObservationHops)
@@ -167,18 +174,24 @@ func validRTT(ms float64) bool {
 
 // ObservationFromTraceroute extracts the upstream observation a corrective
 // traceroute carries. ok is false when the traceroute has no measured
-// end-to-end RTT (destination never answered) or was scheduled without a
-// prediction — either way there is no residual to share.
+// end-to-end RTT (the destination never answered): without a measurement
+// there is neither a residual nor a trustworthy tail to share. A
+// traceroute scheduled *without* a prediction still ships — as a
+// structure-only observation (zero PredictedMS, hops attached): a pair
+// the local atlas cannot predict is exactly the coverage the structural
+// fold exists to grow.
 func ObservationFromTraceroute(tr *Traceroute) (UpstreamObservation, bool) {
 	measured, ok := tr.MeasuredRTT()
-	if !ok || !tr.Predicted || !validRTT(measured) || !validRTT(tr.PredictedRTTMS) {
+	if !ok || !validRTT(measured) {
 		return UpstreamObservation{}, false
 	}
 	o := UpstreamObservation{
-		Src:         tr.Src.HostIP(),
-		Dst:         tr.Dst.HostIP(),
-		RTTMS:       measured,
-		PredictedMS: tr.PredictedRTTMS,
+		Src:   tr.Src.HostIP(),
+		Dst:   tr.Dst.HostIP(),
+		RTTMS: measured,
+	}
+	if tr.Predicted && validRTT(tr.PredictedRTTMS) {
+		o.PredictedMS = tr.PredictedRTTMS
 	}
 	hops := tr.Hops
 	if len(hops) > MaxObservationHops {
@@ -187,5 +200,10 @@ func ObservationFromTraceroute(tr *Traceroute) (UpstreamObservation, bool) {
 		hops = hops[len(hops)-MaxObservationHops:]
 	}
 	o.Hops = append([]Hop(nil), hops...)
+	if o.PredictedMS == 0 && len(o.Hops) < 2 {
+		// No residual and no infrastructure tail (the one hop is the
+		// destination itself): nothing the aggregate could use.
+		return UpstreamObservation{}, false
+	}
 	return o, true
 }

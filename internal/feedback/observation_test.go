@@ -105,10 +105,21 @@ func TestObservationFromTraceroute(t *testing.T) {
 	if _, ok := ObservationFromTraceroute(&unreached); ok {
 		t.Fatal("unreached traceroute produced an observation")
 	}
-	// No prediction at schedule time: no residual.
+	// No prediction at schedule time: the traceroute still ships, as a
+	// structure-only observation (zero PredictedMS, hops attached) — a
+	// pair the local atlas cannot predict is exactly the coverage the
+	// structural fold grows.
 	unpredicted := tr
 	unpredicted.Predicted = false
-	if _, ok := ObservationFromTraceroute(&unpredicted); ok {
-		t.Fatal("unpredicted traceroute produced an observation")
+	o, ok = ObservationFromTraceroute(&unpredicted)
+	if !ok || o.PredictedMS != 0 || len(o.Hops) != 2 {
+		t.Fatalf("structure-only observation: ok=%v %+v", ok, o)
+	}
+	// ...unless the only hop is the destination itself: no residual, no
+	// infrastructure tail, nothing the aggregate could use.
+	bare := unpredicted
+	bare.Hops = []Hop{{IP: dst.HostIP(), RTTMS: 55}}
+	if _, ok := ObservationFromTraceroute(&bare); ok {
+		t.Fatal("tail-less unpredicted traceroute produced an observation")
 	}
 }

@@ -27,8 +27,16 @@ const maxObservationBody = 512 * feedback.MaxObservationLineBytes
 
 // observationsResponse summarizes one /v1/observations report.
 type observationsResponse struct {
-	// Accepted observations entered the aggregate.
+	// Accepted observations entered the aggregate (as a residual, a hop
+	// path, or both).
 	Accepted int `json:"accepted"`
+	// Paths counts accepted observations whose hop list survived
+	// clusterization and joined the structural aggregate.
+	Paths int `json:"paths"`
+	// PathsRejected counts hop lists the ingest refused: unmappable or
+	// looping tails (see feedback.ClusterizeHops). The observation's
+	// scalar residual, if any, was still processed.
+	PathsRejected int `json:"paths_rejected"`
 	// RateLimited observations were dropped by the per-source token
 	// bucket; retry after backing off.
 	RateLimited int `json:"rate_limited"`
@@ -81,18 +89,26 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) erro
 		resp.Error = parseErr.Error()
 	}
 	for i := range obs[:granted] {
-		ok, err := s.ingestObservation(ctx, r, snap, &obs[i])
+		res, err := s.ingestObservation(ctx, r, snap, &obs[i])
 		if err != nil {
 			resp.Error = err.Error()
 			break
 		}
-		if !ok {
+		if res.pathRejected {
+			resp.PathsRejected++
+		}
+		if res.path {
+			resp.Paths++
+		}
+		if !res.path && !res.residual {
 			resp.Unknown++
 			continue
 		}
 		resp.Accepted++
 	}
 	s.obsAccepted.Add(uint64(resp.Accepted))
+	s.obsPaths.Add(uint64(resp.Paths))
+	s.obsPathRejects.Add(uint64(resp.PathsRejected))
 	s.obsUnknown.Add(uint64(resp.Unknown))
 	s.obsRateLimited.Add(uint64(resp.RateLimited))
 	if granted == 0 && resp.RateLimited > 0 {
@@ -103,29 +119,62 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) erro
 	return writeJSON(w, resp)
 }
 
+// ingestResult reports what one observation contributed to the aggregate.
+type ingestResult struct {
+	// residual: the scalar residual was recorded; path: the clusterized
+	// hop tail was recorded; pathRejected: the hop list was present but
+	// refused (unmappable or looping).
+	residual, path, pathRejected bool
+}
+
 // ingestObservation validates one observation against the serving atlas
-// and records it. ok=false means the atlas cannot place the observation
-// (unknown source or destination, or no served prediction for the pair).
-func (s *Server) ingestObservation(ctx context.Context, r *http.Request, snap inano.Snapshot, o *feedback.UpstreamObservation) (bool, error) {
+// and records its two independent contributions: the scalar RTT residual
+// (which needs a served prediction for the pair) and the clusterized hop
+// tail (which needs only mappable hops — the whole point is destinations
+// the atlas cannot yet predict). A zero result means the atlas could
+// place neither: unknown source, or a destination with neither a served
+// prediction nor a usable hop tail.
+func (s *Server) ingestObservation(ctx context.Context, r *http.Request, snap inano.Snapshot, o *feedback.UpstreamObservation) (ingestResult, error) {
+	var res ingestResult
 	srcP, dstP := netsim.PrefixOf(o.Src), netsim.PrefixOf(o.Dst)
 	srcCl, ok := s.reporterCluster(r, snap, srcP)
 	if !ok {
-		return false, nil
+		return res, nil
 	}
-	if _, ok := snap.AttachmentCluster(dstP); !ok {
-		return false, nil
+
+	// Structural contribution: clusterize the hop list against the
+	// serving atlas (hop /24 -> attachment cluster) and store the
+	// destination-side tail under this reporter's identity for agreement
+	// voting. Unmappable or looping hop lists are rejected wholesale.
+	if len(o.Hops) >= 2 {
+		path, linkMS, perr := feedback.ClusterizeHops(o.Hops, dstP, snap.HopCluster)
+		switch {
+		case perr != nil:
+			res.pathRejected = true
+		case len(path) >= 2:
+			s.cfg.Aggregator.RecordPath(srcCl, dstP, path, linkMS)
+			res.path = true
+		}
 	}
-	// The served prediction may build trees for a cold destination; the
-	// request deadline bounds that work.
-	infos, err := snap.QueryBatch(ctx, [][2]netsim.Prefix{{srcP, dstP}})
-	if err != nil {
-		return false, err
+
+	// Scalar contribution: the residual against the server's own served
+	// prediction. Requires a placeable destination and a prediction (the
+	// tree build for a cold destination is bounded by the request
+	// deadline) plus a claimed predicted_ms, which marks the observation
+	// as corrective rather than structure-only.
+	if o.PredictedMS > 0 {
+		if _, ok := snap.AttachmentCluster(dstP); ok {
+			infos, err := snap.QueryBatch(ctx, [][2]netsim.Prefix{{srcP, dstP}})
+			if err != nil {
+				return res, err
+			}
+			if infos[0].Found {
+				s.cfg.Aggregator.Record(srcCl, dstP, o.RTTMS-infos[0].RTTMS)
+				res.residual = true
+			}
+		}
 	}
-	if !infos[0].Found {
-		return false, nil
-	}
-	s.cfg.Aggregator.Record(srcCl, dstP, o.RTTMS-infos[0].RTTMS)
-	return true, nil
+	return res, nil
 }
 
 // reporterCluster resolves the reporter's identity in the aggregate: the

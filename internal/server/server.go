@@ -106,6 +106,8 @@ type Server struct {
 	// Upstream observation ingest instrumentation.
 	obsLimiter     *tokenBuckets
 	obsAccepted    *metrics.Counter
+	obsPaths       *metrics.Counter
+	obsPathRejects *metrics.Counter
 	obsUnknown     *metrics.Counter
 	obsRateLimited *metrics.Counter
 	obsSnapshots   *metrics.Counter
@@ -203,6 +205,10 @@ func New(cfg Config) *Server {
 	// build, and the aggregate's size.
 	s.obsAccepted = s.reg.NewCounter("inanod_observations_accepted_total",
 		"Upstream observations accepted over /v1/observations.", "")
+	s.obsPaths = s.reg.NewCounter("inanod_observation_paths_total",
+		"Clusterized hop-path tails accepted into the structural aggregate.", "")
+	s.obsPathRejects = s.reg.NewCounter("inanod_observation_path_rejects_total",
+		"Uploaded hop lists rejected at clusterization (unmappable or looping).", "")
 	s.obsUnknown = s.reg.NewCounter("inanod_observations_unknown_total",
 		"Upstream observations the serving atlas could not place.", "")
 	s.obsRateLimited = s.reg.NewCounter("inanod_observations_rate_limited_total",
@@ -216,6 +222,9 @@ func New(cfg Config) *Server {
 		s.reg.NewGaugeFunc("inanod_observation_reporters",
 			"Reporter slots in use across aggregated prefixes.", "",
 			func() float64 { return float64(cfg.Aggregator.Stats().Reporters) })
+		s.reg.NewGaugeFunc("inanod_observation_path_slots",
+			"Reporter slots holding a clusterized hop path.", "",
+			func() float64 { return float64(cfg.Aggregator.Stats().Paths) })
 	}
 	s.reg.NewGaugeFunc("inanod_corrective_budget_utilization",
 		"Fraction of the corrective budget spent in the last round.", "",
@@ -751,6 +760,8 @@ func (s *Server) observationStats() map[string]any {
 	out := map[string]any{
 		"enabled":      s.cfg.Aggregator != nil,
 		"accepted":     s.obsAccepted.Value(),
+		"paths":        s.obsPaths.Value(),
+		"path_rejects": s.obsPathRejects.Value(),
 		"unknown":      s.obsUnknown.Value(),
 		"rate_limited": s.obsRateLimited.Value(),
 		"snapshots":    s.obsSnapshots.Value(),
@@ -759,6 +770,7 @@ func (s *Server) observationStats() map[string]any {
 		st := s.cfg.Aggregator.Stats()
 		out["prefixes"] = st.Prefixes
 		out["reporters"] = st.Reporters
+		out["path_slots"] = st.Paths
 		out["evicted_prefixes"] = st.EvictedPrefixes
 	}
 	return out

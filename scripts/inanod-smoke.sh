@@ -152,10 +152,30 @@ obs_resp="$(printf '{"src":"%s","dst":"%s","rtt_ms":%s,"predicted_ms":%s}\n' \
 echo "   $obs_resp"
 grep -q '"accepted":1' <<<"$obs_resp" || { echo "FAIL: observation not accepted"; exit 1; }
 
+echo "== POST /v1/observations (structural: hop tails toward an unknown destination)"
+# Two reporters (distinct claimed sources; loopback is not placeable, so
+# the claimed src is the lab-mode reporter identity) upload the same hop
+# tail toward a destination the atlas has never heard of. The hop
+# addresses resolve through the atlas's prefix tables; agreement between
+# the two reporters is what lets the build fold the tail.
+hidden_dst="203.0.113.1"
+hop1="${prefixes[2]}"; hop2="${prefixes[3]}"
+path_resp="$( { printf '{"src":"%s","dst":"%s","rtt_ms":40,"hops":[{"ip":"%s","rtt_ms":10},{"ip":"%s","rtt_ms":20}]}\n' \
+    "${prefixes[0]}" "$hidden_dst" "$hop1" "$hop2"; \
+  printf '{"src":"%s","dst":"%s","rtt_ms":42,"hops":[{"ip":"%s","rtt_ms":11},{"ip":"%s","rtt_ms":21}]}\n' \
+    "${prefixes[1]}" "$hidden_dst" "$hop1" "$hop2"; } \
+  | curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' "$base2/v1/observations")"
+echo "   $path_resp"
+grep -q '"paths":2' <<<"$path_resp" || { echo "FAIL: hop tails not accepted"; exit 1; }
+stats2="$(curl -fsS "$base2/debug/stats")"
+grep -q '"path_slots":2' <<<"$stats2" \
+  || { echo "FAIL: want 2 distinct reporter path slots"; echo "$stats2" | head -40; exit 1; }
+
 echo "== waiting for the aggregator snapshot"
 snap_ok=""
 for _ in $(seq 1 40); do
-  if [[ -s "$workdir/obs.json" ]] && grep -q '"residual_ms"' "$workdir/obs.json"; then
+  if [[ -s "$workdir/obs.json" ]] && grep -q '"residual_ms"' "$workdir/obs.json" \
+      && grep -q '"clusters"' "$workdir/obs.json"; then
     snap_ok=1; break
   fi
   sleep 0.25
@@ -166,6 +186,20 @@ echo "== inano-build: folding the snapshot into a correction delta"
 build_out="$("$workdir/inano-build" -scale tiny -o "$workdir/atlas-obs.bin" \
   -delta "$workdir/delta-obs.bin" -observations "$workdir/obs.json" -obs-min-reporters 1)"
 grep -q 'corrections shipped' <<<"$build_out" || { echo "FAIL: build folded nothing"; echo "$build_out"; exit 1; }
+grep -q 'agreed paths folded' <<<"$build_out" || { echo "FAIL: build folded no paths"; echo "$build_out"; exit 1; }
+grep -q '1 new attachments' <<<"$build_out" \
+  || { echo "FAIL: hidden destination gained no attachment"; echo "$build_out"; exit 1; }
+
+# The unknown destination is unanswerable on the plain atlas and
+# answerable on the folded one — coverage grown purely from uploaded hops.
+# (inano-query exits nonzero on "no prediction"; capture, then grep.)
+q_hidden_before="$("$workdir/inano-query" -atlas "$workdir/atlas.bin" "$obs_src" "$hidden_dst" || true)"
+grep -q 'no prediction' <<<"$q_hidden_before" \
+  || { echo "FAIL: hidden dst predictable before the fold"; echo "$q_hidden_before"; exit 1; }
+q_hidden_after="$("$workdir/inano-query" -atlas "$workdir/atlas-obs.bin" "$obs_src" "$hidden_dst" || true)"
+grep -q 'RTT estimate' <<<"$q_hidden_after" \
+  || { echo "FAIL: hidden dst not predictable after the fold"; echo "$q_hidden_after"; exit 1; }
+echo "   hidden destination $hidden_dst: no prediction -> predicted after the hop fold"
 
 # The fold must change the file-level prediction for the observed pair by
 # roughly FoldGain * 50ms = +25ms over the plain atlas.
@@ -200,6 +234,12 @@ echo "== day roll: corrections carry and decay (inano-build -prev)"
 build2_out="$("$workdir/inano-build" -scale tiny -day 1 -prev "$workdir/atlas-obs.bin" \
   -o "$workdir/atlas2.bin" -delta "$workdir/delta2.bin")"
 grep -q 'corrections carried' <<<"$build2_out" || { echo "FAIL: -prev carried nothing"; echo "$build2_out"; exit 1; }
+grep -q 'observed links/attachments carried' <<<"$build2_out" \
+  || { echo "FAIL: -prev carried no observed structure"; echo "$build2_out"; exit 1; }
+q2_hidden="$("$workdir/inano-query" -atlas "$workdir/atlas2.bin" "$obs_src" "$hidden_dst" || true)"
+grep -q 'RTT estimate' <<<"$q2_hidden" \
+  || { echo "FAIL: carried hop structure lost on the day roll"; echo "$q2_hidden"; exit 1; }
+echo "   hidden destination still predictable on day 1 (carried at reduced lifetime)"
 "$workdir/inano-build" -scale tiny -day 1 -o "$workdir/atlas2-plain.bin" >/dev/null
 q2="$("$workdir/inano-query" -atlas "$workdir/atlas2.bin" "$obs_src" "$obs_dst" \
   | sed -n 's#^RTT estimate:[[:space:]]*\([0-9.]*\) ms$#\1#p')"
