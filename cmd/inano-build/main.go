@@ -42,6 +42,7 @@ func main() {
 	day := flag.Int("day", 0, "measurement day")
 	vps := flag.Int("vps", 60, "number of vantage points")
 	out := flag.String("o", "atlas.bin", "output atlas file")
+	flatOut := flag.String("flat", "", "also write the compiled flat serving form (mmap-able by inanod -atlas-flat) to this file")
 	deltaOut := flag.String("delta", "", "also write the delta from the previous day to this file")
 	prevPath := flag.String("prev", "", "previous day's archived atlas (the -o output, corrections included): delta base and carried-correction source; default rebuilds the previous day without corrections")
 	obsPath := flag.String("observations", "", "aggregated observation snapshot (inanod -obs-snapshot) to fold into the build")
@@ -141,6 +142,37 @@ func main() {
 		*day, a.NumClusters, len(a.Links), len(a.Tuples), *out, a.EncodedSize())
 	for _, s := range a.SectionSizes() {
 		fmt.Printf("  %-38s %8d entries %8d bytes\n", s.Name, s.Entries, s.Compressed)
+	}
+	if *flatOut != "" {
+		// Compile from the encoded-then-decoded atlas, not the in-memory
+		// one: the codec quantizes latencies, and the flat form must serve
+		// bit-identical answers to a daemon that loaded the -o file.
+		af, err := os.Open(*out)
+		if err != nil {
+			fatal(err)
+		}
+		roundTripped, err := atlas.Decode(af)
+		af.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fl := atlas.Compile(roundTripped)
+		ff, err := os.Create(*flatOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := atlas.WriteFlat(ff, fl); err != nil {
+			fatal(err)
+		}
+		if err := ff.Close(); err != nil {
+			fatal(err)
+		}
+		st, err := os.Stat(*flatOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("day %d flat serving form: %d edges -> %s (%d bytes)\n",
+			*day, fl.NumEdges(), *flatOut, st.Size())
 	}
 
 	if *deltaOut != "" && (*day > 0 || prev != nil || a != plain) {

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	inano "inano"
+	"inano/internal/atlas"
 	"inano/internal/feedback"
 	"inano/internal/server"
 	"inano/internal/trace"
@@ -65,6 +66,8 @@ import (
 
 func main() {
 	atlasPath := flag.String("atlas", "", "atlas file produced by inano-build")
+	atlasFlat := flag.String("atlas-flat", "", "compiled flat atlas (inano-build -flat): mmap'd read-only, so startup cost is O(1) in atlas size and N replicas share the page cache (alternative to -atlas)")
+	flatValidate := flag.Bool("flat-validate", true, "structurally validate a -atlas-flat file at startup (the checksum is always verified)")
 	fetchManifest := flag.String("fetch-manifest", "", "fetch the initial atlas from the swarm via this manifest file (alternative to -atlas)")
 	listen := flag.String("listen", "127.0.0.1:7353", "HTTP listen address (port 0 picks one)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
@@ -94,13 +97,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 
-	client, err := loadClient(*atlasPath, *fetchManifest)
-	if err != nil {
-		fatal(err)
+	var client *inano.Client
+	if *atlasFlat != "" {
+		if *atlasPath != "" || *fetchManifest != "" {
+			fatal(errors.New("-atlas-flat cannot be combined with -atlas or -fetch-manifest"))
+		}
+		ff, err := atlas.OpenFlat(*atlasFlat, *flatValidate)
+		if err != nil {
+			fatal(err)
+		}
+		// The mapping lives as long as the daemon; process exit unmaps.
+		client = inano.FromFlat(ff.Flat)
+		logf("inanod: flat atlas day %d mapped: %d clusters, %d links, %d prefixes",
+			ff.Day, ff.NumClusters, ff.NumEdges(), len(ff.PrefixClKeys))
+	} else {
+		var err error
+		client, err = loadClient(*atlasPath, *fetchManifest)
+		if err != nil {
+			fatal(err)
+		}
+		a := client.Atlas()
+		logf("inanod: atlas day %d loaded: %d clusters, %d links, %d prefixes",
+			a.Day, a.NumClusters, len(a.Links), len(a.PrefixCluster))
 	}
-	a := client.Atlas()
-	logf("inanod: atlas day %d loaded: %d clusters, %d links, %d prefixes",
-		a.Day, a.NumClusters, len(a.Links), len(a.PrefixCluster))
 
 	var agg *feedback.Aggregator
 	if *aggregate {

@@ -79,7 +79,11 @@ type (
 // queries; mutating operations (ApplyDelta, AddTraceroutes) serialize
 // internally and rebuild the prediction engine.
 type Client struct {
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	// atlas is the mutable map-based form — the edit surface for deltas
+	// and traceroute merges. For clients started from a compiled flat
+	// atlas (FromFlat) it is nil until the first mutating operation or
+	// Atlas() call materializes it from the serving form.
 	atlas  *atlas.Atlas
 	engine *core.Engine
 	opts   core.Options
@@ -102,6 +106,24 @@ func FromAtlasOptions(a *atlas.Atlas, opts core.Options) *Client {
 	return &Client{
 		atlas:        a,
 		engine:       core.New(a, opts),
+		opts:         opts,
+		localCluster: make(map[Prefix]int32),
+		tracker:      feedback.NewTracker(feedback.TrackerConfig{}),
+	}
+}
+
+// FromFlat wraps a compiled flat atlas (e.g. one mmap'd from disk via
+// atlas.OpenFlat) with the full iNano configuration. Startup skips the
+// map-based build entirely; the mutable atlas is materialized lazily on
+// the first ApplyDelta/AddTraceroutes/Atlas call.
+func FromFlat(f *atlas.Flat) *Client {
+	return FromFlatOptions(f, core.INanoOptions())
+}
+
+// FromFlatOptions is FromFlat with an explicit algorithm configuration.
+func FromFlatOptions(f *atlas.Flat, opts core.Options) *Client {
+	return &Client{
+		engine:       core.NewFromFlat(f, opts),
 		opts:         opts,
 		localCluster: make(map[Prefix]int32),
 		tracker:      feedback.NewTracker(feedback.TrackerConfig{}),
@@ -131,16 +153,31 @@ func FetchAtlas(ctx context.Context, trackerAddr string, m Manifest) (*Client, e
 
 // Day returns the measurement day of the loaded atlas.
 func (c *Client) Day() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.atlas.Day
+	return c.engineSnapshot().Day()
 }
 
-// Atlas returns the client's atlas. Treat it as read-only.
+// Atlas returns the client's atlas in its mutable map-based form. Treat
+// it as read-only. For a client started from a flat file this inflates
+// the compiled form on first call (and caches the result).
 func (c *Client) Atlas() *atlas.Atlas {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
+	a := c.atlas
+	c.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.materializeLocked()
 	return c.atlas
+}
+
+// materializeLocked ensures c.atlas exists, inflating the engine's
+// compiled serving form for flat-started clients. Caller holds c.mu.
+func (c *Client) materializeLocked() {
+	if c.atlas == nil {
+		c.atlas = c.engine.Flat().Inflate()
+	}
 }
 
 // ApplyDelta applies an encoded daily update, keeping the atlas current
@@ -153,6 +190,7 @@ func (c *Client) ApplyDelta(r io.Reader) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.materializeLocked()
 	if d.FromDay != c.atlas.Day {
 		return fmt.Errorf("inano: delta is day %d->%d but atlas is day %d", d.FromDay, d.ToDay, c.atlas.Day)
 	}
@@ -276,7 +314,7 @@ type Snapshot struct {
 func (c *Client) Snapshot() Snapshot { return Snapshot{e: c.engineSnapshot()} }
 
 // Day returns the measurement day of the pinned atlas.
-func (s Snapshot) Day() int { return s.e.Atlas().Day }
+func (s Snapshot) Day() int { return s.e.Day() }
 
 // Query answers one bidirectional query on the pinned snapshot.
 func (s Snapshot) Query(src, dst IP) PathInfo {
@@ -316,15 +354,8 @@ func (s Snapshot) AttachmentCluster(p Prefix) (int32, bool) {
 // upstream observation ingest clusterizes uploaded hop lists through it.
 // ok is false when the atlas has never seen the hop's /24.
 func (s Snapshot) HopCluster(ip IP) (int32, bool) {
-	a := s.e.Atlas()
-	p := netsim.PrefixOf(ip)
-	if cl, ok := a.IfaceCluster[p]; ok {
-		return int32(cl), true
-	}
-	if cl, ok := a.PrefixCluster[p]; ok {
-		return int32(cl), true
-	}
-	return 0, false
+	cl, ok := s.e.HopCluster(netsim.PrefixOf(ip))
+	return int32(cl), ok
 }
 
 // CacheStats reports the current engine's prediction-tree cache counters

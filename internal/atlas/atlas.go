@@ -210,8 +210,17 @@ func (a *Atlas) buildIndex() *map[uint64]int32 {
 	return &m
 }
 
-// invalidateIndex must be called after Links mutates.
-func (a *Atlas) invalidateIndex() { a.linkIndex.Store(nil) }
+// invalidateIndex must be called after Links mutates. It takes idxMu so
+// the invalidation serializes against a concurrent buildIndex: a bare
+// Store(nil) could be overwritten by a build that loaded nil before this
+// mutation and finished (under idxMu) after it, resurrecting an index over
+// the pre-mutation Links — a lost invalidation that would serve stale link
+// positions forever.
+func (a *Atlas) invalidateIndex() {
+	a.idxMu.Lock()
+	a.linkIndex.Store(nil)
+	a.idxMu.Unlock()
+}
 
 // InvalidateIndex discards the link lookup index; callers that mutate Links
 // directly (e.g. merging client-side measurements) must call it before the

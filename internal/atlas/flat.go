@@ -1,0 +1,564 @@
+package atlas
+
+import (
+	"fmt"
+	"sort"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// Flat is the compiled, index-addressed serving form of an Atlas: every
+// dataset the query engine reads on its hot path, laid out as flat arrays
+// instead of Go maps. The mutable map-based Atlas stays the edit and codec
+// surface (deltas, merges, folds all operate on it); Compile produces a
+// Flat from it once per snapshot swap, and the engine answers every query
+// against the Flat without chasing a single map bucket or pointer.
+//
+// Layout:
+//
+//   - The link table is a structure-of-arrays CSR keyed by destination
+//     cluster: EdgeStart[w]..EdgeStart[w+1] index the edges arriving at
+//     cluster w (traffic direction from->w), with parallel latency, loss,
+//     plane, relationship, AS, and degree arrays — exactly the shape the
+//     backtracking Dijkstra relaxes over. Per-edge derived facts the old
+//     engine recomputed from maps (same-AS, late-exit, inferred rel,
+//     origin degree) are baked in at compile time.
+//   - Prefix tables (attachment cluster, BGP origin, interface clusters,
+//     residual corrections) are sorted parallel key/value slices answered
+//     by branch-free binary search.
+//   - The 3-tuple, preference, provider, relationship, and late-exit sets
+//     are sorted uint64 slices.
+//
+// Every field is a plain slice of fixed-width scalars, so a Flat can be
+// serialized as raw little-endian sections and mapped back into memory
+// with zero copies (see WriteFlat/OpenFlat): daemon startup is one mmap
+// instead of a gzip decode + map build, and N replicas on one box share
+// the page cache. A Flat is immutable after Compile/OpenFlat; all methods
+// are safe for unbounded concurrent use.
+type Flat struct {
+	Day         int32
+	NumClusters int32
+	// ClusterAS maps each cluster to its owning AS (index = cluster ID).
+	ClusterAS []netsim.ASN
+
+	// CSR link table, bucketed by destination (To) cluster. Buckets
+	// preserve the Links slice order, so the engine relaxes edges in
+	// exactly the order the map-based engine did (tie-break parity).
+	EdgeStart  []uint32            // len NumClusters+1
+	EdgeFrom   []cluster.ClusterID // source cluster of the edge
+	EdgeLat    []float32
+	EdgeLoss   []float32 // 0 when the link has no loss annotation
+	EdgePlanes []uint8
+	EdgeFlags  []uint8      // EdgeSameAS | EdgeLate
+	EdgeRel    []netsim.Rel // relationship of To's AS from From's perspective
+	EdgeFromAS []netsim.ASN
+	EdgeToAS   []netsim.ASN
+	EdgeToDeg  []int32 // observed AS-graph degree of the edge's To AS
+
+	// Sorted prefix tables (parallel key/value slices).
+	PrefixClKeys []netsim.Prefix
+	PrefixClVals []cluster.ClusterID
+	PrefixASKeys []netsim.Prefix
+	PrefixASVals []netsim.ASN
+	IfaceKeys    []netsim.Prefix
+	IfaceVals    []cluster.ClusterID
+	// Residual corrections: the union of the atlas's shipped
+	// (GlobalAdjustMS) and client-local (AdjustMS) tables, key-aligned so
+	// one binary search answers both terms.
+	AdjustKeys   []netsim.Prefix
+	AdjustGlobal []float32
+	AdjustLocal  []float32
+
+	// Sorted policy sets.
+	Tuples    []uint64 // PackTriple keys
+	Prefs     []uint64 // PackTriple keys
+	Providers []uint64 // origin<<32 | provider
+	RelKeys   []uint64 // netsim.ASPairKey
+	RelVals   []netsim.Rel
+	LateExit  []uint64 // netsim.ASPairKey
+	// Full degree and loss tables (the per-edge arrays above carry the
+	// hot-path values; these exist so Inflate can reconstruct the maps).
+	DegKeys  []netsim.ASN
+	DegVals  []int32
+	LossKeys []uint64
+	LossVals []float32
+}
+
+// Per-edge flag bits in EdgeFlags.
+const (
+	// EdgeSameAS marks an intra-AS edge (From and To clusters share an AS).
+	EdgeSameAS uint8 = 1 << 0
+	// EdgeLate marks an inter-AS edge whose AS pair runs late-exit routing.
+	EdgeLate uint8 = 1 << 1
+)
+
+// Compile builds the flat serving form of a. The atlas must not be mutated
+// concurrently; the returned Flat does not alias any of a's mutable state,
+// so a may keep evolving (copy-on-write or in place) afterwards.
+func Compile(a *Atlas) *Flat {
+	n := a.NumClusters
+	f := &Flat{
+		Day:         int32(a.Day),
+		NumClusters: int32(n),
+		ClusterAS:   append([]netsim.ASN(nil), a.ClusterAS...),
+	}
+
+	// Counting sort of links by To cluster, preserving slice order inside
+	// each bucket (the order the map engine appended its in-edges).
+	counts := make([]uint32, n+1)
+	valid := 0
+	for i := range a.Links {
+		l := &a.Links[i]
+		if int(l.From) >= n || int(l.To) >= n || l.From < 0 || l.To < 0 {
+			continue // defensive: corrupt atlas rows are skipped
+		}
+		counts[l.To]++
+		valid++
+	}
+	f.EdgeStart = make([]uint32, n+1)
+	var sum uint32
+	for w := 0; w < n; w++ {
+		f.EdgeStart[w] = sum
+		sum += counts[w]
+	}
+	f.EdgeStart[n] = sum
+	f.EdgeFrom = make([]cluster.ClusterID, valid)
+	f.EdgeLat = make([]float32, valid)
+	f.EdgeLoss = make([]float32, valid)
+	f.EdgePlanes = make([]uint8, valid)
+	f.EdgeFlags = make([]uint8, valid)
+	f.EdgeRel = make([]netsim.Rel, valid)
+	f.EdgeFromAS = make([]netsim.ASN, valid)
+	f.EdgeToAS = make([]netsim.ASN, valid)
+	f.EdgeToDeg = make([]int32, valid)
+	next := make([]uint32, n)
+	copy(next, f.EdgeStart[:n])
+	for i := range a.Links {
+		l := &a.Links[i]
+		if int(l.From) >= n || int(l.To) >= n || l.From < 0 || l.To < 0 {
+			continue
+		}
+		ei := next[l.To]
+		next[l.To]++
+		fa, ta := a.ClusterAS[l.From], a.ClusterAS[l.To]
+		f.EdgeFrom[ei] = l.From
+		f.EdgeLat[ei] = l.LatencyMS
+		f.EdgeLoss[ei] = a.Loss[LinkKey(l.From, l.To)]
+		f.EdgePlanes[ei] = l.Planes
+		var flags uint8
+		if fa == ta {
+			flags |= EdgeSameAS
+		} else if a.LateExit[netsim.ASPairKey(fa, ta)] {
+			flags |= EdgeLate
+		}
+		f.EdgeFlags[ei] = flags
+		f.EdgeRel[ei] = a.RelOf(fa, ta)
+		f.EdgeFromAS[ei] = fa
+		f.EdgeToAS[ei] = ta
+		f.EdgeToDeg[ei] = a.ASDegree[ta]
+	}
+
+	f.PrefixClKeys, f.PrefixClVals = sortedPrefixClusters(a.PrefixCluster)
+	f.IfaceKeys, f.IfaceVals = sortedPrefixClusters(a.IfaceCluster)
+	f.PrefixASKeys, f.PrefixASVals = sortedPrefixASNs(a.PrefixAS)
+	f.AdjustKeys, f.AdjustGlobal, f.AdjustLocal = sortedAdjust(a.GlobalAdjustMS, a.AdjustMS)
+	f.Tuples = sortedSetKeys(a.Tuples)
+	f.Prefs = sortedSetKeys(a.Prefs)
+	f.LateExit = sortedSetKeys(a.LateExit)
+	f.RelKeys, f.RelVals = sortedRels(a.Rels)
+	f.DegKeys, f.DegVals = sortedDegrees(a.ASDegree)
+	f.LossKeys, f.LossVals = sortedLoss(a.Loss)
+
+	provs := make([]uint64, 0, len(a.Providers))
+	for origin, ups := range a.Providers {
+		for _, up := range ups {
+			provs = append(provs, uint64(origin)<<32|uint64(up))
+		}
+	}
+	sort.Slice(provs, func(i, j int) bool { return provs[i] < provs[j] })
+	f.Providers = provs
+	return f
+}
+
+func sortedPrefixClusters(m map[netsim.Prefix]cluster.ClusterID) ([]netsim.Prefix, []cluster.ClusterID) {
+	keys := make([]netsim.Prefix, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]cluster.ClusterID, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return keys, vals
+}
+
+func sortedPrefixASNs(m map[netsim.Prefix]netsim.ASN) ([]netsim.Prefix, []netsim.ASN) {
+	keys := make([]netsim.Prefix, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]netsim.ASN, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return keys, vals
+}
+
+func sortedAdjust(global, local map[netsim.Prefix]float32) ([]netsim.Prefix, []float32, []float32) {
+	union := make(map[netsim.Prefix]struct{}, len(global)+len(local))
+	for k := range global {
+		union[k] = struct{}{}
+	}
+	for k := range local {
+		union[k] = struct{}{}
+	}
+	keys := make([]netsim.Prefix, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	g := make([]float32, len(keys))
+	l := make([]float32, len(keys))
+	for i, k := range keys {
+		g[i] = global[k]
+		l[i] = local[k]
+	}
+	return keys, g, l
+}
+
+func sortedSetKeys(m map[uint64]bool) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedRels(m map[uint64]netsim.Rel) ([]uint64, []netsim.Rel) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]netsim.Rel, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return keys, vals
+}
+
+func sortedDegrees(m map[netsim.ASN]int32) ([]netsim.ASN, []int32) {
+	keys := make([]netsim.ASN, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]int32, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return keys, vals
+}
+
+func sortedLoss(m map[uint64]float32) ([]uint64, []float32) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	vals := make([]float32, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	return keys, vals
+}
+
+// Closure-free binary searches: the query hot path must not allocate, and
+// sort.Search's func parameter is one escape-analysis hiccup away from a
+// heap closure. These compile to tight branch loops.
+
+func searchPrefix(keys []netsim.Prefix, k netsim.Prefix) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == k
+}
+
+func searchU64(keys []uint64, k uint64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == k
+}
+
+func searchASN(keys []netsim.ASN, k netsim.ASN) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == k
+}
+
+// ClusterOf returns the attachment cluster of a prefix.
+func (f *Flat) ClusterOf(p netsim.Prefix) (cluster.ClusterID, bool) {
+	if i, ok := searchPrefix(f.PrefixClKeys, p); ok {
+		return f.PrefixClVals[i], true
+	}
+	return 0, false
+}
+
+// OriginAS returns the BGP origin of a prefix (0 when unknown).
+func (f *Flat) OriginAS(p netsim.Prefix) netsim.ASN {
+	if i, ok := searchPrefix(f.PrefixASKeys, p); ok {
+		return f.PrefixASVals[i]
+	}
+	return 0
+}
+
+// IfaceClusterOf returns the cluster owning an infrastructure /24.
+func (f *Flat) IfaceClusterOf(p netsim.Prefix) (cluster.ClusterID, bool) {
+	if i, ok := searchPrefix(f.IfaceKeys, p); ok {
+		return f.IfaceVals[i], true
+	}
+	return 0, false
+}
+
+// Adjust returns the shipped (global) and client-local residual correction
+// terms for a destination prefix; ok is false when neither is carried.
+func (f *Flat) Adjust(p netsim.Prefix) (global, local float32, ok bool) {
+	i, found := searchPrefix(f.AdjustKeys, p)
+	if !found {
+		return 0, 0, false
+	}
+	return f.AdjustGlobal[i], f.AdjustLocal[i], true
+}
+
+// HasTuple reports whether the 3-tuple (x,y,z) was observed.
+func (f *Flat) HasTuple(x, y, z netsim.ASN) bool {
+	_, ok := searchU64(f.Tuples, PackTriple(x, y, z))
+	return ok
+}
+
+// Prefers reports whether AS at prefers next-hop b over next-hop c.
+func (f *Flat) Prefers(at, b, c netsim.ASN) bool {
+	_, ok := searchU64(f.Prefs, PackTriple(at, b, c))
+	return ok
+}
+
+// ProviderCheck applies the §4.3.4 provider test for an edge from fromAS
+// into the destination origin AS: true when the atlas has no provider data
+// for origin, or records fromAS as one of its providers.
+func (f *Flat) ProviderCheck(origin, fromAS netsim.ASN) bool {
+	lo, _ := searchU64(f.Providers, uint64(origin)<<32)
+	if lo >= len(f.Providers) || netsim.ASN(f.Providers[lo]>>32) != origin {
+		return true // no provider data: cannot enforce
+	}
+	_, ok := searchU64(f.Providers, uint64(origin)<<32|uint64(fromAS))
+	return ok
+}
+
+// RelOf returns the inferred relationship of y from x's perspective.
+func (f *Flat) RelOf(x, y netsim.ASN) netsim.Rel {
+	i, ok := searchU64(f.RelKeys, netsim.ASPairKey(x, y))
+	if !ok {
+		return netsim.RelNone
+	}
+	r := f.RelVals[i]
+	if x <= y {
+		return r
+	}
+	return r.Invert()
+}
+
+// NumEdges returns the CSR link count.
+func (f *Flat) NumEdges() int { return len(f.EdgeFrom) }
+
+// Inflate reconstructs a mutable map-based Atlas from the flat form — the
+// bridge that lets a daemon started from a mapped Flat still apply deltas
+// and merge traceroutes (both of which edit the map form and recompile).
+// The build-side ObservedLinks/ObservedAttach lifetime tables are not part
+// of the serving form (deltas never carry them) and come back empty.
+func (f *Flat) Inflate() *Atlas {
+	a := New()
+	a.Day = int(f.Day)
+	a.NumClusters = int(f.NumClusters)
+	a.ClusterAS = append([]netsim.ASN(nil), f.ClusterAS...)
+	a.Links = make([]Link, 0, f.NumEdges())
+	for w := 0; w < int(f.NumClusters); w++ {
+		for ei := f.EdgeStart[w]; ei < f.EdgeStart[w+1]; ei++ {
+			a.Links = append(a.Links, Link{
+				From:      f.EdgeFrom[ei],
+				To:        cluster.ClusterID(w),
+				LatencyMS: f.EdgeLat[ei],
+				Planes:    f.EdgePlanes[ei],
+			})
+		}
+	}
+	sort.Slice(a.Links, func(i, j int) bool {
+		if a.Links[i].From != a.Links[j].From {
+			return a.Links[i].From < a.Links[j].From
+		}
+		return a.Links[i].To < a.Links[j].To
+	})
+	for i, k := range f.LossKeys {
+		a.Loss[k] = f.LossVals[i]
+	}
+	for i, k := range f.PrefixClKeys {
+		a.PrefixCluster[k] = f.PrefixClVals[i]
+	}
+	for i, k := range f.IfaceKeys {
+		a.IfaceCluster[k] = f.IfaceVals[i]
+	}
+	for i, k := range f.PrefixASKeys {
+		a.PrefixAS[k] = f.PrefixASVals[i]
+	}
+	for i, k := range f.DegKeys {
+		a.ASDegree[k] = f.DegVals[i]
+	}
+	for _, k := range f.Tuples {
+		a.Tuples[k] = true
+	}
+	for _, k := range f.Prefs {
+		a.Prefs[k] = true
+	}
+	for _, k := range f.LateExit {
+		a.LateExit[k] = true
+	}
+	for i, k := range f.RelKeys {
+		a.Rels[k] = f.RelVals[i]
+	}
+	for _, pk := range f.Providers {
+		origin := netsim.ASN(pk >> 32)
+		a.Providers[origin] = append(a.Providers[origin], netsim.ASN(uint32(pk)))
+	}
+	for i, k := range f.AdjustKeys {
+		if g := f.AdjustGlobal[i]; g != 0 {
+			a.GlobalAdjustMS[k] = g
+		}
+		if l := f.AdjustLocal[i]; l != 0 {
+			a.AdjustMS[k] = l
+		}
+	}
+	return a
+}
+
+// Validate checks the structural invariants every accessor relies on:
+// consistent array lengths, a monotone CSR, in-range cluster IDs, and
+// sorted key tables. OpenFlat runs it by default so a truncated or
+// hand-edited file fails fast instead of answering garbage.
+func (f *Flat) Validate() error {
+	n := int(f.NumClusters)
+	if n < 0 {
+		return fmt.Errorf("atlas: flat: negative cluster count %d", n)
+	}
+	if len(f.ClusterAS) != n {
+		return fmt.Errorf("atlas: flat: ClusterAS has %d entries, want %d", len(f.ClusterAS), n)
+	}
+	if len(f.EdgeStart) != n+1 {
+		return fmt.Errorf("atlas: flat: EdgeStart has %d entries, want %d", len(f.EdgeStart), n+1)
+	}
+	ne := f.NumEdges()
+	if n > 0 && (f.EdgeStart[0] != 0 || int(f.EdgeStart[n]) != ne) {
+		return fmt.Errorf("atlas: flat: CSR bounds [%d,%d] do not span %d edges", f.EdgeStart[0], f.EdgeStart[n], ne)
+	}
+	for w := 0; w < n; w++ {
+		if f.EdgeStart[w] > f.EdgeStart[w+1] {
+			return fmt.Errorf("atlas: flat: CSR not monotone at cluster %d", w)
+		}
+	}
+	for _, lens := range []struct {
+		name string
+		got  int
+	}{
+		{"EdgeLat", len(f.EdgeLat)}, {"EdgeLoss", len(f.EdgeLoss)},
+		{"EdgePlanes", len(f.EdgePlanes)}, {"EdgeFlags", len(f.EdgeFlags)},
+		{"EdgeRel", len(f.EdgeRel)}, {"EdgeFromAS", len(f.EdgeFromAS)},
+		{"EdgeToAS", len(f.EdgeToAS)}, {"EdgeToDeg", len(f.EdgeToDeg)},
+	} {
+		if lens.got != ne {
+			return fmt.Errorf("atlas: flat: %s has %d entries, want %d edges", lens.name, lens.got, ne)
+		}
+	}
+	for _, from := range f.EdgeFrom {
+		if from < 0 || int(from) >= n {
+			return fmt.Errorf("atlas: flat: edge source cluster %d outside [0,%d)", from, n)
+		}
+	}
+	if len(f.PrefixClVals) != len(f.PrefixClKeys) || len(f.PrefixASVals) != len(f.PrefixASKeys) ||
+		len(f.IfaceVals) != len(f.IfaceKeys) || len(f.RelVals) != len(f.RelKeys) ||
+		len(f.DegVals) != len(f.DegKeys) || len(f.LossVals) != len(f.LossKeys) ||
+		len(f.AdjustGlobal) != len(f.AdjustKeys) || len(f.AdjustLocal) != len(f.AdjustKeys) {
+		return fmt.Errorf("atlas: flat: key/value table length mismatch")
+	}
+	for i, cl := range f.PrefixClVals {
+		if cl < 0 || int(cl) >= n {
+			return fmt.Errorf("atlas: flat: prefix %v attached to cluster %d outside [0,%d)", f.PrefixClKeys[i], cl, n)
+		}
+	}
+	for i, cl := range f.IfaceVals {
+		if cl < 0 || int(cl) >= n {
+			return fmt.Errorf("atlas: flat: iface prefix %v in cluster %d outside [0,%d)", f.IfaceKeys[i], cl, n)
+		}
+	}
+	if err := prefixesSorted("PrefixCluster", f.PrefixClKeys); err != nil {
+		return err
+	}
+	if err := prefixesSorted("PrefixAS", f.PrefixASKeys); err != nil {
+		return err
+	}
+	if err := prefixesSorted("IfaceCluster", f.IfaceKeys); err != nil {
+		return err
+	}
+	if err := prefixesSorted("Adjust", f.AdjustKeys); err != nil {
+		return err
+	}
+	for _, set := range []struct {
+		name string
+		keys []uint64
+	}{
+		{"Tuples", f.Tuples}, {"Prefs", f.Prefs}, {"Providers", f.Providers},
+		{"Rels", f.RelKeys}, {"LateExit", f.LateExit}, {"Loss", f.LossKeys},
+	} {
+		for i := 1; i < len(set.keys); i++ {
+			if set.keys[i-1] >= set.keys[i] {
+				return fmt.Errorf("atlas: flat: %s keys not strictly sorted at %d", set.name, i)
+			}
+		}
+	}
+	for i := 1; i < len(f.DegKeys); i++ {
+		if f.DegKeys[i-1] >= f.DegKeys[i] {
+			return fmt.Errorf("atlas: flat: ASDegree keys not strictly sorted at %d", i)
+		}
+	}
+	return nil
+}
+
+func prefixesSorted(name string, keys []netsim.Prefix) error {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return fmt.Errorf("atlas: flat: %s keys not strictly sorted at %d", name, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package atlas
+
+import "os"
+
+// mmapFile fallback for platforms without a usable mmap: read the file
+// into memory. Startup loses the O(1)/shared-pages property but the
+// serving behavior is identical (parseFlat aliases the private buffer).
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

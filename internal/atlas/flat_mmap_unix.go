@@ -1,0 +1,36 @@
+//go:build unix
+
+package atlas
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and shared, so every process serving the
+// same flat atlas shares one copy of the page cache. The descriptor is
+// closed immediately — the mapping keeps the file alive.
+func mmapFile(path string) ([]byte, func() error, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size < flatHeaderSize {
+		return nil, nil, fmt.Errorf("atlas: flat: %s: %d bytes is smaller than the header", path, size)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("atlas: flat: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("atlas: flat: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

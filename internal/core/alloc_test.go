@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestWarmQueryZeroAlloc is the allocation gate for the serving hot path:
+// once the prediction trees for both directions of a pair are cached, a
+// QueryInto into a reused PathInfo must not allocate at all. CI runs this
+// test in the bench job; a regression here is a performance bug even if
+// every functional test stays green.
+func TestWarmQueryZeroAlloc(t *testing.T) {
+	w := buildWorld(t, 61)
+	e := New(w.a, INanoOptions())
+
+	// Find a pair answered in both directions, then warm its trees and
+	// the PathInfo's slice capacity.
+	var info PathInfo
+	src, dst := pickFoundPair(t, w, e)
+	e.QueryInto(&info, src, dst)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		e.QueryInto(&info, src, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm QueryInto allocates %v times per op, want 0", allocs)
+	}
+
+	// The one-way raw path is equally hot (batch interiors); it must stay
+	// clean too.
+	var p Prediction
+	e.predictForwardRawInto(&p, src, dst)
+	allocs = testing.AllocsPerRun(100, func() {
+		e.predictForwardRawInto(&p, src, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm predictForwardRawInto allocates %v times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkQueryInto_Warm is the steady-state serving loop: cached trees,
+// reused PathInfo. ReportAllocs makes the zero-allocation property visible
+// in bench output (the gate itself is TestWarmQueryZeroAlloc).
+func BenchmarkQueryInto_Warm(b *testing.B) {
+	w := buildWorld(b, 61)
+	e := New(w.a, INanoOptions())
+	var info PathInfo
+	var src, dst = w.targets[0], w.targets[1]
+	for i, s := range w.targets {
+		for _, d := range w.targets[i+1:] {
+			if e.Query(s, d).Found {
+				src, dst = s, d
+				goto warm
+			}
+		}
+	}
+warm:
+	e.QueryInto(&info, src, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.QueryInto(&info, src, dst)
+	}
+}

@@ -36,7 +36,7 @@ func (e *Engine) predictInto(ctx context.Context, g *batchGroup, pairs [][2]nets
 	}
 	for _, i := range g.idxs {
 		src, dst := pairs[i][0], pairs[i][1]
-		srcCl, ok := e.a.PrefixCluster[src]
+		srcCl, ok := e.f.ClusterOf(src)
 		if !ok {
 			continue
 		}
@@ -45,7 +45,7 @@ func (e *Engine) predictInto(ctx context.Context, g *batchGroup, pairs [][2]nets
 			continue
 		}
 		p.DstCluster = g.dstCl
-		p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
+		p.ASPath = e.asPath(p.Clusters, e.f.OriginAS(src), e.f.OriginAS(dst))
 		out[i] = p
 	}
 }
@@ -57,11 +57,11 @@ func (e *Engine) groupByDestination(pairs [][2]netsim.Prefix) []*batchGroup {
 	byKey := make(map[uint64]*batchGroup)
 	order := make([]*batchGroup, 0, 8)
 	for i, pr := range pairs {
-		dstCl, ok := e.a.PrefixCluster[pr[1]]
+		dstCl, ok := e.f.ClusterOf(pr[1])
 		if !ok {
 			continue
 		}
-		origin := e.a.PrefixAS[pr[1]]
+		origin := e.f.OriginAS(pr[1])
 		k := treeKey(dstCl, origin)
 		g := byKey[k]
 		if g == nil {
@@ -222,7 +222,7 @@ func (e *Engine) predictPartial(ctx context.Context, g *batchGroup, reqs []PairR
 			continue
 		}
 		src, dst := pairs[i][0], pairs[i][1]
-		srcCl, ok := e.a.PrefixCluster[src]
+		srcCl, ok := e.f.ClusterOf(src)
 		if !ok {
 			continue
 		}
@@ -231,7 +231,7 @@ func (e *Engine) predictPartial(ctx context.Context, g *batchGroup, reqs []PairR
 			continue
 		}
 		p.DstCluster = g.dstCl
-		p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
+		p.ASPath = e.asPath(p.Clusters, e.f.OriginAS(src), e.f.OriginAS(dst))
 		out[i] = p
 	}
 }
@@ -243,14 +243,8 @@ func (e *Engine) predictPartial(ctx context.Context, g *batchGroup, reqs []PairR
 // whose own AdjustMS entry (learned from some other pair's round trips)
 // must not be double-counted into this query's RTT.
 func (e *Engine) composeQuery(fwd, rev Prediction, dst netsim.Prefix) PathInfo {
-	e.adjustLatency(&fwd, dst)
 	info := PathInfo{Fwd: fwd, Rev: rev}
-	if !fwd.Found || !rev.Found {
-		return info
-	}
-	info.Found = true
-	info.RTTMS = fwd.LatencyMS + rev.LatencyMS
-	info.LossRate = 1 - (1-fwd.LossRate)*(1-rev.LossRate)
+	e.finishQuery(&info, dst)
 	return info
 }
 

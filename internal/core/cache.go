@@ -85,14 +85,27 @@ func (c *shardedTreeCache) shard(k uint64) *cacheShard {
 	return &c.shards[(k*0x9E3779B97F4A7C15)>>32&c.mask]
 }
 
+// treeBuilder computes the tree for a cache key on a miss. *Engine is the
+// production implementation (Engine.buildTree); taking an interface whose
+// value is an existing pointer — rather than a per-call closure — keeps
+// the warm-hit path allocation-free.
+type treeBuilder interface {
+	buildTree(k uint64) *tree
+}
+
+// builderFunc adapts a plain function to treeBuilder (test hook).
+type builderFunc func(uint64) *tree
+
+func (f builderFunc) buildTree(k uint64) *tree { return f(k) }
+
 // getOrCompute returns the cached tree for k, or computes it exactly once
 // across all concurrent callers and caches the result. The caller that wins
-// the build runs compute to completion (so the tree stays cached for a
+// the build runs b.buildTree to completion (so the tree stays cached for a
 // retry); callers joining an in-flight build stop waiting when ctx is
-// cancelled and return ctx.Err(). A panic in compute is cleaned up — the
+// cancelled and return ctx.Err(). A panic in the build is cleaned up — the
 // in-flight entry is removed so the key is not poisoned — and re-raised in
 // the builder and every waiter.
-func (c *shardedTreeCache) getOrCompute(ctx context.Context, k uint64, compute func() *tree) (*tree, error) {
+func (c *shardedTreeCache) getOrCompute(ctx context.Context, k uint64, bld treeBuilder) (*tree, error) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if e, ok := s.items[k]; ok {
@@ -135,7 +148,7 @@ func (c *shardedTreeCache) getOrCompute(ctx context.Context, k uint64, compute f
 			panic(b.panicked)
 		}
 	}()
-	b.t = compute()
+	b.t = bld.buildTree(k)
 	completed = true
 	return b.t, nil
 }

@@ -61,7 +61,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 			c := newShardedTreeCache(tc.cap, 1)
 			for _, k := range tc.ops {
 				k := k
-				got, err := c.getOrCompute(context.Background(), k, func() *tree { return fakeTree(int32(k)) })
+				got, err := c.getOrCompute(context.Background(), k, builderFunc(func(uint64) *tree { return fakeTree(int32(k)) }))
 				if err != nil {
 					t.Fatalf("key %d: %v", k, err)
 				}
@@ -90,9 +90,9 @@ func TestEvictedKeyRecomputes(t *testing.T) {
 		builds++
 		return fakeTree(int32(k))
 	}
-	c.getOrCompute(context.Background(), 7, func() *tree { return build(7) })
-	c.getOrCompute(context.Background(), 8, func() *tree { return build(8) }) // evicts 7
-	c.getOrCompute(context.Background(), 7, func() *tree { return build(7) }) // must rebuild
+	c.getOrCompute(context.Background(), 7, builderFunc(func(uint64) *tree { return build(7) }))
+	c.getOrCompute(context.Background(), 8, builderFunc(func(uint64) *tree { return build(8) })) // evicts 7
+	c.getOrCompute(context.Background(), 7, builderFunc(func(uint64) *tree { return build(7) })) // must rebuild
 	if builds != 3 {
 		t.Fatalf("builds = %d, want 3", builds)
 	}
@@ -141,11 +141,11 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g], _ = c.getOrCompute(context.Background(), 42, func() *tree {
+			results[g], _ = c.getOrCompute(context.Background(), 42, builderFunc(func(uint64) *tree {
 				computes.Add(1)
 				<-release // hold the build so every goroutine joins it
 				return fakeTree(42)
-			})
+			}))
 		}(g)
 	}
 	// Let the other goroutines reach the inflight wait, then release. The
@@ -180,10 +180,10 @@ func TestSingleflightDistinctKeysIndependent(t *testing.T) {
 		wg.Add(1)
 		go func(k uint64) {
 			defer wg.Done()
-			got, _ := c.getOrCompute(context.Background(), k, func() *tree {
+			got, _ := c.getOrCompute(context.Background(), k, builderFunc(func(uint64) *tree {
 				computes.Add(1)
 				return fakeTree(int32(k))
-			})
+			}))
 			if treeTag(got) != int32(k) {
 				t.Errorf("key %d returned tree tagged %d", k, treeTag(got))
 			}
@@ -206,29 +206,29 @@ func TestSingleflightWaiterHonorsContext(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.getOrCompute(context.Background(), 5, func() *tree {
+		c.getOrCompute(context.Background(), 5, builderFunc(func(uint64) *tree {
 			close(started)
 			<-release // a slow build holding the singleflight
 			return fakeTree(5)
-		})
+		}))
 	}()
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	got, err := c.getOrCompute(ctx, 5, func() *tree {
+	got, err := c.getOrCompute(ctx, 5, builderFunc(func(uint64) *tree {
 		t.Error("waiter must join the in-flight build, not start its own")
 		return nil
-	})
+	}))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled waiter returned (%v, %v), want context.Canceled", got, err)
 	}
 	close(release)
 	wg.Wait()
 	// The abandoned build still completes and is cached for the next caller.
-	got, err = c.getOrCompute(context.Background(), 5, func() *tree {
+	got, err = c.getOrCompute(context.Background(), 5, builderFunc(func(uint64) *tree {
 		t.Error("tree should be cached after the build completed")
 		return nil
-	})
+	}))
 	if err != nil || treeTag(got) != 5 {
 		t.Fatalf("retry after cancellation got (%v, %v)", got, err)
 	}
@@ -245,11 +245,11 @@ func TestSingleflightPanicDoesNotPoisonKey(t *testing.T) {
 				t.Fatal("builder's panic was swallowed")
 			}
 		}()
-		c.getOrCompute(context.Background(), 9, func() *tree { panic("dijkstra bug") })
+		c.getOrCompute(context.Background(), 9, builderFunc(func(uint64) *tree { panic("dijkstra bug") }))
 	}()
 	done := make(chan *tree, 1)
 	go func() {
-		got, _ := c.getOrCompute(context.Background(), 9, func() *tree { return fakeTree(9) })
+		got, _ := c.getOrCompute(context.Background(), 9, builderFunc(func(uint64) *tree { return fakeTree(9) }))
 		done <- got
 	}()
 	got := <-done

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"inano/internal/atlas"
 	"inano/internal/cluster"
 	"inano/internal/netsim"
 )
@@ -31,18 +32,30 @@ func packCost(h uint32, e uint64) uint64 {
 
 func costHops(c uint64) uint32 { return uint32(c >> costHShift) }
 
-// latUnits converts link latency to cost units (0.01 ms).
+// latUnits converts link latency to cost units (0.01 ms), saturating at
+// the packed-cost E mask. The comparison is done in float64 *before* the
+// integer conversion: a pathological latency near float32 max (or a NaN
+// smuggled past the decoder) would otherwise hit the undefined
+// float-to-uint64 conversion and wrap, corrupting the packed cost's H
+// bits. !(v < limit) is deliberate — it catches NaN too.
 func latUnits(ms float32) uint64 {
 	if ms <= 0 {
 		return 0
 	}
-	return uint64(ms*100 + 0.5)
+	v := float64(ms)*100 + 0.5
+	if !(v < float64(costEMask)) {
+		return costEMask
+	}
+	return uint64(v)
 }
 
 // tree is the result of one backtracking run from a destination: for every
 // node, the best cost, the next node toward the destination, the pending
-// late-exit count, and the next AS on the selected path (for 3-tuple checks
-// and preference comparisons).
+// late-exit count, the next AS on the selected path (for 3-tuple checks
+// and preference comparisons), and the flat-atlas edge index of the link
+// cluster(node)->cluster(next) the path takes (-1 for synthetic cross
+// edges, which stay inside one cluster). The edge index lets the path walk
+// read latency and loss straight from the CSR arrays with no link lookup.
 type tree struct {
 	dstCluster cluster.ClusterID
 	originAS   netsim.ASN
@@ -50,6 +63,7 @@ type tree struct {
 	next       []int32 // toward the destination; -1 at the destination/unreached
 	pend       []uint8
 	nextAS     []netsim.ASN
+	edge       []int32
 }
 
 // heapItem orders by cost, then node id for determinism.
@@ -105,6 +119,20 @@ func (h *costHeap) pop() heapItem {
 	return top
 }
 
+// runScratch is the per-run working state a Dijkstra build needs beyond
+// the tree it produces: the settled bitmap and the heap's backing array.
+// Pooled on the engine so repeated cold-destination builds stop churning
+// the allocator (the tree arrays themselves are retained by the cache and
+// cannot be recycled — see Engine.scratch).
+type runScratch struct {
+	settled []bool
+	heap    costHeap
+}
+
+func newRunScratch(n int) *runScratch {
+	return &runScratch{settled: make([]bool, n), heap: make(costHeap, 0, 256)}
+}
+
 // run executes the backtracking Dijkstra from the destination cluster,
 // producing the full prediction tree. originAS is the destination prefix's
 // BGP origin, used by the provider check.
@@ -117,13 +145,23 @@ func (e *Engine) run(dst cluster.ClusterID, originAS netsim.ASN) *tree {
 		next:       make([]int32, n),
 		pend:       make([]uint8, n),
 		nextAS:     make([]netsim.ASN, n),
+		edge:       make([]int32, n),
 	}
 	for i := range t.cost {
 		t.cost[i] = infCost
 		t.next[i] = -1
+		t.edge[i] = -1
 	}
-	settled := make([]bool, n)
-	var h costHeap
+	sc := e.scratch.Get().(*runScratch)
+	if len(sc.settled) < n {
+		sc.settled = make([]bool, n)
+	}
+	settled := sc.settled[:n]
+	for i := range settled {
+		settled[i] = false
+	}
+	h := &sc.heap
+	*h = (*h)[:0]
 
 	start := e.nodeID(dst, planeToDst, stateDown)
 	t.cost[start] = 0
@@ -140,25 +178,28 @@ func (e *Engine) run(dst cluster.ClusterID, originAS netsim.ASN) *tree {
 			// regardless of length).
 			for id := int32(0); id < int32(n); id++ {
 				if settled[id] {
-					e.relaxFrom(t, &h, settled, id, phase)
+					e.relaxFrom(t, h, settled, id, phase)
 				}
 			}
 		}
-		for len(h) > 0 {
+		for len(*h) > 0 {
 			it := h.pop()
 			if settled[it.node] || it.cost != t.cost[it.node] {
 				continue // stale heap entry
 			}
 			settled[it.node] = true
-			e.relaxFrom(t, &h, settled, it.node, phase)
+			e.relaxFrom(t, h, settled, it.node, phase)
 		}
 	}
+	e.scratch.Put(sc)
 	return t
 }
 
 // relaxFrom relaxes all backtracking edges out of node wid (that is, atlas
 // edges arriving at wid's cluster, plus the synthetic cross edges), gated to
-// the given preference phase.
+// the given preference phase. The edge scan walks the flat atlas's CSR
+// bucket for wid's cluster — parallel arrays indexed by ei, no map or
+// pointer chasing anywhere on the path.
 func (e *Engine) relaxFrom(t *tree, h *costHeap, settled []bool, wid int32, phase int) {
 	wc := e.nodeCluster(wid)
 	wPlane := e.nodePlane(wid)
@@ -166,29 +207,31 @@ func (e *Engine) relaxFrom(t *tree, h *costHeap, settled []bool, wid int32, phas
 	wCost := t.cost[wid]
 	wPend := t.pend[wid]
 	wNextAS := t.nextAS[wid]
+	f := e.f
 
 	planeBit := uint8(1) // atlas.PlaneToDst
 	if wPlane == planeFromSrc {
 		planeBit = 2 // atlas.PlaneFromSrc
 	}
 
-	for i := range e.in[wc] {
-		ed := &e.in[wc][i]
-		if ed.planes&planeBit == 0 {
+	for ei := f.EdgeStart[wc]; ei < f.EdgeStart[wc+1]; ei++ {
+		if f.EdgePlanes[ei]&planeBit == 0 {
 			continue
 		}
+		flags := f.EdgeFlags[ei]
+		sameAS := flags&atlas.EdgeSameAS != 0
 		var vUD int
 		edgePhase := 1
 		if e.opts.ThreeTuple {
 			vUD = stateUp
 			// Relationship-agnostic: validity comes from the observed
 			// export 3-tuples instead of the up/down construction.
-			if !e.tupleOK(ed, wNextAS) {
+			if !e.tupleOK(f, ei, sameAS, wNextAS) {
 				continue
 			}
 		} else {
 			var ok bool
-			vUD, edgePhase, ok = graphTransition(ed, wUD)
+			vUD, edgePhase, ok = graphTransition(sameAS, f.EdgeRel[ei], wUD)
 			if !ok {
 				continue
 			}
@@ -196,18 +239,20 @@ func (e *Engine) relaxFrom(t *tree, h *costHeap, settled []bool, wid int32, phas
 		if edgePhase > phase {
 			continue
 		}
-		if e.opts.Providers && !e.providerOK(ed, t.originAS) {
-			continue
+		toAS := f.EdgeToAS[ei]
+		if e.opts.Providers && !sameAS && toAS == t.originAS &&
+			!f.ProviderCheck(toAS, f.EdgeFromAS[ei]) {
+			continue // §4.3.4: must enter the origin AS via a provider
 		}
 
-		vid := e.nodeID(ed.from, wPlane, vUD)
+		vid := e.nodeID(f.EdgeFrom[ei], wPlane, vUD)
 		if settled[vid] {
 			continue
 		}
-		newCost, newPend := relaxCost(wCost, wPend, ed)
+		newCost, newPend := relaxCost(wCost, wPend, sameAS, flags&atlas.EdgeLate != 0, f.EdgeLat[ei])
 		vNextAS := wNextAS
-		if !ed.sameAS {
-			vNextAS = ed.toAS
+		if !sameAS {
+			vNextAS = toAS
 		}
 		switch {
 		case newCost < t.cost[vid]:
@@ -215,56 +260,61 @@ func (e *Engine) relaxFrom(t *tree, h *costHeap, settled []bool, wid int32, phas
 			t.next[vid] = wid
 			t.pend[vid] = newPend
 			t.nextAS[vid] = vNextAS
+			t.edge[vid] = int32(ei)
 			h.push(heapItem{newCost, vid})
 		case newCost == t.cost[vid] && e.opts.Preferences &&
 			vNextAS != t.nextAS[vid] &&
-			e.a.Prefers(ed.fromAS, vNextAS, t.nextAS[vid]):
+			f.Prefers(f.EdgeFromAS[ei], vNextAS, t.nextAS[vid]):
 			// Equal-cost candidate preferred by an inferred AS
 			// preference tuple replaces the incumbent (§4.3.3).
 			t.next[vid] = wid
 			t.pend[vid] = newPend
 			t.nextAS[vid] = vNextAS
+			t.edge[vid] = int32(ei)
 		}
 	}
 
 	// Synthetic zero-cost cross edges, both phase 1:
 	// up_c -> down_c (traffic turns from climbing to descending), and
 	// FROM_SRC_c -> TO_DST_c (client-contributed links feed the core).
-	relaxZero := func(vid int32) {
-		if vid < 0 || settled[vid] {
-			return
-		}
-		if wCost < t.cost[vid] {
-			t.cost[vid] = wCost
-			t.next[vid] = wid
-			t.pend[vid] = wPend
-			t.nextAS[vid] = wNextAS
-			h.push(heapItem{wCost, vid})
-		}
-	}
 	if !e.opts.ThreeTuple && wUD == stateDown {
-		relaxZero(e.nodeID(wc, wPlane, stateUp))
+		e.relaxZero(t, h, settled, wid, e.nodeID(wc, wPlane, stateUp), wCost, wPend, wNextAS)
 	}
 	if e.opts.Asymmetry && wPlane == planeToDst {
-		relaxZero(e.nodeID(wc, planeFromSrc, wUD))
+		e.relaxZero(t, h, settled, wid, e.nodeID(wc, planeFromSrc, wUD), wCost, wPend, wNextAS)
 	}
 }
 
-// relaxCost applies the ⊕ operator of §4.2 for edge ed traversed (in
-// traffic direction) from ed.from into the node whose cost is (wCost,
-// wPend).
-func relaxCost(wCost uint64, wPend uint8, ed *inEdge) (uint64, uint8) {
+// relaxZero relaxes a synthetic zero-cost cross edge wid -> vid (same
+// cluster, so no atlas edge index is recorded).
+func (e *Engine) relaxZero(t *tree, h *costHeap, settled []bool, wid, vid int32, wCost uint64, wPend uint8, wNextAS netsim.ASN) {
+	if vid < 0 || settled[vid] {
+		return
+	}
+	if wCost < t.cost[vid] {
+		t.cost[vid] = wCost
+		t.next[vid] = wid
+		t.pend[vid] = wPend
+		t.nextAS[vid] = wNextAS
+		t.edge[vid] = -1
+		h.push(heapItem{wCost, vid})
+	}
+}
+
+// relaxCost applies the ⊕ operator of §4.2 for an edge traversed (in
+// traffic direction) into the node whose cost is (wCost, wPend).
+func relaxCost(wCost uint64, wPend uint8, sameAS, late bool, lat float32) (uint64, uint8) {
 	h := costHops(wCost)
 	eu := wCost & costEMask
 	switch {
-	case ed.sameAS:
-		return packCost(h, eu+latUnits(ed.lat)), wPend
-	case ed.late:
+	case sameAS:
+		return packCost(h, eu+latUnits(lat)), wPend
+	case late:
 		// Late exit: treated as an intra-AS edge, one more hop pending.
 		if wPend < math.MaxUint8 {
 			wPend++
 		}
-		return packCost(h, eu+latUnits(ed.lat)), wPend
+		return packCost(h, eu+latUnits(lat)), wPend
 	default:
 		// Normal AS crossing: fold pending hops, reset exit cost.
 		return packCost(h+uint32(wPend)+1, 0), 0
@@ -276,16 +326,16 @@ func relaxCost(wCost uint64, wPend uint8, ed *inEdge) (uint64, uint8) {
 // up/down state required at the edge's source node given the state at its
 // target, the phase in which the edge becomes usable, and whether the
 // transition is legal at all.
-func graphTransition(ed *inEdge, wUD int) (vUD, phase int, ok bool) {
+func graphTransition(sameAS bool, rel netsim.Rel, wUD int) (vUD, phase int, ok bool) {
 	switch {
-	case ed.sameAS || ed.rel == netsim.RelSibling:
+	case sameAS || rel == netsim.RelSibling:
 		return wUD, 1, true
-	case ed.rel == netsim.RelProvider: // traffic climbs customer->provider
+	case rel == netsim.RelProvider: // traffic climbs customer->provider
 		if wUD != stateUp {
 			return 0, 0, false
 		}
 		return stateUp, 3, true
-	case ed.rel == netsim.RelCustomer: // traffic descends provider->customer
+	case rel == netsim.RelCustomer: // traffic descends provider->customer
 		if wUD != stateDown {
 			return 0, 0, false
 		}
@@ -299,34 +349,17 @@ func graphTransition(ed *inEdge, wUD int) (vUD, phase int, ok bool) {
 }
 
 // tupleOK applies the 3-tuple export check of §4.3.2 to extending a path
-// whose next AS after the edge's target is wNextAS.
-func (e *Engine) tupleOK(ed *inEdge, wNextAS netsim.ASN) bool {
-	if ed.sameAS || wNextAS == 0 {
+// whose next AS after edge ei's target is wNextAS.
+func (e *Engine) tupleOK(f *atlas.Flat, ei uint32, sameAS bool, wNextAS netsim.ASN) bool {
+	if sameAS || wNextAS == 0 {
 		return true
 	}
-	if ed.toAS == wNextAS || ed.fromAS == wNextAS || ed.fromAS == ed.toAS {
+	fromAS, toAS := f.EdgeFromAS[ei], f.EdgeToAS[ei]
+	if toAS == wNextAS || fromAS == wNextAS || fromAS == toAS {
 		return true
 	}
-	if int(e.a.ASDegree[ed.toAS]) <= e.opts.DegreeThreshold {
+	if f.EdgeToDeg[ei] <= e.degThreshold {
 		return true // edge ASes are too poorly observed to enforce
 	}
-	return e.a.HasTuple(ed.fromAS, ed.toAS, wNextAS)
-}
-
-// providerOK applies the §4.3.4 provider check: an edge entering the
-// destination's origin AS must come from a recorded provider of that AS.
-func (e *Engine) providerOK(ed *inEdge, originAS netsim.ASN) bool {
-	if ed.sameAS || ed.toAS != originAS {
-		return true
-	}
-	provs := e.a.Providers[ed.toAS]
-	if len(provs) == 0 {
-		return true // no provider data: cannot enforce
-	}
-	for _, p := range provs {
-		if p == ed.fromAS {
-			return true
-		}
-	}
-	return false
+	return f.HasTuple(fromAS, toAS, wNextAS)
 }

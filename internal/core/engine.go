@@ -20,9 +20,17 @@
 // The route computation backtracks from the destination, so one run yields
 // predictions from every source to that destination; Engine caches these
 // per-destination trees for batch workloads.
+//
+// The engine never queries the map-based atlas at serving time: New
+// compiles the atlas into its flat serving form (atlas.Flat — a
+// structure-of-arrays CSR link table plus sorted lookup tables) and every
+// relaxation, prefix lookup, and path walk reads flat arrays. The map form
+// remains the mutation surface; after editing it, build a new engine.
 package core
 
 import (
+	"sync"
+
 	"inano/internal/atlas"
 	"inano/internal/cluster"
 	"inano/internal/netsim"
@@ -80,36 +88,42 @@ func INanoOptions() Options {
 // immutable after New: to mutate the atlas, build a new engine and swap it
 // atomically (as inano.Client does under its RWMutex).
 type Engine struct {
-	a    *atlas.Atlas
+	// a is the map-based atlas the engine was compiled from; nil when the
+	// engine was built directly from a flat file (NewFromFlat). The
+	// serving path never reads it — it exists so callers that own the
+	// mutation surface (inano.Client) can get their atlas back.
+	a *atlas.Atlas
+	// f is the compiled flat serving form; every query reads only this.
+	f    *atlas.Flat
 	opts Options
 
-	numClusters int
-	planes      int // 1 (TO_DST only) or 2 (with FROM_SRC)
-	statesPerCl int // planes * (1 or 2 for up/down)
-
-	// in[w] lists the atlas edges arriving at cluster w (traffic
-	// direction v->w), used by the backtracking relaxation.
-	in [][]inEdge
+	numClusters  int
+	planes       int // 1 (TO_DST only) or 2 (with FROM_SRC)
+	statesPerCl  int // planes * (1 or 2 for up/down)
+	degThreshold int32
 
 	trees *shardedTreeCache
+	// scratch pools per-run Dijkstra working state (settled bitmap + heap
+	// storage). The tree result arrays themselves are NOT pooled: trees
+	// live in the LRU cache and an evicted tree may still be walked by an
+	// in-flight query, so recycling them would be a use-after-free.
+	scratch sync.Pool
 }
 
-// inEdge is one directed atlas link v->w viewed from w.
-type inEdge struct {
-	from    cluster.ClusterID
-	lat     float32
-	planes  uint8
-	fromAS  netsim.ASN
-	toAS    netsim.ASN
-	late    bool // late-exit AS pair
-	rel     netsim.Rel
-	sameAS  bool
-	lossIdx uint64 // LinkKey for loss lookup
-}
-
-// New builds an engine over a. The atlas must not be mutated while the
-// engine is in use; after applying a delta, build a new engine.
+// New builds an engine over a, compiling its flat serving form. The atlas
+// must not be mutated while New runs; afterwards the engine holds no
+// references into a's maps, so the caller may keep editing it (and build a
+// new engine when done).
 func New(a *atlas.Atlas, opts Options) *Engine {
+	e := NewFromFlat(atlas.Compile(a), opts)
+	e.a = a
+	return e
+}
+
+// NewFromFlat builds an engine directly over a compiled flat atlas (e.g.
+// one mapped from disk). The flat form must not be mutated while the
+// engine is in use; Atlas() returns nil for such engines.
+func NewFromFlat(f *atlas.Flat, opts Options) *Engine {
 	if opts.DegreeThreshold <= 0 {
 		opts.DegreeThreshold = 5
 	}
@@ -119,7 +133,8 @@ func New(a *atlas.Atlas, opts Options) *Engine {
 	if opts.TreeCacheShards <= 0 {
 		opts.TreeCacheShards = 32
 	}
-	e := &Engine{a: a, opts: opts, numClusters: a.NumClusters}
+	e := &Engine{f: f, opts: opts, numClusters: int(f.NumClusters)}
+	e.degThreshold = int32(opts.DegreeThreshold)
 	e.planes = 1
 	if opts.Asymmetry {
 		e.planes = 2
@@ -128,25 +143,9 @@ func New(a *atlas.Atlas, opts Options) *Engine {
 	if !opts.ThreeTuple {
 		e.statesPerCl *= 2 // up/down doubling
 	}
-	e.in = make([][]inEdge, a.NumClusters)
-	for _, l := range a.Links {
-		if int(l.From) >= a.NumClusters || int(l.To) >= a.NumClusters {
-			continue // defensive: corrupt atlas rows are skipped
-		}
-		fa, ta := a.ClusterAS[l.From], a.ClusterAS[l.To]
-		e.in[l.To] = append(e.in[l.To], inEdge{
-			from:    l.From,
-			lat:     l.LatencyMS,
-			planes:  l.Planes,
-			fromAS:  fa,
-			toAS:    ta,
-			late:    fa != ta && a.LateExit[netsim.ASPairKey(fa, ta)],
-			rel:     a.RelOf(fa, ta), // what ta is to fa
-			sameAS:  fa == ta,
-			lossIdx: atlas.LinkKey(l.From, l.To),
-		})
-	}
 	e.trees = newShardedTreeCache(opts.TreeCacheSize, opts.TreeCacheShards)
+	n := e.numNodes()
+	e.scratch.New = func() any { return newRunScratch(n) }
 	return e
 }
 
@@ -170,11 +169,30 @@ func NewWithCache(a *atlas.Atlas, opts Options, prev *Engine) *Engine {
 // concurrent misses on one destination.
 func (e *Engine) CacheStats() CacheStats { return e.trees.stats() }
 
-// Atlas returns the engine's atlas snapshot.
+// Atlas returns the map-based atlas the engine was compiled from, or nil
+// when the engine was built from a flat file (NewFromFlat) — reconstruct
+// one with Flat().Inflate() in that case.
 func (e *Engine) Atlas() *atlas.Atlas { return e.a }
+
+// Flat returns the engine's compiled serving-form atlas.
+func (e *Engine) Flat() *atlas.Flat { return e.f }
+
+// Day returns the measurement day of the engine's atlas snapshot.
+func (e *Engine) Day() int { return int(e.f.Day) }
 
 // Opts returns the engine's configuration.
 func (e *Engine) Opts() Options { return e.opts }
+
+// HopCluster places a traceroute hop interface in the atlas's cluster
+// space: the interface-prefix table first (infrastructure /24s observed by
+// the build), then the end-host attachment table. ok is false when the
+// atlas has never seen the hop's /24.
+func (e *Engine) HopCluster(p netsim.Prefix) (cluster.ClusterID, bool) {
+	if cl, ok := e.f.IfaceClusterOf(p); ok {
+		return cl, true
+	}
+	return e.f.ClusterOf(p)
+}
 
 // Node state encoding.
 //

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"inano/internal/atlas"
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// This file pins the flat-compiled engine to a reference implementation
+// that runs the same backtracking Dijkstra directly over the map-based
+// atlas (the shape the engine had before the serving form was compiled).
+// Trees must match node-for-node — costs, chosen next-hops, pending
+// late-exit counters, and next-AS annotations — and query answers must
+// match field-for-field, across every option variant.
+
+// refEngine is the map-backed reference. It mirrors the production node
+// encoding and cost metric but reads links, relationships, tuples, and
+// degrees straight out of atlas maps.
+type refEngine struct {
+	a    *atlas.Atlas
+	opts Options
+
+	numClusters int
+	planes      int
+	statesPerCl int
+
+	in [][]refEdge
+}
+
+type refEdge struct {
+	from   cluster.ClusterID
+	to     cluster.ClusterID
+	lat    float32
+	planes uint8
+	fromAS netsim.ASN
+	toAS   netsim.ASN
+	late   bool
+	rel    netsim.Rel
+	sameAS bool
+}
+
+func newRefEngine(a *atlas.Atlas, opts Options) *refEngine {
+	if opts.DegreeThreshold <= 0 {
+		opts.DegreeThreshold = 5
+	}
+	r := &refEngine{a: a, opts: opts, numClusters: a.NumClusters}
+	r.planes = 1
+	if opts.Asymmetry {
+		r.planes = 2
+	}
+	r.statesPerCl = r.planes
+	if !opts.ThreeTuple {
+		r.statesPerCl *= 2
+	}
+	r.in = make([][]refEdge, a.NumClusters)
+	for _, l := range a.Links {
+		if int(l.From) >= a.NumClusters || int(l.To) >= a.NumClusters {
+			continue
+		}
+		fa, ta := a.ClusterAS[l.From], a.ClusterAS[l.To]
+		r.in[l.To] = append(r.in[l.To], refEdge{
+			from:   l.From,
+			to:     l.To,
+			lat:    l.LatencyMS,
+			planes: l.Planes,
+			fromAS: fa,
+			toAS:   ta,
+			late:   fa != ta && a.LateExit[netsim.ASPairKey(fa, ta)],
+			rel:    a.RelOf(fa, ta),
+			sameAS: fa == ta,
+		})
+	}
+	return r
+}
+
+func (r *refEngine) nodeID(c cluster.ClusterID, plane, ud int) int32 {
+	if r.opts.ThreeTuple {
+		return int32(c)*int32(r.planes) + int32(plane)
+	}
+	return int32(c)*int32(2*r.planes) + int32(plane)*2 + int32(ud)
+}
+
+func (r *refEngine) nodeCluster(id int32) cluster.ClusterID {
+	if r.opts.ThreeTuple {
+		return cluster.ClusterID(id / int32(r.planes))
+	}
+	return cluster.ClusterID(id / int32(2*r.planes))
+}
+
+func (r *refEngine) nodePlane(id int32) int {
+	if r.opts.ThreeTuple {
+		return int(id) % r.planes
+	}
+	return int(id) / 2 % r.planes
+}
+
+func (r *refEngine) nodeUD(id int32) int {
+	if r.opts.ThreeTuple {
+		return stateUp
+	}
+	return int(id) % 2
+}
+
+func (r *refEngine) numNodes() int { return r.numClusters * r.statesPerCl }
+
+func (r *refEngine) run(dst cluster.ClusterID, originAS netsim.ASN) *tree {
+	n := r.numNodes()
+	t := &tree{
+		dstCluster: dst,
+		originAS:   originAS,
+		cost:       make([]uint64, n),
+		next:       make([]int32, n),
+		pend:       make([]uint8, n),
+		nextAS:     make([]netsim.ASN, n),
+	}
+	for i := range t.cost {
+		t.cost[i] = infCost
+		t.next[i] = -1
+	}
+	settled := make([]bool, n)
+	var h costHeap
+
+	start := r.nodeID(dst, planeToDst, stateDown)
+	t.cost[start] = 0
+	h.push(heapItem{0, start})
+
+	maxPhase := 1
+	if !r.opts.ThreeTuple {
+		maxPhase = 3
+	}
+	for phase := 1; phase <= maxPhase; phase++ {
+		if phase > 1 {
+			for id := int32(0); id < int32(n); id++ {
+				if settled[id] {
+					r.relaxFrom(t, &h, settled, id, phase)
+				}
+			}
+		}
+		for len(h) > 0 {
+			it := h.pop()
+			if settled[it.node] || it.cost != t.cost[it.node] {
+				continue
+			}
+			settled[it.node] = true
+			r.relaxFrom(t, &h, settled, it.node, phase)
+		}
+	}
+	return t
+}
+
+func (r *refEngine) relaxFrom(t *tree, h *costHeap, settled []bool, wid int32, phase int) {
+	wc := r.nodeCluster(wid)
+	wPlane := r.nodePlane(wid)
+	wUD := r.nodeUD(wid)
+	wCost := t.cost[wid]
+	wPend := t.pend[wid]
+	wNextAS := t.nextAS[wid]
+
+	planeBit := uint8(atlas.PlaneToDst)
+	if wPlane == planeFromSrc {
+		planeBit = atlas.PlaneFromSrc
+	}
+
+	for i := range r.in[wc] {
+		ed := &r.in[wc][i]
+		if ed.planes&planeBit == 0 {
+			continue
+		}
+		var vUD int
+		edgePhase := 1
+		if r.opts.ThreeTuple {
+			vUD = stateUp
+			if !r.tupleOK(ed, wNextAS) {
+				continue
+			}
+		} else {
+			var ok bool
+			vUD, edgePhase, ok = refGraphTransition(ed, wUD)
+			if !ok {
+				continue
+			}
+		}
+		if edgePhase > phase {
+			continue
+		}
+		if r.opts.Providers && !r.providerOK(ed, t.originAS) {
+			continue
+		}
+
+		vid := r.nodeID(ed.from, wPlane, vUD)
+		if settled[vid] {
+			continue
+		}
+		newCost, newPend := refRelaxCost(wCost, wPend, ed)
+		vNextAS := wNextAS
+		if !ed.sameAS {
+			vNextAS = ed.toAS
+		}
+		switch {
+		case newCost < t.cost[vid]:
+			t.cost[vid] = newCost
+			t.next[vid] = wid
+			t.pend[vid] = newPend
+			t.nextAS[vid] = vNextAS
+			h.push(heapItem{newCost, vid})
+		case newCost == t.cost[vid] && r.opts.Preferences &&
+			vNextAS != t.nextAS[vid] &&
+			r.a.Prefers(ed.fromAS, vNextAS, t.nextAS[vid]):
+			t.next[vid] = wid
+			t.pend[vid] = newPend
+			t.nextAS[vid] = vNextAS
+		}
+	}
+
+	relaxZero := func(vid int32) {
+		if vid < 0 || settled[vid] {
+			return
+		}
+		if wCost < t.cost[vid] {
+			t.cost[vid] = wCost
+			t.next[vid] = wid
+			t.pend[vid] = wPend
+			t.nextAS[vid] = wNextAS
+			h.push(heapItem{wCost, vid})
+		}
+	}
+	if !r.opts.ThreeTuple && wUD == stateDown {
+		relaxZero(r.nodeID(wc, wPlane, stateUp))
+	}
+	if r.opts.Asymmetry && wPlane == planeToDst {
+		relaxZero(r.nodeID(wc, planeFromSrc, wUD))
+	}
+}
+
+func refRelaxCost(wCost uint64, wPend uint8, ed *refEdge) (uint64, uint8) {
+	h := costHops(wCost)
+	eu := wCost & costEMask
+	switch {
+	case ed.sameAS:
+		return packCost(h, eu+latUnits(ed.lat)), wPend
+	case ed.late:
+		if wPend < math.MaxUint8 {
+			wPend++
+		}
+		return packCost(h, eu+latUnits(ed.lat)), wPend
+	default:
+		return packCost(h+uint32(wPend)+1, 0), 0
+	}
+}
+
+func refGraphTransition(ed *refEdge, wUD int) (vUD, phase int, ok bool) {
+	switch {
+	case ed.sameAS || ed.rel == netsim.RelSibling:
+		return wUD, 1, true
+	case ed.rel == netsim.RelProvider:
+		if wUD != stateUp {
+			return 0, 0, false
+		}
+		return stateUp, 3, true
+	case ed.rel == netsim.RelCustomer:
+		if wUD != stateDown {
+			return 0, 0, false
+		}
+		return stateDown, 1, true
+	default:
+		if wUD != stateDown {
+			return 0, 0, false
+		}
+		return stateUp, 2, true
+	}
+}
+
+func (r *refEngine) tupleOK(ed *refEdge, wNextAS netsim.ASN) bool {
+	if ed.sameAS || wNextAS == 0 {
+		return true
+	}
+	if ed.toAS == wNextAS || ed.fromAS == wNextAS || ed.fromAS == ed.toAS {
+		return true
+	}
+	if int(r.a.ASDegree[ed.toAS]) <= r.opts.DegreeThreshold {
+		return true
+	}
+	return r.a.HasTuple(ed.fromAS, ed.toAS, wNextAS)
+}
+
+func (r *refEngine) providerOK(ed *refEdge, originAS netsim.ASN) bool {
+	if ed.sameAS || ed.toAS != originAS {
+		return true
+	}
+	provs := r.a.Providers[ed.toAS]
+	if len(provs) == 0 {
+		return true
+	}
+	for _, p := range provs {
+		if p == ed.fromAS {
+			return true
+		}
+	}
+	return false
+}
+
+// predictForward mirrors the production forward prediction, map-backed.
+func (r *refEngine) predictForward(src, dst netsim.Prefix, adjust bool) Prediction {
+	srcCl, okS := r.a.PrefixCluster[src]
+	dstCl, okD := r.a.PrefixCluster[dst]
+	if !okS || !okD {
+		return Prediction{}
+	}
+	t := r.run(dstCl, r.a.PrefixAS[dst])
+	p := r.pathFrom(t, srcCl)
+	if !p.Found {
+		return p
+	}
+	p.DstCluster = dstCl
+	p.ASPath = r.asPath(p.Clusters, r.a.PrefixAS[src], r.a.PrefixAS[dst])
+	if adjust {
+		adj := float64(r.a.GlobalAdjustMS[dst]) + float64(r.a.AdjustMS[dst])
+		if adj != 0 {
+			p.LatencyMS += adj
+			if p.LatencyMS < 0.05 {
+				p.LatencyMS = 0.05
+			}
+		}
+	}
+	return p
+}
+
+func (r *refEngine) pathFrom(t *tree, srcCl cluster.ClusterID) Prediction {
+	var startIDs []int32
+	if r.opts.Asymmetry {
+		startIDs = append(startIDs, r.nodeID(srcCl, planeFromSrc, stateUp))
+	}
+	startIDs = append(startIDs, r.nodeID(srcCl, planeToDst, stateUp))
+	var start int32 = -1
+	for _, id := range startIDs {
+		if t.cost[id] != infCost {
+			start = id
+			break
+		}
+	}
+	if start < 0 {
+		return Prediction{}
+	}
+	p := Prediction{Found: true}
+	deliver := 1.0
+	prevCl := cluster.ClusterID(-1)
+	steps := 0
+	for id := start; id >= 0; id = t.next[id] {
+		if steps++; steps > r.numNodes()+1 {
+			return Prediction{}
+		}
+		c := r.nodeCluster(id)
+		if c != prevCl {
+			if prevCl >= 0 {
+				if li := r.a.LinkAt(prevCl, c); li >= 0 {
+					l := &r.a.Links[li]
+					p.LatencyMS += float64(l.LatencyMS)
+					deliver *= 1 - r.a.LossOf(prevCl, c)
+				}
+			}
+			p.Clusters = append(p.Clusters, c)
+			prevCl = c
+		}
+	}
+	p.LossRate = 1 - deliver
+	return p
+}
+
+func (r *refEngine) asPath(clusters []cluster.ClusterID, srcAS, dstAS netsim.ASN) []netsim.ASN {
+	out := make([]netsim.ASN, 0, len(clusters)+2)
+	if srcAS != 0 {
+		out = append(out, srcAS)
+	}
+	for _, c := range clusters {
+		a := r.a.ClusterAS[c]
+		if a == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1] == a {
+			continue
+		}
+		out = append(out, a)
+	}
+	if dstAS != 0 && (len(out) == 0 || out[len(out)-1] != dstAS) {
+		out = append(out, dstAS)
+	}
+	return out
+}
+
+func sameTrees(t *testing.T, name string, dst cluster.ClusterID, ref, got *tree) {
+	t.Helper()
+	if len(ref.cost) != len(got.cost) {
+		t.Fatalf("%s dst=%d: tree has %d nodes, reference %d", name, dst, len(got.cost), len(ref.cost))
+	}
+	for id := range ref.cost {
+		if ref.cost[id] != got.cost[id] {
+			t.Fatalf("%s dst=%d node=%d: cost %d, reference %d", name, dst, id, got.cost[id], ref.cost[id])
+		}
+		if ref.next[id] != got.next[id] {
+			t.Fatalf("%s dst=%d node=%d: next %d, reference %d", name, dst, id, got.next[id], ref.next[id])
+		}
+		if ref.pend[id] != got.pend[id] {
+			t.Fatalf("%s dst=%d node=%d: pend %d, reference %d", name, dst, id, got.pend[id], ref.pend[id])
+		}
+		if ref.nextAS[id] != got.nextAS[id] {
+			t.Fatalf("%s dst=%d node=%d: nextAS %d, reference %d", name, dst, id, got.nextAS[id], ref.nextAS[id])
+		}
+	}
+}
+
+func samePrediction(t *testing.T, name string, ref, got Prediction) {
+	t.Helper()
+	if ref.Found != got.Found {
+		t.Fatalf("%s: Found=%v, reference %v", name, got.Found, ref.Found)
+	}
+	if !ref.Found {
+		return
+	}
+	if ref.DstCluster != got.DstCluster {
+		t.Fatalf("%s: DstCluster=%d, reference %d", name, got.DstCluster, ref.DstCluster)
+	}
+	if len(ref.Clusters) != len(got.Clusters) {
+		t.Fatalf("%s: %d clusters, reference %d", name, len(got.Clusters), len(ref.Clusters))
+	}
+	for i := range ref.Clusters {
+		if ref.Clusters[i] != got.Clusters[i] {
+			t.Fatalf("%s: cluster[%d]=%d, reference %d", name, i, got.Clusters[i], ref.Clusters[i])
+		}
+	}
+	if len(ref.ASPath) != len(got.ASPath) {
+		t.Fatalf("%s: AS path length %d, reference %d", name, len(got.ASPath), len(ref.ASPath))
+	}
+	for i := range ref.ASPath {
+		if ref.ASPath[i] != got.ASPath[i] {
+			t.Fatalf("%s: ASPath[%d]=%d, reference %d", name, i, got.ASPath[i], ref.ASPath[i])
+		}
+	}
+	if ref.LatencyMS != got.LatencyMS {
+		t.Fatalf("%s: latency %v, reference %v", name, got.LatencyMS, ref.LatencyMS)
+	}
+	if ref.LossRate != got.LossRate {
+		t.Fatalf("%s: loss %v, reference %v", name, got.LossRate, ref.LossRate)
+	}
+}
+
+// TestFlatDijkstraTreeParity compares every prediction tree the flat
+// engine builds against the map-backed reference, node by node.
+func TestFlatDijkstraTreeParity(t *testing.T) {
+	for _, seed := range []int64{61, 62, 63} {
+		w := buildWorld(t, seed)
+		for name, opts := range allOptionVariants() {
+			e := New(w.a, opts)
+			r := newRefEngine(w.a, opts)
+			// Every attachment cluster that serves a test target.
+			done := map[cluster.ClusterID]bool{}
+			for _, dst := range w.targets {
+				dstCl, ok := w.a.PrefixCluster[dst]
+				if !ok || done[dstCl] {
+					continue
+				}
+				done[dstCl] = true
+				origin := w.a.PrefixAS[dst]
+				sameTrees(t, name, dstCl, r.run(dstCl, origin), e.run(dstCl, origin))
+			}
+		}
+	}
+}
+
+// TestFlatQueryParity compares full bidirectional query answers.
+func TestFlatQueryParity(t *testing.T) {
+	w := buildWorld(t, 64)
+	// Residual corrections on a few destinations so adjustLatency parity
+	// is exercised, including a stack that would go negative unclamped.
+	for i, p := range w.targets {
+		if i%4 == 0 {
+			w.a.GlobalAdjustMS[p] = float32(3 - i%9)
+			w.a.AdjustMS[p] = float32(i%5 - 2)
+		}
+	}
+	for name, opts := range allOptionVariants() {
+		e := New(w.a, opts)
+		r := newRefEngine(w.a, opts)
+		pairs := 0
+		for i, src := range w.targets {
+			dst := w.targets[(i+7)%len(w.targets)]
+			if src == dst {
+				continue
+			}
+			samePrediction(t, name+"/fwd", r.predictForward(src, dst, true), e.PredictForward(src, dst))
+
+			info := e.Query(src, dst)
+			fwd := r.predictForward(src, dst, false)
+			rev := r.predictForward(dst, src, false)
+			samePrediction(t, name+"/rev", rev, info.Rev)
+			// Query applies the destination's correction to the forward
+			// leg only; reproduce that composition on the reference.
+			adj := float64(r.a.GlobalAdjustMS[dst]) + float64(r.a.AdjustMS[dst])
+			if fwd.Found && adj != 0 {
+				fwd.LatencyMS += adj
+				if fwd.LatencyMS < 0.05 {
+					fwd.LatencyMS = 0.05
+				}
+			}
+			samePrediction(t, name+"/qfwd", fwd, info.Fwd)
+			if wantFound := fwd.Found && rev.Found; info.Found != wantFound {
+				t.Fatalf("%s: Found=%v, reference %v", name, info.Found, wantFound)
+			}
+			if info.Found {
+				if want := fwd.LatencyMS + rev.LatencyMS; info.RTTMS != want {
+					t.Fatalf("%s: RTT %v, reference %v", name, info.RTTMS, want)
+				}
+				want := 1 - (1-fwd.LossRate)*(1-rev.LossRate)
+				if math.Abs(info.LossRate-want) > 1e-12 {
+					t.Fatalf("%s: loss %v, reference %v", name, info.LossRate, want)
+				}
+			}
+			if pairs++; pairs >= 60 {
+				break
+			}
+		}
+	}
+}

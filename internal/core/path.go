@@ -26,6 +26,17 @@ type Prediction struct {
 	LossRate float64
 }
 
+// reset clears p for reuse, keeping the capacity of its path slices so a
+// caller-owned Prediction answers repeated queries without allocating.
+func (p *Prediction) reset() {
+	p.Found = false
+	p.DstCluster = 0
+	p.Clusters = p.Clusters[:0]
+	p.ASPath = p.ASPath[:0]
+	p.LatencyMS = 0
+	p.LossRate = 0
+}
+
 // PathInfo is the answer to a bidirectional path query: forward and reverse
 // predictions with end-to-end estimates (§3: "predicts the forward and
 // reverse paths ... and composes the properties of the inter-cluster
@@ -39,8 +50,20 @@ type PathInfo struct {
 	LossRate float64
 }
 
+// minServedLatencyMS floors a residually corrected latency: stacked
+// negative corrections (each within the ±feedback.MaxAdjustMS codec bound)
+// must never drive a served prediction to zero or below.
+const minServedLatencyMS = 0.05
+
 func treeKey(dst cluster.ClusterID, origin netsim.ASN) uint64 {
 	return uint64(uint32(dst))<<32 | uint64(origin)
+}
+
+// buildTree computes the prediction tree for a cache key — the
+// treeBuilder hook the tree cache invokes on a miss. Taking the key (and
+// not a closure) keeps the warm-hit lookup allocation-free.
+func (e *Engine) buildTree(k uint64) *tree {
+	return e.run(cluster.ClusterID(uint32(k>>32)), netsim.ASN(uint32(k)))
 }
 
 // treeFor returns (building if needed) the prediction tree for a
@@ -49,9 +72,7 @@ func treeKey(dst cluster.ClusterID, origin netsim.ASN) uint64 {
 // joining another caller's in-flight build stops waiting and returns
 // ctx.Err() when ctx is cancelled.
 func (e *Engine) treeFor(ctx context.Context, dst cluster.ClusterID, origin netsim.ASN) (*tree, error) {
-	return e.trees.getOrCompute(ctx, treeKey(dst, origin), func() *tree {
-		return e.run(dst, origin)
-	})
+	return e.trees.getOrCompute(ctx, treeKey(dst, origin), e)
 }
 
 // PredictForward predicts the one-way path from a host in src to a host in
@@ -66,19 +87,28 @@ func (e *Engine) PredictForward(src, dst netsim.Prefix) Prediction {
 // predictForwardRaw is PredictForward without the residual correction —
 // the reverse-leg shape, where the correction must not apply.
 func (e *Engine) predictForwardRaw(src, dst netsim.Prefix) Prediction {
-	srcCl, okS := e.a.PrefixCluster[src]
-	dstCl, okD := e.a.PrefixCluster[dst]
+	var p Prediction
+	e.predictForwardRawInto(&p, src, dst)
+	return p
+}
+
+// predictForwardRawInto fills p with the residual-uncorrected forward
+// prediction, reusing p's slice capacity. This is the allocation-free
+// core of every query shape.
+func (e *Engine) predictForwardRawInto(p *Prediction, src, dst netsim.Prefix) {
+	p.reset()
+	srcCl, okS := e.f.ClusterOf(src)
+	dstCl, okD := e.f.ClusterOf(dst)
 	if !okS || !okD {
-		return Prediction{}
+		return
 	}
-	t, _ := e.treeFor(context.Background(), dstCl, e.a.PrefixAS[dst])
-	p := e.pathFrom(t, srcCl)
+	t, _ := e.treeFor(context.Background(), dstCl, e.f.OriginAS(dst))
+	e.pathFromInto(t, srcCl, p)
 	if !p.Found {
-		return p
+		return
 	}
 	p.DstCluster = dstCl
-	p.ASPath = e.asPath(p.Clusters, e.a.PrefixAS[src], e.a.PrefixAS[dst])
-	return p
+	p.ASPath = e.asPathInto(p.ASPath, p.Clusters, e.f.OriginAS(src), e.f.OriginAS(dst))
 }
 
 // adjustLatency applies the residual corrections for the prediction's
@@ -93,16 +123,20 @@ func (e *Engine) predictForwardRaw(src, dst netsim.Prefix) Prediction {
 // latency to zero or below. A no-op for unfound predictions and for
 // atlases without corrections.
 func (e *Engine) adjustLatency(p *Prediction, dst netsim.Prefix) {
-	if !p.Found || (len(e.a.AdjustMS) == 0 && len(e.a.GlobalAdjustMS) == 0) {
+	if !p.Found {
 		return
 	}
-	adj := float64(e.a.GlobalAdjustMS[dst]) + float64(e.a.AdjustMS[dst])
+	g, l, ok := e.f.Adjust(dst)
+	if !ok {
+		return
+	}
+	adj := float64(g) + float64(l)
 	if adj == 0 {
 		return
 	}
 	p.LatencyMS += adj
-	if p.LatencyMS < 0.05 {
-		p.LatencyMS = 0.05
+	if p.LatencyMS < minServedLatencyMS {
+		p.LatencyMS = minServedLatencyMS
 	}
 }
 
@@ -111,64 +145,89 @@ func (e *Engine) adjustLatency(p *Prediction, dst netsim.Prefix) {
 // loop keys its per-destination error aggregation on this, so corrective
 // measurements and served predictions attribute error identically.
 func (e *Engine) AttachmentCluster(p netsim.Prefix) (cluster.ClusterID, bool) {
-	cl, ok := e.a.PrefixCluster[p]
-	return cl, ok
+	return e.f.ClusterOf(p)
 }
 
 // pathFrom extracts the predicted path from a source cluster out of a
 // prediction tree, preferring the FROM_SRC plane and falling back to
 // TO_DST-only (§4.3.1).
 func (e *Engine) pathFrom(t *tree, srcCl cluster.ClusterID) Prediction {
-	var startIDs []int32
+	var p Prediction
+	e.pathFromInto(t, srcCl, &p)
+	return p
+}
+
+// pathFromInto is pathFrom writing into a caller-owned Prediction. The
+// walk reads link latency and loss from the tree's recorded CSR edge
+// indices — no link-table lookups at all. p must be reset (or zero)
+// except for slice capacity.
+func (e *Engine) pathFromInto(t *tree, srcCl cluster.ClusterID, p *Prediction) {
+	start := int32(-1)
 	if e.opts.Asymmetry {
-		startIDs = append(startIDs, e.nodeID(srcCl, planeFromSrc, stateUp))
-	}
-	startIDs = append(startIDs, e.nodeID(srcCl, planeToDst, stateUp))
-	var start int32 = -1
-	for _, id := range startIDs {
-		if t.cost[id] != infCost {
+		if id := e.nodeID(srcCl, planeFromSrc, stateUp); t.cost[id] != infCost {
 			start = id
-			break
 		}
 	}
 	if start < 0 {
-		return Prediction{}
+		if id := e.nodeID(srcCl, planeToDst, stateUp); t.cost[id] != infCost {
+			start = id
+		}
 	}
-	p := Prediction{Found: true}
+	if start < 0 {
+		return
+	}
+	p.Found = true
+	if p.Clusters == nil {
+		// First use of this Prediction: size for a typical path up front
+		// so the walk's appends don't regrow 1->2->4->8. Reused
+		// Predictions keep whatever capacity they grew to.
+		p.Clusters = make([]cluster.ClusterID, 0, 16)
+	}
 	deliver := 1.0
 	prevCl := cluster.ClusterID(-1)
+	prev := int32(-1)
 	steps := 0
 	for id := start; id >= 0; id = t.next[id] {
 		if steps++; steps > e.numNodes()+1 {
-			return Prediction{} // defensive: malformed tree must not hang
+			*p = Prediction{Clusters: p.Clusters[:0], ASPath: p.ASPath[:0]}
+			return // defensive: malformed tree must not hang
 		}
 		c := e.nodeCluster(id)
 		if c != prevCl {
 			if prevCl >= 0 {
-				if li := e.a.LinkAt(prevCl, c); li >= 0 {
-					l := &e.a.Links[li]
-					p.LatencyMS += float64(l.LatencyMS)
-					deliver *= 1 - e.a.LossOf(prevCl, c)
+				// The relaxation recorded the crossing link's CSR index
+				// on the walk's source-side node (prev = the tree's vid).
+				if ei := t.edge[prev]; ei >= 0 {
+					p.LatencyMS += float64(e.f.EdgeLat[ei])
+					deliver *= 1 - float64(e.f.EdgeLoss[ei])
 				}
 			}
 			p.Clusters = append(p.Clusters, c)
 			prevCl = c
 		}
+		prev = id
 	}
 	p.LossRate = 1 - deliver
-	return p
 }
 
 // asPath derives the AS-level path from a cluster path, bracketing it with
 // the endpoint prefixes' origin ASes when the attachment clusters sit in a
 // different AS (e.g. the stub's own routers never answered probes).
 func (e *Engine) asPath(clusters []cluster.ClusterID, srcAS, dstAS netsim.ASN) []netsim.ASN {
-	out := make([]netsim.ASN, 0, len(clusters)+2)
+	return e.asPathInto(nil, clusters, srcAS, dstAS)
+}
+
+// asPathInto is asPath appending into out[:0] (which may be nil).
+func (e *Engine) asPathInto(out []netsim.ASN, clusters []cluster.ClusterID, srcAS, dstAS netsim.ASN) []netsim.ASN {
+	if out == nil {
+		out = make([]netsim.ASN, 0, len(clusters)+2)
+	}
+	out = out[:0]
 	if srcAS != 0 {
 		out = append(out, srcAS)
 	}
 	for _, c := range clusters {
-		a := e.a.ClusterAS[c]
+		a := e.f.ClusterAS[c]
 		if a == 0 {
 			continue
 		}
@@ -189,7 +248,33 @@ func (e *Engine) asPath(clusters []cluster.ClusterID, srcAS, dstAS netsim.ASN) [
 // uncorrected prediction, so Rev may differ from a standalone
 // PredictForward(dst, src) when src itself carries a correction.
 func (e *Engine) Query(src, dst netsim.Prefix) PathInfo {
-	fwd := e.predictForwardRaw(src, dst)
-	rev := e.predictForwardRaw(dst, src)
-	return e.composeQuery(fwd, rev, dst)
+	var info PathInfo
+	e.QueryInto(&info, src, dst)
+	return info
+}
+
+// QueryInto is Query writing into a caller-owned PathInfo, reusing the
+// capacity of its Clusters/ASPath slices across calls. After the trees for
+// both directions are warm (cached), a QueryInto performs zero heap
+// allocations — the serving loop's steady state. The previous contents of
+// info are overwritten; its slices must not be aliased elsewhere.
+func (e *Engine) QueryInto(info *PathInfo, src, dst netsim.Prefix) {
+	e.predictForwardRawInto(&info.Fwd, src, dst)
+	e.predictForwardRawInto(&info.Rev, dst, src)
+	e.finishQuery(info, dst)
+}
+
+// finishQuery applies the forward-leg residual correction and composes the
+// bidirectional estimates, resetting the top-level fields.
+func (e *Engine) finishQuery(info *PathInfo, dst netsim.Prefix) {
+	e.adjustLatency(&info.Fwd, dst)
+	info.Found = false
+	info.RTTMS = 0
+	info.LossRate = 0
+	if !info.Fwd.Found || !info.Rev.Found {
+		return
+	}
+	info.Found = true
+	info.RTTMS = info.Fwd.LatencyMS + info.Rev.LatencyMS
+	info.LossRate = 1 - (1-info.Fwd.LossRate)*(1-info.Rev.LossRate)
 }

@@ -9,6 +9,8 @@ import (
 	"inano/internal/cluster"
 	"inano/internal/feedback"
 	"inano/internal/netsim"
+
+	inano "inano"
 )
 
 // hopChain finds n interface prefixes mapping to n distinct clusters in
@@ -151,6 +153,9 @@ func TestObservationPathRotationBuysNoAgreement(t *testing.T) {
 	}
 	a := f.client.Atlas()
 	a.PrefixCluster[netsim.PrefixOf(loopIP)] = a.PrefixCluster[f.vps[0]]
+	// The engine serves from a compiled snapshot of the atlas, so the
+	// patched attachment table only takes effect through a rebuild.
+	f.client = inano.FromAtlas(a)
 	_, ts := start(t, f, func(c *Config) { c.Aggregator = agg })
 
 	src1, dst, pred := predictablePair(t, f)

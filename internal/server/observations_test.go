@@ -13,6 +13,8 @@ import (
 
 	"inano/internal/feedback"
 	"inano/internal/netsim"
+
+	inano "inano"
 )
 
 func postObservations(t *testing.T, url, body string) (observationsResponse, int) {
@@ -128,6 +130,9 @@ func TestObservationsReporterIdentityFromConnection(t *testing.T) {
 	}
 	a := f.client.Atlas()
 	a.PrefixCluster[netsim.PrefixOf(loopIP)] = a.PrefixCluster[f.vps[0]]
+	// The engine serves from a compiled snapshot of the atlas, so the
+	// patched attachment table only takes effect through a rebuild.
+	f.client = inano.FromAtlas(a)
 	_, ts := start(t, f, func(c *Config) { c.Aggregator = agg })
 
 	src1, dst, pred := predictablePair(t, f)

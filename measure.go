@@ -33,6 +33,7 @@ func (c *Client) AddTraceroutes(trs []LocalTraceroute) int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.materializeLocked()
 	// Copy-on-write: queries in flight keep the old snapshot.
 	next := c.atlas.Clone()
 	old := c.atlas
