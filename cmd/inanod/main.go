@@ -91,6 +91,8 @@ func main() {
 	obsBurst := flag.Int("obs-burst", 0, "per-source /v1/observations burst (0 = default 64)")
 	uploadURL := flag.String("upload-observations", "", "opt in to sharing this daemon's corrective observations: a build server's /v1/observations URL")
 	uploadInterval := flag.Duration("upload-interval", time.Minute, "observation upload flush interval")
+	peerID := flag.String("peer-id", "", "cluster peer identity, echoed in /healthz and the X-Inano-Peer response header")
+	drain := flag.Bool("drain", false, "on SIGTERM, drain instead of hard shutdown: /healthz turns 503 so a router pulls this replica from the ring, in-flight requests finish, new serving requests are refused, and the process exits 0 once idle")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -137,6 +139,7 @@ func main() {
 		Aggregator:       agg,
 		ObservationRate:  *obsRate,
 		ObservationBurst: *obsBurst,
+		PeerID:           *peerID,
 		Logf:             logf,
 	})
 
@@ -233,7 +236,24 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	logf("inanod: signal received; draining for up to %v", *shutdownGrace)
+	if *drain {
+		// Cluster rotation: flip /healthz to 503 "draining" so the router's
+		// next health pass pulls this replica from the ring, keep serving
+		// what is already in flight, refuse new serving requests, and only
+		// then stop the listener. The grace period bounds the wait.
+		s.StartDraining()
+		deadline := time.Now().Add(*shutdownGrace)
+		for s.InFlight() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if n := s.InFlight(); n > 0 {
+			logf("inanod: drain grace %v expired with %d requests in flight", *shutdownGrace, n)
+		} else {
+			logf("inanod: drained: no requests in flight")
+		}
+	} else {
+		logf("inanod: signal received; draining for up to %v", *shutdownGrace)
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {

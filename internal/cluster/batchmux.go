@@ -1,0 +1,572 @@
+package cluster
+
+// Streamed /v1/batch demux: the router reads the client's NDJSON pair
+// stream, routes every line to its destination cluster's owner replica
+// over a persistent per-replica sub-stream (one /v1/batch POST each,
+// request body written incrementally), and reassembles the replicas'
+// answer lines back into client order. Answer lines are forwarded
+// byte-verbatim — the cluster's output for a pair stream is identical to
+// a single node's, modulo which replica computed each line.
+//
+// Flow control: at most Window lines are in flight (read from the client
+// but not yet emitted in order); the reassembly buffer is bounded by the
+// same Window. Each sub-stream asks its replica for a window a fraction
+// of ours, so whenever our credits are exhausted at least one replica
+// has enough buffered lines to flush — the demux can never deadlock on
+// replica-side window buffering.
+//
+// Failure: a replica dying mid-stream (connection error, premature EOF,
+// torn line, terminal error line) fails its sub-stream exactly once; the
+// lines it had not yet answered are re-routed through the rebuilt ring
+// to the next owner. Pairs are answered at most once: an entry is
+// retried only if its answer line never fully arrived.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"inano/internal/netsim"
+)
+
+// routerResult mirrors the replica's result-line shape for the terminal
+// error lines the router emits itself (field order matters: these lines
+// must look exactly like replica-written ones).
+type routerResult struct {
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	Found bool   `json:"found"`
+	Day   int    `json:"day"`
+	Error string `json:"error,omitempty"`
+}
+
+// batchEntry is one in-flight client line.
+type batchEntry struct {
+	seq   int
+	line  []byte // raw request line, forwarded verbatim
+	key   uint64
+	tried []string // nodes that already failed this entry
+}
+
+func (e *batchEntry) triedNode(n string) bool {
+	for _, t := range e.tried {
+		if t == n {
+			return true
+		}
+	}
+	return false
+}
+
+// seqLine is one answered line heading back to the client.
+type seqLine struct {
+	seq  int
+	line []byte // raw answer line including trailing newline
+}
+
+// subStream is one persistent /v1/batch POST to a replica. The
+// dispatcher writes request lines; the reader goroutine pairs answer
+// lines with the pending FIFO. fail() is idempotent: whichever side sees
+// the failure first (write error or read error) claims the unanswered
+// entries for retry.
+type subStream struct {
+	node string
+	pw   *io.PipeWriter
+
+	mu      sync.Mutex
+	pending []*batchEntry
+	failed  bool
+	wClosed bool
+}
+
+// add appends an entry to the pending FIFO; false if the stream already
+// failed (caller re-routes).
+func (ss *subStream) add(e *batchEntry) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.failed {
+		return false
+	}
+	ss.pending = append(ss.pending, e)
+	return true
+}
+
+// pop pairs the next answer line with its entry; nil if the stream
+// failed (answers after failure are discarded — their entries were
+// already requeued) or the replica sent an unrequested line.
+func (ss *subStream) pop() *batchEntry {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.failed || len(ss.pending) == 0 {
+		return nil
+	}
+	e := ss.pending[0]
+	ss.pending = ss.pending[1:]
+	return e
+}
+
+// fail marks the stream dead and returns the unanswered entries, exactly
+// once.
+func (ss *subStream) fail() []*batchEntry {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.failed {
+		return nil
+	}
+	ss.failed = true
+	out := ss.pending
+	ss.pending = nil
+	return out
+}
+
+func (ss *subStream) isFailed() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.failed
+}
+
+// pendingLen reports how many entries await answers.
+func (ss *subStream) pendingLen() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.pending)
+}
+
+// closeWrite ends the request body once (EOF to the replica).
+func (ss *subStream) closeWrite() {
+	ss.mu.Lock()
+	already := ss.wClosed
+	ss.wClosed = true
+	ss.mu.Unlock()
+	if !already {
+		ss.pw.Close()
+	}
+}
+
+func (ss *subStream) writeClosed() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.wClosed
+}
+
+// batchMux is the per-request demux state.
+type batchMux struct {
+	rt      *Router
+	ctx     context.Context
+	query   string // forwarded sub-request query string (window rewritten)
+	results chan seqLine
+	retryCh chan *batchEntry
+	fatalCh chan error
+	streams map[string]*subStream // dispatcher-owned
+}
+
+// handleBatch demuxes one client pair stream across the replica set.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return routerError(w, http.StatusMethodNotAllowed, "use POST")
+	}
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		return routerError(w, http.StatusInternalServerError, "streaming unsupported: %v", err)
+	}
+
+	window := rt.cfg.Window
+	// Sub-streams must flush before our credit window can fill: with N
+	// replicas and W credits outstanding, some replica holds >= W/N
+	// unanswered lines, so a sub-window of W/(2N) guarantees progress.
+	subWindow := window / (2 * len(rt.order))
+	if subWindow < 1 {
+		subWindow = 1
+	}
+	q := r.URL.Query()
+	q.Set("window", strconv.Itoa(subWindow))
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	m := &batchMux{
+		rt:      rt,
+		ctx:     ctx,
+		query:   q.Encode(),
+		results: make(chan seqLine, window),
+		// Capacity: every outstanding entry (<= window) plus the input-EOF
+		// sentinel can sit here at once without blocking a reader.
+		retryCh: make(chan *batchEntry, window+1),
+		fatalCh: make(chan error, 1),
+		streams: make(map[string]*subStream),
+	}
+
+	credits := make(chan struct{}, window)
+	inputCh := make(chan *batchEntry)
+	type inputEnd struct {
+		total int
+		err   error
+	}
+	endCh := make(chan inputEnd, 1)
+
+	// Scanner: parse + validate client lines exactly as a replica would,
+	// resolve each destination's ring key, and hand entries to the
+	// dispatcher under credit flow control.
+	go func() {
+		total := 0
+		finish := func(err error) { endCh <- inputEnd{total, err}; close(inputCh) }
+		scanner := bufio.NewScanner(r.Body)
+		scanner.Buffer(make([]byte, 0, 4096), rt.cfg.MaxLineBytes)
+		lineNo := 0
+		for scanner.Scan() {
+			lineNo++
+			raw := scanner.Bytes()
+			trimmed := trimSpace(raw)
+			if len(trimmed) == 0 {
+				continue
+			}
+			var req struct {
+				Src        string `json:"src"`
+				Dst        string `json:"dst"`
+				DeadlineMS int64  `json:"deadline_ms"`
+			}
+			if err := json.Unmarshal(trimmed, &req); err != nil {
+				finish(fmt.Errorf("line %d: bad pair: %v", lineNo, err))
+				return
+			}
+			if _, err := netsim.ParseIPv4(req.Src); err != nil {
+				finish(fmt.Errorf("line %d: src: %v", lineNo, err))
+				return
+			}
+			dstIP, err := netsim.ParseIPv4(req.Dst)
+			if err != nil {
+				finish(fmt.Errorf("line %d: dst: %v", lineNo, err))
+				return
+			}
+			if req.DeadlineMS < 0 {
+				finish(fmt.Errorf("line %d: bad deadline_ms %d", lineNo, req.DeadlineMS))
+				return
+			}
+			p := netsim.PrefixOf(dstIP)
+			var key uint64
+			if c, ok := rt.cfg.ClusterOf(p); ok {
+				key = KeyForCluster(c)
+			} else {
+				key = KeyForPrefix(uint32(p))
+			}
+			e := &batchEntry{seq: total, line: append([]byte(nil), trimmed...), key: key}
+			select {
+			case credits <- struct{}{}:
+			case <-ctx.Done():
+				finish(ctx.Err())
+				return
+			}
+			select {
+			case inputCh <- e:
+			case <-ctx.Done():
+				finish(ctx.Err())
+				return
+			}
+			total++
+		}
+		if err := scanner.Err(); err != nil {
+			finish(fmt.Errorf("reading batch body: %w", err))
+			return
+		}
+		finish(nil)
+	}()
+
+	// Dispatcher: owns the sub-stream map; routes fresh and retried
+	// entries, closes write sides at input EOF.
+	go m.dispatch(inputCh)
+
+	// Collector (this goroutine): reassemble answers in seq order.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	flush := func() {
+		bw.Flush()
+		_ = rc.Flush()
+	}
+	buf := make(map[int][]byte, window)
+	next := 0
+	total := -1
+	var inputErr error
+	inputDone := false
+	var fatalErr error
+
+	emitRun := func() error {
+		wrote := false
+		for {
+			line, ok := buf[next]
+			if !ok {
+				break
+			}
+			delete(buf, next)
+			next++
+			wrote = true
+			if _, err := bw.Write(line); err != nil {
+				return fmt.Errorf("writing batch response: %w", err)
+			}
+			select {
+			case <-credits:
+			default:
+			}
+		}
+		if wrote && len(m.results) == 0 {
+			flush()
+		}
+		return nil
+	}
+
+	terminal := func(msg string) {
+		enc := json.NewEncoder(bw)
+		_ = enc.Encode(routerResult{Error: msg})
+		flush()
+	}
+
+loop:
+	for {
+		if inputDone && fatalErr == nil && next >= total {
+			break // all answered (or none pending past the input error)
+		}
+		select {
+		case res := <-m.results:
+			buf[res.seq] = res.line
+			if err := emitRun(); err != nil {
+				return err
+			}
+		case end := <-endCh:
+			total, inputErr = end.total, end.err
+			inputDone = true
+			m.inputFinished()
+		case fatalErr = <-m.fatalCh:
+			break loop
+		case <-r.Context().Done():
+			return r.Context().Err()
+		}
+	}
+	switch {
+	case fatalErr != nil:
+		// Emit whatever is contiguous, then the terminal line.
+		_ = emitRun()
+		terminal(fmt.Sprintf("batch aborted after %d results: %v", next, fatalErr))
+		return fatalErr
+	case inputErr != nil:
+		terminal(inputErr.Error())
+		return inputErr
+	}
+	flush()
+	return nil
+}
+
+// inputFinished tells the dispatcher the client stream ended cleanly (or
+// died): no more fresh entries; close current sub-stream write sides.
+func (m *batchMux) inputFinished() {
+	select {
+	case m.retryCh <- nil: // sentinel: nil entry = input EOF
+	case <-m.ctx.Done():
+	}
+}
+
+// dispatch routes entries to sub-streams until the request ends.
+func (m *batchMux) dispatch(inputCh chan *batchEntry) {
+	inputDone := false
+	for {
+		select {
+		case e, ok := <-inputCh:
+			if !ok {
+				inputCh = nil // endCh sentinel handles the close
+				continue
+			}
+			m.routeOnce(e, inputDone)
+		case e := <-m.retryCh:
+			if e == nil {
+				// Input-EOF sentinel: no more fresh entries are coming;
+				// end every open sub-stream's request body.
+				inputDone = true
+				m.closeIdleWrites()
+				continue
+			}
+			m.rt.batchRetry.Inc()
+			m.routeOnce(e, inputDone)
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+// routeOnce places one entry on a live, untried replica's sub-stream. A
+// write failure requeues the stream's entries (this one included) via
+// retryCh, so the entry is never routed twice concurrently.
+func (m *batchMux) routeOnce(e *batchEntry, inputDone bool) {
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		default:
+		}
+		ring := m.rt.ring.Load()
+		node := ""
+		for _, n := range ring.Owners(e.key, 0) {
+			if !e.triedNode(n) && m.rt.nodes[n].up.Load() {
+				node = n
+				break
+			}
+		}
+		if node == "" {
+			m.fatal(fmt.Errorf("no live replica for pair %d", e.seq))
+			return
+		}
+		ss := m.stream(node, inputDone)
+		if ss == nil {
+			return
+		}
+		if !ss.add(e) {
+			continue // stream failed between lookup and add; re-pick
+		}
+		if _, err := ss.pw.Write(append(e.line, '\n')); err != nil {
+			// The transport tore the pipe down: the replica is gone. fail()
+			// claims the pending entries — e among them, unless the reader
+			// got there first — and they all come back through retryCh.
+			m.rt.markDown(node, fmt.Sprintf("batch write: %v", err))
+			m.requeueFailed(node, ss.fail())
+			return
+		}
+		m.rt.batchLines.Inc()
+		if inputDone && len(m.retryCh) == 0 {
+			// Post-EOF retries ride one-shot sub-batches: once the burst is
+			// drained, end EVERY open request body — not just this stream's.
+			// Earlier entries of the same burst may sit on other streams,
+			// and a replica window-buffers a bodiless-EOF-less sub-batch
+			// forever (it is waiting for more lines that will never come).
+			m.closeIdleWrites()
+		}
+		return
+	}
+}
+
+// closeIdleWrites ends every open sub-stream's request body. Called by
+// the dispatcher (which owns the streams map) once no more writes are
+// coming: at input EOF, and after each post-EOF retry burst drains.
+func (m *batchMux) closeIdleWrites() {
+	for _, ss := range m.streams {
+		ss.closeWrite()
+	}
+}
+
+// stream returns a live sub-stream for node, opening one if the previous
+// is failed/closed. Returns nil only when the mux is shutting down.
+func (m *batchMux) stream(node string, inputDone bool) *subStream {
+	if ss := m.streams[node]; ss != nil && !ss.isFailed() && !ss.writeClosed() {
+		return ss
+	}
+	pr, pw := io.Pipe()
+	ss := &subStream{node: node, pw: pw}
+	req, err := http.NewRequestWithContext(m.ctx, http.MethodPost,
+		node+"/v1/batch?"+m.query, pr)
+	if err != nil {
+		m.fatal(fmt.Errorf("sub-stream %s: %v", node, err))
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	m.streams[node] = ss
+	go m.readStream(ss, req)
+	return ss
+}
+
+// readStream runs one sub-stream's response side: pair every answer line
+// with the pending FIFO, forward it to the collector, and on any failure
+// claim the unanswered entries for retry.
+func (m *batchMux) readStream(ss *subStream, req *http.Request) {
+	failNode := func(why string) {
+		m.rt.markDown(ss.node, why)
+		m.requeueFailed(ss.node, ss.fail())
+	}
+	resp, err := m.rt.client.Do(req)
+	if err != nil {
+		if m.ctx.Err() == nil {
+			failNode(fmt.Sprintf("batch sub-stream: %v", err))
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		failNode(fmt.Sprintf("batch sub-stream answered %d", resp.StatusCode))
+		return
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// EOF with no partial line after we closed the write side and
+			// drained pending is the clean end; anything else is a failure
+			// (a torn line's entry is still pending, so it gets retried).
+			if err == io.EOF && len(line) == 0 && ss.writeClosed() && ss.pendingLen() == 0 {
+				return
+			}
+			if m.ctx.Err() == nil {
+				failNode(fmt.Sprintf("batch sub-stream read: %v", err))
+			}
+			return
+		}
+		var probe struct {
+			Src   string `json:"src"`
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(line, &probe) != nil {
+			failNode("batch sub-stream: unparseable line")
+			return
+		}
+		if probe.Error != "" && probe.Src == "" {
+			// Replica-terminal line: its stream is over; whatever it had
+			// not answered moves to the next node.
+			failNode(fmt.Sprintf("batch sub-stream aborted: %s", probe.Error))
+			return
+		}
+		e := ss.pop()
+		if e == nil {
+			if ss.isFailed() {
+				return // answers racing a failure: entries already requeued
+			}
+			failNode("batch sub-stream: unrequested line")
+			return
+		}
+		select {
+		case m.results <- seqLine{seq: e.seq, line: line}:
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+// requeueFailed hands a dead node's unanswered entries back to the
+// dispatcher, recording the node so the retry skips it.
+func (m *batchMux) requeueFailed(node string, entries []*batchEntry) {
+	for _, e := range entries {
+		e.tried = append(e.tried, node)
+		select {
+		case m.retryCh <- e:
+		case <-m.ctx.Done():
+			return
+		}
+	}
+}
+
+func (m *batchMux) fatal(err error) {
+	select {
+	case m.fatalCh <- err:
+	default:
+	}
+}
+
+// trimSpace trims ASCII whitespace without allocating.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+type batchAnswer struct {
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	Found bool   `json:"found"`
+	Day   int    `json:"day"`
+	Error string `json:"error"`
+}
+
+// runBatch streams lines through the router's /v1/batch and returns the
+// decoded answer lines in arrival order.
+func runBatch(t *testing.T, url string, lines []string) []batchAnswer {
+	t.Helper()
+	pr, pw := io.Pipe()
+	go func() {
+		for _, l := range lines {
+			if _, err := io.WriteString(pw, l+"\n"); err != nil {
+				return
+			}
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/batch", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out []batchAnswer
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var a batchAnswer
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			t.Fatalf("unparseable answer line %q: %v", sc.Text(), err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func batchLine(i int) string {
+	return fmt.Sprintf(`{"src":"10.0.0.1","dst":%q}`, dstForIndex(i))
+}
+
+func TestBatchReassemblesInOrderAcrossReplicas(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, 0), newFakeReplica(t, 1), newFakeReplica(t, 2)}
+	rt, ts := newTestRouter(t, replicas, func(cfg *RouterConfig) {
+		cfg.Window = 8 // small window so credit flow control actually engages
+	})
+
+	const n = 120
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, batchLine(i))
+	}
+	answers := runBatch(t, ts.URL, lines)
+	if len(answers) != n {
+		t.Fatalf("got %d answers, want %d", len(answers), n)
+	}
+	perReplica := make(map[int]int)
+	for i, a := range answers {
+		if a.Error != "" {
+			t.Fatalf("answer %d: unexpected error %q", i, a.Error)
+		}
+		if a.Dst != dstForIndex(i) {
+			t.Fatalf("answer %d out of order: dst %q, want %q", i, a.Dst, dstForIndex(i))
+		}
+		// Each line must have been answered by its ring owner.
+		ip, _ := parseDst(a.Dst)
+		want := replicaByURL(replicas, rt.Ring().Owner(KeyForCluster(ClusterID(ip>>8)))).id
+		if a.Day != want {
+			t.Fatalf("answer %d served by replica %d, owner is %d", i, a.Day, want)
+		}
+		perReplica[a.Day]++
+	}
+	if len(perReplica) != 3 {
+		t.Fatalf("only %d replicas served batch lines: %v", len(perReplica), perReplica)
+	}
+	if got := rt.batchLines.Value(); got != n {
+		t.Fatalf("batch_lines metric = %d, want %d", got, n)
+	}
+}
+
+func parseDst(s string) (uint32, error) {
+	ip, err := parseIPv4ForTest(s)
+	return ip, err
+}
+
+func parseIPv4ForTest(s string) (uint32, error) {
+	var a, b, c, d uint32
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, err
+	}
+	return a<<24 | b<<16 | c<<8 | d, nil
+}
+
+// TestBatchRetriesOnMidStreamDeath kills one replica's stream after a
+// few answers and asserts every pair is still answered exactly once, in
+// order, with the dead replica's unanswered lines re-routed.
+func TestBatchRetriesOnMidStreamDeath(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, 0), newFakeReplica(t, 1), newFakeReplica(t, 2)}
+	rt, ts := newTestRouter(t, replicas, func(cfg *RouterConfig) {
+		cfg.Window = 8
+	})
+	// Replica 0 dies after answering 3 batch lines on any stream.
+	replicas[0].dieAfterBatchLines.Store(3)
+
+	const n = 90
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, batchLine(i))
+	}
+	answers := runBatch(t, ts.URL, lines)
+	if len(answers) != n {
+		t.Fatalf("got %d answers, want %d", len(answers), n)
+	}
+	fromDead := 0
+	for i, a := range answers {
+		if a.Error != "" {
+			t.Fatalf("answer %d: error %q", i, a.Error)
+		}
+		if a.Dst != dstForIndex(i) {
+			t.Fatalf("answer %d out of order: dst %q, want %q", i, a.Dst, dstForIndex(i))
+		}
+		if a.Day == 0 {
+			fromDead++
+		}
+	}
+	if fromDead > 3 {
+		t.Fatalf("dead replica answered %d lines after its death threshold of 3", fromDead)
+	}
+	if rt.batchRetry.Value() == 0 {
+		t.Fatal("no batch retries recorded though a replica died mid-stream")
+	}
+	// The dead replica must be out of the ring.
+	if rt.Ring().Len() != 2 {
+		t.Fatalf("ring has %d nodes, want 2 after mid-stream death", rt.Ring().Len())
+	}
+}
+
+// TestBatchRetryAfterInputEOF reproduces the post-EOF retry-burst
+// deadlock: one replica swallows its whole sub-batch and fails only at
+// body EOF — after the client stream ended, when every remaining
+// sub-stream is a one-shot. Its pairs are retried across both
+// survivors, which (like a real inanod) window-buffer answers; unless
+// the dispatcher ends EVERY open request body once the burst drains,
+// the survivor that did not receive the burst's last pair holds its
+// retries forever and the batch hangs.
+func TestBatchRetryAfterInputEOF(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, 0), newFakeReplica(t, 1), newFakeReplica(t, 2)}
+	for _, f := range replicas {
+		f.windowed.Store(true)
+	}
+	replicas[0].stallUntilEOF.Store(true)
+	rt, ts := newTestRouter(t, replicas, func(cfg *RouterConfig) {
+		cfg.Window = 60 // all input fits in the credit window: EOF precedes the failure
+	})
+
+	const n = 40
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, batchLine(i))
+	}
+	done := make(chan []batchAnswer, 1)
+	go func() { done <- runBatch(t, ts.URL, lines) }()
+	var answers []batchAnswer
+	select {
+	case answers = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch hung: post-EOF retry burst left a sub-stream's write side open")
+	}
+	if len(answers) != n {
+		t.Fatalf("got %d answers, want %d", len(answers), n)
+	}
+	for i, a := range answers {
+		if a.Error != "" {
+			t.Fatalf("answer %d: error %q", i, a.Error)
+		}
+		if a.Dst != dstForIndex(i) {
+			t.Fatalf("answer %d out of order: dst %q, want %q", i, a.Dst, dstForIndex(i))
+		}
+		if a.Day == 0 {
+			t.Fatalf("answer %d claims the stalled replica served it", i)
+		}
+	}
+	if rt.batchRetry.Value() == 0 {
+		t.Fatal("no batch retries recorded though a replica swallowed its sub-batch")
+	}
+	if rt.Ring().Len() != 2 {
+		t.Fatalf("ring has %d nodes, want 2 after the stalled replica failed", rt.Ring().Len())
+	}
+}
+
+func TestBatchInputErrorTerminalLine(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, 0)}
+	_, ts := newTestRouter(t, replicas, nil)
+
+	answers := runBatch(t, ts.URL, []string{
+		batchLine(0),
+		batchLine(1),
+		`{"src":"10.0.0.1","dst":"not-an-ip"}`,
+	})
+	if len(answers) != 3 {
+		t.Fatalf("got %d lines, want 2 answers + 1 terminal error", len(answers))
+	}
+	for i := 0; i < 2; i++ {
+		if answers[i].Error != "" || answers[i].Dst != dstForIndex(i) {
+			t.Fatalf("line %d: %+v", i, answers[i])
+		}
+	}
+	term := answers[2]
+	if term.Src != "" || term.Error == "" {
+		t.Fatalf("terminal line: %+v", term)
+	}
+	// Same shape a single inanod would emit for the same bad input.
+	if want := `line 3: dst: bad IPv4 address "not-an-ip"`; term.Error != want {
+		t.Fatalf("terminal error %q, want %q", term.Error, want)
+	}
+}
+
+func TestBatchEmptyStream(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, 0)}
+	_, ts := newTestRouter(t, replicas, nil)
+	answers := runBatch(t, ts.URL, nil)
+	if len(answers) != 0 {
+		t.Fatalf("empty batch produced %d lines", len(answers))
+	}
+}
+
+// TestBatchStreamsIncrementally proves answers flow before the client
+// closes its request stream: send one pair, read its answer while the
+// request body is still open.
+func TestBatchStreamsIncrementally(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t, 0), newFakeReplica(t, 1)}
+	_, ts := newTestRouter(t, replicas, nil)
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	type res struct {
+		resp *http.Response
+		err  error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		r, err := http.DefaultClient.Do(req)
+		resCh <- res{r, err}
+	}()
+
+	if _, err := io.WriteString(pw, batchLine(0)+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	var r res
+	select {
+	case r = <-resCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no response headers while request stream open")
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.resp.Body.Close()
+
+	br := bufio.NewReader(r.resp.Body)
+	lineCh := make(chan string, 1)
+	go func() {
+		line, _ := br.ReadString('\n')
+		lineCh <- line
+	}()
+	var first string
+	select {
+	case first = <-lineCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no answer line while request stream open")
+	}
+	var a batchAnswer
+	if err := json.Unmarshal([]byte(first), &a); err != nil || a.Dst != dstForIndex(0) {
+		t.Fatalf("first answer %q (err %v)", first, err)
+	}
+
+	// Close out cleanly: one more pair, then EOF.
+	if _, err := io.WriteString(pw, batchLine(1)+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rest), dstForIndex(1)) {
+		t.Fatalf("second answer missing from %q", rest)
+	}
+}

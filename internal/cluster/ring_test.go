@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2", "n1", ""}, 0) // shuffled, dup, empty
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d, %d, want 3", a.Len(), b.Len())
+	}
+	for i := 0; i < 10000; i++ {
+		key := mix64(uint64(i))
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %d: owner %q vs %q for same membership", i, ao, bo)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner(42); got != "" {
+		t.Fatalf("empty ring Owner = %q, want \"\"", got)
+	}
+	if got := empty.Owners(42, 3); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	one := NewRing([]string{"only"}, 0)
+	for i := 0; i < 100; i++ {
+		if got := one.Owner(mix64(uint64(i))); got != "only" {
+			t.Fatalf("single-node ring Owner = %q", got)
+		}
+	}
+}
+
+func TestRingDistributionIsRoughlyEven(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(KeyForCluster(ClusterID(i)))]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.20 || share > 0.47 {
+			t.Errorf("node %s owns %.1f%% of keys; want within [20%%, 47%%] of a 33%% fair share (counts=%v)",
+				node, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property: removing
+// one node moves only that node's keys, and adding a node steals roughly
+// 1/n of the space without shuffling keys between surviving nodes.
+func TestRingMinimalMovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6) // 2..7 nodes
+		var nodes []string
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, fmt.Sprintf("node-%d-%d", trial, i))
+		}
+		full := NewRing(nodes, 0)
+		gone := nodes[rng.Intn(n)]
+		var rest []string
+		for _, nd := range nodes {
+			if nd != gone {
+				rest = append(rest, nd)
+			}
+		}
+		smaller := NewRing(rest, 0)
+
+		const keys = 5000
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := mix64(uint64(trial*keys + i))
+			before, after := full.Owner(key), smaller.Owner(key)
+			if before == gone {
+				// This key had to move; it must land on the next owner in
+				// the full ring's fallback order that survived.
+				for _, o := range full.Owners(key, 0)[1:] {
+					if o != gone {
+						if after != o {
+							t.Fatalf("trial %d key %d: moved to %q, want fallback %q", trial, i, after, o)
+						}
+						break
+					}
+				}
+				moved++
+			} else if before != after {
+				t.Fatalf("trial %d key %d: moved %q -> %q though %q was removed",
+					trial, i, before, after, gone)
+			}
+		}
+		// The removed node owned ~1/n of the space; allow generous slack
+		// for vnode variance.
+		share := float64(moved) / keys
+		if share > 2.5/float64(n) {
+			t.Errorf("trial %d: removing 1 of %d nodes moved %.1f%% of keys", trial, n, share*100)
+		}
+	}
+}
+
+func TestRingOwnersSequence(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 0)
+	for i := 0; i < 1000; i++ {
+		key := mix64(uint64(i))
+		owners := r.Owners(key, 0)
+		if len(owners) != 4 {
+			t.Fatalf("key %d: Owners returned %d nodes, want 4", i, len(owners))
+		}
+		seen := make(map[string]bool)
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %q in %v", i, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %d: Owners[0]=%q != Owner=%q", i, owners[0], r.Owner(key))
+		}
+		if got := r.Owners(key, 2); len(got) != 2 || got[0] != owners[0] || got[1] != owners[1] {
+			t.Fatalf("key %d: Owners(key,2)=%v, want prefix of %v", i, got, owners)
+		}
+	}
+}
+
+func TestKeySpacesDisjoint(t *testing.T) {
+	// Sanity: cluster keys and prefix-fallback keys for the same small
+	// integers don't collide (they'd shard together harmlessly, but the
+	// tag exists so they don't systematically pile up).
+	for i := 0; i < 1000; i++ {
+		if KeyForCluster(ClusterID(i)) == KeyForPrefix(uint32(i)) {
+			t.Fatalf("key collision at %d", i)
+		}
+	}
+}

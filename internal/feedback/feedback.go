@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strconv"
 	"strings"
 
 	"inano/internal/netsim"
@@ -138,19 +137,8 @@ func ParseReport(r io.Reader) ([]Observation, error) {
 }
 
 // ParseIPv4 parses a strict dotted-quad IPv4 address (no leading zeros,
-// exactly four octets).
+// exactly four octets). It delegates to netsim.ParseIPv4 so ingest and
+// the cluster router agree on one parser.
 func ParseIPv4(s string) (netsim.IP, error) {
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return 0, fmt.Errorf("bad IPv4 address %q", s)
-	}
-	var ip uint32
-	for _, p := range parts {
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
-			return 0, fmt.Errorf("bad IPv4 address %q", s)
-		}
-		ip = ip<<8 | uint32(v)
-	}
-	return netsim.IP(ip), nil
+	return netsim.ParseIPv4(s)
 }

@@ -1,0 +1,27 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIPv4 parses a strict dotted-quad IPv4 address (no leading zeros,
+// exactly four octets). It lives here, next to the IP type, so every
+// layer that accepts addresses from the wire — feedback ingest, the
+// daemon, the cluster router — agrees on one parser.
+func ParseIPv4(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}

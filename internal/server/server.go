@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	inano "inano"
@@ -76,6 +77,10 @@ type Config struct {
 	ObservationRate float64
 	// ObservationBurst is the per-source bucket capacity (0 = default 64).
 	ObservationBurst int
+	// PeerID names this replica in a serving cluster: echoed in /healthz
+	// and as an X-Inano-Peer response header so routers and harnesses can
+	// tell replicas apart. Empty = standalone (no header).
+	PeerID string
 	// Logf logs serving events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -114,6 +119,12 @@ type Server struct {
 
 	mu        sync.Mutex
 	lastRound feedback.Round
+
+	// draining flips once (StartDraining) when the replica is being
+	// rotated out: /healthz answers 503 so routers re-shard away, new
+	// serving requests are refused with 503 (the router retries them on
+	// another replica), and in-flight ones run to completion.
+	draining atomic.Bool
 
 	handlers map[string]*handlerMetrics
 }
@@ -262,6 +273,32 @@ func New(cfg Config) *Server {
 // Registry exposes the server's metrics registry (for extra app metrics).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
+// StartDraining moves the server into its terminal draining state:
+// /healthz answers 503 "draining" (pulling this replica out of any
+// router's ring on the next health pass), new serving requests are
+// refused with 503, and in-flight requests finish normally. There is no
+// way back — draining exists for rolling restarts, where the process
+// exits once InFlight reaches zero.
+func (s *Server) StartDraining() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.cfg.Logf("inanod: draining: refusing new requests, %d in flight", s.InFlight())
+	}
+}
+
+// Draining reports whether StartDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Value() }
+
+// drainGated marks the endpoints a draining replica refuses: the serving
+// surface. Health, metrics and stats keep answering so operators and
+// routers can watch the drain.
+var drainGated = map[string]bool{
+	"query": true, "batch": true, "rank": true,
+	"feedback": true, "relay": true, "observations": true,
+}
+
 // Handler returns the daemon's routing handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -285,6 +322,18 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	hm := s.handlers[name]
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.PeerID != "" {
+			w.Header().Set("X-Inano-Peer", s.cfg.PeerID)
+		}
+		if s.draining.Load() && drainGated[name] {
+			// Refused, not dropped: a router retries the request on the
+			// ring's next replica, so a rolling restart loses no queries.
+			hm.requests.Inc()
+			hm.errors.Inc()
+			w.Header().Set("X-Inano-Draining", "1")
+			_ = httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
 		s.inflight.Inc()
 		hm.requests.Inc()
 		start := time.Now()
@@ -403,11 +452,22 @@ func parseIP(s string) (inano.IP, error) {
 // --- endpoints ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	return writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"day":      s.c.Day(),
 		"uptime_s": int64(time.Since(s.started).Seconds()),
-	})
+	}
+	if s.cfg.PeerID != "" {
+		body["peer"] = s.cfg.PeerID
+	}
+	if s.draining.Load() {
+		body["status"] = "draining"
+		body["inflight"] = s.InFlight()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return writeJSONBody(w, body)
+	}
+	return writeJSON(w, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {

@@ -1,0 +1,275 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot 1 inano-router + 3 inanod replicas + 1
+# single-node control from one flat atlas (plain processes on loopback,
+# no Docker), and prove the sharded tier serves exactly what one node
+# would:
+#
+#   1. parity        — batch + single answers through the router are
+#                      byte-identical to the control's
+#   2. partitioning  — per-replica /metrics show the hash ring actually
+#                      split the destination space (every replica served,
+#                      pairs sum to the total)
+#   3. replica kill  — kill -9 one replica mid-batch-stream: zero failed
+#                      pairs, answers still byte-identical, ring heals,
+#                      restarted replica rejoins
+#   4. day roll      — hot-apply the day-1 delta on every node mid-query:
+#                      the open stream finishes clean, post-roll answers
+#                      byte-identical again
+#   5. drain         — SIGTERM a -drain replica under load: it leaves the
+#                      ring, finishes its in-flight lines, exits 0, and
+#                      the concurrent stream loses nothing
+#
+# Artifacts (logs, per-node /metrics and /debug/stats) land in
+# $CLUSTER_OUT (default: a fresh mktemp -d) for CI upload on failure.
+# Run from the repo root; used by CI's cluster job and runnable locally.
+set -euo pipefail
+
+out="${CLUSTER_OUT:-$(mktemp -d)}"
+mkdir -p "$out"
+workdir="$(mktemp -d)"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# collect_stats: snapshot every node's observability surface into $out,
+# so a CI failure ships the full cluster state.
+collect_stats() {
+  for name in router control r1 r2 r3; do
+    local base_var="base_$name"
+    local base="${!base_var:-}"
+    [[ -n "$base" ]] || continue
+    curl -fsS --max-time 2 "$base/metrics" >"$out/$name.metrics" 2>/dev/null || true
+    curl -fsS --max-time 2 "$base/debug/stats" >"$out/$name.stats.json" 2>/dev/null || true
+    curl -fsS --max-time 2 "$base/healthz" >"$out/$name.healthz.json" 2>/dev/null || true
+  done
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  collect_stats
+  echo "== node logs (tails) ==" >&2
+  tail -n 20 "$out"/*.log >&2 || true
+  exit 1
+}
+
+# wait_for LOGFILE PID BINNAME: echoes the process's base URL once the
+# "BINNAME: listening on http://ADDR" line appears.
+wait_for() {
+  local log="$1" pid="$2" bin="$3" base=""
+  for _ in $(seq 1 50); do
+    base="$(sed -n "s#^$bin: listening on \(http://[0-9.:]*\)\$#\1#p" "$log" | head -1)"
+    [[ -n "$base" ]] && { echo "$base"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { echo "FAIL: $bin died at startup" >&2; cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "FAIL: $bin never reported its address" >&2; cat "$log" >&2; return 1
+}
+
+# metric FILE NAME: extracts a counter's value (0 if absent).
+metric() { awk -v n="$2" '$1 == n {print $2; found=1} END{if (!found) print 0}' "$1"; }
+
+echo "== building binaries"
+go build -o "$workdir/" ./cmd/inanod ./cmd/inano-router ./cmd/inano-build ./cmd/inano-query ./cmd/inano-eval
+
+echo "== building atlas (day 0 flat form + day-1 delta)"
+"$workdir/inano-build" -scale tiny -o "$workdir/atlas0.bin" -flat "$workdir/atlas0.flat" >"$out/build.log"
+"$workdir/inano-build" -scale tiny -day 1 -prev "$workdir/atlas0.bin" \
+  -o "$workdir/atlas1.bin" -delta "$workdir/delta1.bin" >>"$out/build.log"
+
+start_replica() {
+  # start_replica NAME [ADDR]: one inanod -atlas-flat replica with drain
+  # mode and its own hot-reload watch file. Runs in this shell (not a
+  # command substitution) so `wait` can reap it; the pid lands in
+  # $replica_pid.
+  local name="$1" addr="${2:-127.0.0.1:0}"
+  "$workdir/inanod" -atlas-flat "$workdir/atlas0.flat" -listen "$addr" \
+    -peer-id "$name" -drain -watch-delta "$workdir/wd-$name.bin" -watch-interval 0.2s \
+    >"$out/$name.log" 2>&1 &
+  replica_pid=$!
+  disown "$replica_pid" # keep bash from reporting mid-test kills
+  pids+=("$replica_pid")
+}
+
+echo "== starting control + 3 replicas from one flat atlas"
+"$workdir/inanod" -atlas-flat "$workdir/atlas0.flat" -listen 127.0.0.1:0 \
+  -watch-delta "$workdir/wd-control.bin" -watch-interval 0.2s \
+  >"$out/control.log" 2>&1 &
+control_pid=$!; disown "$control_pid"; pids+=("$control_pid")
+start_replica r1; r1_pid="$replica_pid"
+start_replica r2; r2_pid="$replica_pid"
+start_replica r3; r3_pid="$replica_pid"
+
+base_control="$(wait_for "$out/control.log" "$control_pid" inanod)"
+base_r1="$(wait_for "$out/r1.log" "$r1_pid" inanod)"
+base_r2="$(wait_for "$out/r2.log" "$r2_pid" inanod)"
+base_r3="$(wait_for "$out/r3.log" "$r3_pid" inanod)"
+echo "   control $base_control  replicas $base_r1 $base_r2 $base_r3"
+
+curl -fsS "$base_r1/healthz" | grep -q '"peer":"r1"' || fail "replica r1 does not echo its peer id"
+
+echo "== starting inano-router over the replica set"
+"$workdir/inano-router" -listen 127.0.0.1:0 -replicas "$base_r1,$base_r2,$base_r3" \
+  -atlas-flat "$workdir/atlas0.flat" -health-interval 0.2s \
+  >"$out/router.log" 2>&1 &
+router_pid=$!; disown "$router_pid"; pids+=("$router_pid")
+base_router="$(wait_for "$out/router.log" "$router_pid" inano-router)"
+echo "   router at $base_router"
+
+curl -fsS "$base_router/healthz" | grep -q '"status":"ok"' || fail "router unhealthy at startup"
+
+echo "== generating pair workload"
+mapfile -t ips < <("$workdir/inano-query" -atlas "$workdir/atlas0.bin" -list \
+  | sed -n 's#^\([0-9.]*\)\.0/24 .*#\1.1#p')
+[[ "${#ips[@]}" -ge 4 ]] || fail "atlas lists only ${#ips[@]} prefixes"
+n_pairs=600
+pairs="$workdir/pairs.ndjson"
+for i in $(seq 0 $((n_pairs - 1))); do
+  printf '{"src":"%s","dst":"%s"}\n' \
+    "${ips[$((i % ${#ips[@]}))]}" "${ips[$(((i * 7 + 3) % ${#ips[@]}))]}"
+done >"$pairs"
+
+echo "== parity: streamed batch, router vs control ($n_pairs pairs)"
+curl -fsS --data-binary @"$pairs" -H 'Content-Type: application/x-ndjson' \
+  "$base_router/v1/batch?window=64" >"$workdir/batch-router.out"
+curl -fsS --data-binary @"$pairs" -H 'Content-Type: application/x-ndjson' \
+  "$base_control/v1/batch?window=64" >"$workdir/batch-control.out"
+[[ "$(wc -l <"$workdir/batch-router.out")" -eq "$n_pairs" ]] \
+  || fail "router batch returned $(wc -l <"$workdir/batch-router.out") lines, want $n_pairs"
+grep -q '"error"' "$workdir/batch-router.out" && fail "error line in router batch stream"
+diff "$workdir/batch-router.out" "$workdir/batch-control.out" >/dev/null \
+  || fail "router batch answers differ from single-node control"
+echo "   $n_pairs pairs byte-identical"
+
+echo "== parity: single queries and relay, router vs control"
+for i in 0 1 2 3 4 5 6 7; do
+  src="${ips[$i]}"; dst="${ips[$(((i + 3) % ${#ips[@]}))]}"
+  a="$(curl -fsS "$base_router/v1/query?src=$src&dst=$dst")"
+  b="$(curl -fsS "$base_control/v1/query?src=$src&dst=$dst")"
+  [[ "$a" == "$b" ]] || fail "single query $src->$dst differs: router=$a control=$b"
+done
+relay_args="src=${ips[0]}&dst=${ips[1]}&relays=${ips[2]},${ips[3]}&k=1"
+a="$(curl -fsS "$base_router/v1/relay?$relay_args")"
+b="$(curl -fsS "$base_control/v1/relay?$relay_args")"
+[[ "$a" == "$b" ]] || fail "relay answer differs: router=$a control=$b"
+echo "   singles + relay byte-identical"
+
+echo "== partitioning: per-replica metrics"
+total_streamed=0
+for name in r1 r2 r3; do
+  base_var="base_$name"
+  curl -fsS "${!base_var}/metrics" >"$out/$name.metrics"
+  streamed="$(metric "$out/$name.metrics" inanod_batch_pairs_streamed_total)"
+  [[ "$streamed" -gt 0 ]] || fail "replica $name streamed 0 batch pairs: ring did not partition"
+  echo "   $name served $streamed pairs"
+  total_streamed=$((total_streamed + streamed))
+done
+[[ "$total_streamed" -eq "$n_pairs" ]] \
+  || fail "replicas streamed $total_streamed pairs in total, want exactly $n_pairs (no line lost or duplicated)"
+curl -fsS "$base_router/metrics" >"$out/router.metrics"
+[[ "$(metric "$out/router.metrics" inano_router_batch_lines_total)" -eq "$n_pairs" ]] \
+  || fail "router batch_lines_total != $n_pairs"
+
+echo "== loadgen through the router"
+"$workdir/inano-eval" -loadgen "$base_router" -load-atlas "$workdir/atlas0.bin" \
+  -load-n 2000 -load-conc 4 >"$out/loadgen-router.txt" || fail "router loadgen reported errors"
+tail -2 "$out/loadgen-router.txt" | sed 's/^/   /'
+
+echo "== replica kill mid-stream (kill -9 r1, stream stays open)"
+split -l $((n_pairs / 2)) "$pairs" "$workdir/part-"
+{ cat "$workdir/part-aa"; sleep 0.3; kill -9 "$r1_pid" 2>/dev/null || true; cat "$workdir/part-ab"; } \
+  | curl -fsS -X POST -T - -H 'Content-Type: application/x-ndjson' \
+      "$base_router/v1/batch?window=64" >"$workdir/batch-kill.out"
+[[ "$(wc -l <"$workdir/batch-kill.out")" -eq "$n_pairs" ]] \
+  || fail "kill stream returned $(wc -l <"$workdir/batch-kill.out") lines, want $n_pairs"
+grep -q '"error"' "$workdir/batch-kill.out" && fail "failed pair in kill stream"
+diff "$workdir/batch-kill.out" "$workdir/batch-control.out" >/dev/null \
+  || fail "answers across a replica kill differ from the control"
+echo "   $n_pairs pairs answered across the kill, byte-identical"
+
+ring_ok=""
+for _ in $(seq 1 30); do
+  if curl -fsS "$base_router/healthz" | grep -q '"live":2'; then ring_ok=1; break; fi
+  sleep 0.1
+done
+[[ -n "$ring_ok" ]] || fail "router never dropped the killed replica from the ring"
+
+echo "== killed replica rejoins at its old address"
+start_replica r1 "${base_r1#http://}"; r1_pid="$replica_pid"
+base_r1="$(wait_for "$out/r1.log" "$r1_pid" inanod)"
+rejoin_ok=""
+for _ in $(seq 1 50); do
+  if curl -fsS "$base_router/healthz" | grep -q '"live":3'; then rejoin_ok=1; break; fi
+  sleep 0.1
+done
+[[ -n "$rejoin_ok" ]] || fail "restarted replica never rejoined the ring"
+echo "   ring healed to 3 replicas"
+
+echo "== day roll mid-query (delta hot-applies on every node under an open stream)"
+{ cat "$workdir/part-aa"
+  for name in control r1 r2 r3; do cp "$workdir/delta1.bin" "$workdir/wd-$name.bin"; done
+  sleep 0.6
+  cat "$workdir/part-ab"
+} | curl -fsS -X POST -T - -H 'Content-Type: application/x-ndjson' \
+      "$base_router/v1/batch?window=64" >"$workdir/batch-roll.out"
+[[ "$(wc -l <"$workdir/batch-roll.out")" -eq "$n_pairs" ]] \
+  || fail "mid-roll stream returned $(wc -l <"$workdir/batch-roll.out") lines, want $n_pairs"
+grep -q '"error"' "$workdir/batch-roll.out" && fail "failed pair in mid-roll stream"
+echo "   $n_pairs pairs answered across the roll"
+
+for name in control r1 r2 r3; do
+  base_var="base_$name"
+  day_ok=""
+  for _ in $(seq 1 40); do
+    if curl -fsS "${!base_var}/healthz" | grep -q '"day":1'; then day_ok=1; break; fi
+    sleep 0.1
+  done
+  [[ -n "$day_ok" ]] || fail "$name never rolled to day 1"
+done
+echo "   all nodes on day 1"
+
+echo "== post-roll parity"
+curl -fsS --data-binary @"$pairs" -H 'Content-Type: application/x-ndjson' \
+  "$base_router/v1/batch?window=64" >"$workdir/batch-day1-router.out"
+curl -fsS --data-binary @"$pairs" -H 'Content-Type: application/x-ndjson' \
+  "$base_control/v1/batch?window=64" >"$workdir/batch-day1-control.out"
+grep -q '"error"' "$workdir/batch-day1-router.out" && fail "error line in day-1 router batch"
+diff "$workdir/batch-day1-router.out" "$workdir/batch-day1-control.out" >/dev/null \
+  || fail "post-roll answers differ from the control"
+grep -q '"day":1' "$workdir/batch-day1-router.out" || fail "post-roll answers not labeled day 1"
+echo "   day-1 answers byte-identical"
+
+echo "== drain rotation (SIGTERM r2 under an open stream)"
+{ cat "$workdir/part-aa"
+  kill -TERM "$r2_pid"
+  sleep 0.6
+  cat "$workdir/part-ab"
+} | curl -fsS -X POST -T - -H 'Content-Type: application/x-ndjson' \
+      "$base_router/v1/batch?window=64" >"$workdir/batch-drain.out"
+[[ "$(wc -l <"$workdir/batch-drain.out")" -eq "$n_pairs" ]] \
+  || fail "drain stream returned $(wc -l <"$workdir/batch-drain.out") lines, want $n_pairs"
+grep -q '"error"' "$workdir/batch-drain.out" && fail "failed pair while a replica drained"
+diff "$workdir/batch-drain.out" "$workdir/batch-day1-control.out" >/dev/null \
+  || fail "answers across the drain differ from the control"
+
+drain_rc=0
+wait "$r2_pid" || drain_rc=$?
+[[ "$drain_rc" -eq 0 ]] || fail "draining replica exited $drain_rc, want 0"
+grep -q 'inanod: draining:' "$out/r2.log" || fail "r2 never entered the draining state"
+grep -q 'inanod: shutdown complete' "$out/r2.log" || fail "r2 shut down dirty"
+echo "   r2 drained and exited 0 with zero dropped pairs"
+
+live_ok=""
+for _ in $(seq 1 30); do
+  if curl -fsS "$base_router/healthz" | grep -q '"live":2'; then live_ok=1; break; fi
+  sleep 0.1
+done
+[[ -n "$live_ok" ]] || fail "router still counts the drained replica live"
+
+collect_stats
+echo "PASS: cluster smoke (artifacts in $out)"

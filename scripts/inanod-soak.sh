@@ -6,8 +6,15 @@
 # mutation surface. Fails on request errors, a dirty shutdown, or any
 # detected data race.
 #
+# A second phase (SOAK_CLUSTER=1, the default) soaks the sharded tier:
+# 3 -race replicas behind a -race inano-router under batch loadgen while
+# a churn loop repeatedly kill -9s and restarts replicas — the router's
+# retry path must keep the client error count at exactly zero throughout.
+#
 # Tunables (env): SOAK_SINGLES (default 20000), SOAK_PAIRS (default
 # 100000), SOAK_CONC (default 8), SOAK_FEEDBACK_ROUNDS (default 20),
+# SOAK_CLUSTER (default 1), SOAK_CLUSTER_PAIRS (default 100000),
+# SOAK_CLUSTER_CHURN (default 6 kill/restart cycles),
 # SOAK_OUT (artifact directory, default a fresh mktemp -d).
 set -euo pipefail
 
@@ -15,25 +22,32 @@ singles="${SOAK_SINGLES:-20000}"
 pairs="${SOAK_PAIRS:-100000}"
 conc="${SOAK_CONC:-8}"
 fb_rounds="${SOAK_FEEDBACK_ROUNDS:-20}"
+cluster="${SOAK_CLUSTER:-1}"
+cluster_pairs="${SOAK_CLUSTER_PAIRS:-100000}"
+cluster_churn="${SOAK_CLUSTER_CHURN:-6}"
 out="${SOAK_OUT:-$(mktemp -d)}"
 mkdir -p "$out"
 
 workdir="$(mktemp -d)"
 daemon_pid=""
+pids=()
 cleanup() {
-  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
-    kill -9 "$daemon_pid" 2>/dev/null || true
-  fi
+  for pid in "$daemon_pid" "${pids[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
 
-echo "== building (daemon with -race)"
+echo "== building (daemon and router with -race)"
 go build -race -o "$workdir/inanod" ./cmd/inanod
+go build -race -o "$workdir/inano-router" ./cmd/inano-router
 go build -o "$workdir/" ./cmd/inano-build ./cmd/inano-eval ./cmd/inano-query
 
 echo "== generating atlas (medium world)"
-"$workdir/inano-build" -scale medium -o "$workdir/atlas.bin" >"$out/build.log"
+"$workdir/inano-build" -scale medium -o "$workdir/atlas.bin" -flat "$workdir/atlas.flat" >"$out/build.log"
 
 echo "== starting inanod -race with the corrective loop"
 "$workdir/inanod" -atlas "$workdir/atlas.bin" -listen 127.0.0.1:0 \
@@ -97,5 +111,116 @@ grep -q '^inanod: shutdown complete$' "$out/daemon.log" \
 if grep -q 'DATA RACE' "$out/daemon.log"; then
   echo "FAIL: data race detected"; grep -A 20 'DATA RACE' "$out/daemon.log" | head -60; exit 1
 fi
+
+if [[ "$cluster" != "1" ]]; then
+  echo "PASS: inanod soak (artifacts in $out)"
+  exit 0
+fi
+
+# ---------------------------------------------------------------------
+# Cluster soak: 3 -race replicas + -race router under batch loadgen with
+# kill -9 / restart churn. The router's retry path must absorb every
+# kill: the loadgen (which fails on any request error) is the assertion.
+# ---------------------------------------------------------------------
+
+wait_for_addr2() {
+  # wait_for_addr2 LOG PID BIN: echoes the base URL from BIN's listen line.
+  local log="$1" pid="$2" bin="$3" base=""
+  for _ in $(seq 1 150); do
+    base="$(sed -n "s#^$bin: listening on \(http://[0-9.:]*\)\$#\1#p" "$log" | head -1)"
+    [[ -n "$base" ]] && { echo "$base"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { echo "FAIL: $bin died at startup" >&2; cat "$log" >&2; return 1; }
+    sleep 0.2
+  done
+  echo "FAIL: $bin never reported its address" >&2; cat "$log" >&2; return 1
+}
+
+start_soak_replica() {
+  # start_soak_replica NAME [ADDR]: pid lands in $replica_pid.
+  local name="$1" addr="${2:-127.0.0.1:0}"
+  "$workdir/inanod" -atlas-flat "$workdir/atlas.flat" -listen "$addr" \
+    -peer-id "$name" -drain >"$out/cluster-$name.log" 2>&1 &
+  replica_pid=$!
+  disown "$replica_pid"
+  pids+=("$replica_pid")
+}
+
+echo "== cluster soak: starting 3 -race replicas + -race router"
+declare -A rpid raddr
+for name in r1 r2 r3; do
+  start_soak_replica "$name"
+  rpid[$name]=$replica_pid
+done
+for name in r1 r2 r3; do
+  raddr[$name]="$(wait_for_addr2 "$out/cluster-$name.log" "${rpid[$name]}" inanod)"
+done
+"$workdir/inano-router" -listen 127.0.0.1:0 \
+  -replicas "${raddr[r1]},${raddr[r2]},${raddr[r3]}" \
+  -atlas-flat "$workdir/atlas.flat" -health-interval 0.5s \
+  >"$out/cluster-router.log" 2>&1 &
+router_pid=$!
+disown "$router_pid"
+pids+=("$router_pid")
+router_base="$(wait_for_addr2 "$out/cluster-router.log" "$router_pid" inano-router)"
+echo "   router at $router_base fronting ${raddr[r1]} ${raddr[r2]} ${raddr[r3]}"
+
+echo "== cluster loadgen: $cluster_pairs batch pairs through the router under churn"
+"$workdir/inano-eval" -loadgen "$router_base" -load-atlas "$workdir/atlas.bin" \
+  -load-n "$cluster_pairs" -load-batch "$((cluster_pairs / conc))" -load-conc "$conc" \
+  >"$out/cluster-loadgen-batch.txt" 2>&1 &
+lg_pid=$!
+
+# Churn in the foreground (so restarted replicas stay children of this
+# shell): kill -9 a replica, wait for the ring to drop it, restart it at
+# the same address, wait for it to rejoin; round-robin over the replicas.
+names=(r1 r2 r3)
+for cycle in $(seq 1 "$cluster_churn"); do
+  name="${names[$(((cycle - 1) % 3))]}"
+  sleep 2
+  echo "churn $cycle/$cluster_churn: kill -9 $name" | tee -a "$out/cluster-churn.log"
+  kill -9 "${rpid[$name]}" 2>/dev/null || true
+  for _ in $(seq 1 100); do
+    curl -fsS --max-time 2 "$router_base/healthz" 2>/dev/null | grep -q '"live":2' && break
+    sleep 0.2
+  done
+  start_soak_replica "$name" "${raddr[$name]#http://}"
+  rpid[$name]=$replica_pid
+  echo "churn $cycle/$cluster_churn: restarted $name at ${raddr[$name]}" | tee -a "$out/cluster-churn.log"
+  for _ in $(seq 1 150); do
+    curl -fsS --max-time 2 "$router_base/healthz" 2>/dev/null | grep -q '"live":3' && break
+    sleep 0.2
+  done
+done
+
+rc=0
+wait "$lg_pid" || rc=$?
+cat "$out/cluster-loadgen-batch.txt"
+[[ "$rc" -eq 0 ]] || { echo "FAIL: cluster loadgen saw request errors under churn"; cat "$out/cluster-churn.log"; exit 1; }
+
+echo "== cluster loadgen: $singles singles through the router"
+"$workdir/inano-eval" -loadgen "$router_base" -load-atlas "$workdir/atlas.bin" \
+  -load-n "$singles" -load-conc "$conc" | tee "$out/cluster-loadgen-singles.txt" \
+  || { echo "FAIL: cluster singles loadgen saw request errors"; exit 1; }
+
+echo "== cluster metrics + race check"
+curl -fsS "$router_base/metrics" >"$out/cluster-router.metrics"
+grep -E '^inano_router_(retries_total|reshards_total|batch_retried_total|no_replica_total)' \
+  "$out/cluster-router.metrics" || true
+awk '$1 == "inano_router_no_replica_total" {exit ($2 == 0) ? 0 : 1}' "$out/cluster-router.metrics" \
+  || { echo "FAIL: router ran out of replicas during churn"; exit 1; }
+for f in "$out"/cluster-*.log; do
+  if grep -q 'DATA RACE' "$f"; then
+    echo "FAIL: data race in $f"; grep -A 20 'DATA RACE' "$f" | head -60; exit 1
+  fi
+done
+
+echo "== cluster graceful shutdown"
+kill -TERM "$router_pid" 2>/dev/null || true
+for name in r1 r2 r3; do kill -TERM "${rpid[$name]}" 2>/dev/null || true; done
+for name in r1 r2 r3; do
+  rc=0; wait "${rpid[$name]}" 2>/dev/null || rc=$?
+  [[ "$rc" -eq 0 ]] || { echo "FAIL: replica $name exited $rc"; tail -n 30 "$out/cluster-$name.log"; exit 1; }
+done
+wait "$router_pid" 2>/dev/null || true
 
 echo "PASS: inanod soak (artifacts in $out)"
