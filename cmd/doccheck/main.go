@@ -1,10 +1,14 @@
 // Command doccheck keeps the repository's markdown honest: it walks the
 // given files and directories, extracts every [text](target) link from
 // the .md files, and fails when a relative link points at a file that
-// does not exist or an anchor no heading generates. External links
-// (http, https, mailto) are not fetched — CI must not flake on the
-// internet — but everything the repository can verify about itself is
-// verified on every push, so the docs cannot rot silently.
+// does not exist or an anchor no heading generates. It also fails on
+// orphan pages: a .md file found by walking a directory argument that no
+// chain of links from the explicitly named root files (README.md etc.)
+// reaches — a page nobody can navigate to has already rotted, whatever
+// its content says. External links (http, https, mailto) are not fetched
+// — CI must not flake on the internet — but everything the repository
+// can verify about itself is verified on every push, so the docs cannot
+// rot silently.
 //
 // Usage:
 //
@@ -33,6 +37,8 @@ var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
 
 func main() {
 	var files []string
+	var roots []string  // explicitly named files: reachability roots
+	var walked []string // dir-discovered files: must be reachable
 	for _, arg := range os.Args[1:] {
 		st, err := os.Stat(arg)
 		if err != nil {
@@ -40,11 +46,13 @@ func main() {
 		}
 		if !st.IsDir() {
 			files = append(files, arg)
+			roots = append(roots, filepath.Clean(arg))
 			continue
 		}
 		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
 			if err == nil && !d.IsDir() && strings.HasSuffix(p, ".md") {
 				files = append(files, p)
+				walked = append(walked, filepath.Clean(p))
 			}
 			return err
 		})
@@ -57,6 +65,9 @@ func main() {
 	}
 	broken := 0
 	checked := 0
+	// links[file] lists the cleaned paths of markdown files `file` links
+	// to — the edges of the reachability walk below.
+	links := make(map[string][]string)
 	for _, f := range files {
 		b, err := os.ReadFile(f)
 		if err != nil {
@@ -69,15 +80,54 @@ func main() {
 			if err := checkLink(f, target); err != nil {
 				fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", f, err)
 				broken++
+				continue
+			}
+			if to, ok := mdTarget(f, target); ok {
+				links[filepath.Clean(f)] = append(links[filepath.Clean(f)], to)
 			}
 		}
 	}
+	// Orphan check: BFS from the root files over the link graph; every
+	// dir-walked page must be reached.
+	reached := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if reached[f] {
+			continue
+		}
+		reached[f] = true
+		queue = append(queue, links[f]...)
+	}
+	orphans := 0
+	for _, f := range walked {
+		if !reached[f] {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: orphan page (no link chain from %s reaches it)\n",
+				f, strings.Join(roots, ", "))
+			orphans++
+		}
+	}
 	fmt.Printf("doccheck: %d links across %d files", checked, len(files))
-	if broken > 0 {
-		fmt.Printf(", %d broken\n", broken)
+	if broken > 0 || orphans > 0 {
+		fmt.Printf(", %d broken, %d orphaned\n", broken, orphans)
 		os.Exit(1)
 	}
-	fmt.Println(", all resolvable")
+	fmt.Println(", all resolvable and reachable")
+}
+
+// mdTarget resolves a link to the cleaned path of the markdown file it
+// points at; ok is false for external links, anchors-only links, and
+// non-markdown targets.
+func mdTarget(from, target string) (string, bool) {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "", false
+	}
+	path, _, _ := strings.Cut(target, "#")
+	if path == "" || !strings.HasSuffix(path, ".md") {
+		return "", false
+	}
+	return filepath.Clean(filepath.Join(filepath.Dir(from), path)), true
 }
 
 // checkLink validates one link target relative to the file containing it.

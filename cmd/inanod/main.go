@@ -92,6 +92,7 @@ func main() {
 	uploadURL := flag.String("upload-observations", "", "opt in to sharing this daemon's corrective observations: a build server's /v1/observations URL")
 	uploadInterval := flag.Duration("upload-interval", time.Minute, "observation upload flush interval")
 	peerID := flag.String("peer-id", "", "cluster peer identity, echoed in /healthz and the X-Inano-Peer response header")
+	batchFast := flag.Bool("batch-fastpath", true, "serve canonical /v1/batch lines through the zero-allocation parser/encoder (answers are byte-identical either way; false is an operational escape hatch)")
 	drain := flag.Bool("drain", false, "on SIGTERM, drain instead of hard shutdown: /healthz turns 503 so a router pulls this replica from the ring, in-flight requests finish, new serving requests are refused, and the process exits 0 once idle")
 	flag.Parse()
 
@@ -141,6 +142,8 @@ func main() {
 		ObservationBurst: *obsBurst,
 		PeerID:           *peerID,
 		Logf:             logf,
+
+		DisableBatchFastPath: !*batchFast,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

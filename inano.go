@@ -339,6 +339,17 @@ func (s Snapshot) QueryReqs(ctx context.Context, reqs []PairReq) ([]PathInfo, []
 	return s.e.QueryBatchPartial(ctx, reqs)
 }
 
+// StreamBatch is a reusable windowed batch runner bound to one pinned
+// snapshot — the QueryReqs contract with zero steady-state allocations
+// per window (see core.StreamBatch). noASPaths skips AS-path derivation
+// on every answer, for callers that never serialize them.
+type StreamBatch = core.StreamBatch
+
+// StreamBatch returns a windowed batch runner pinned to this snapshot.
+func (s Snapshot) StreamBatch(noASPaths bool) *StreamBatch {
+	return s.e.NewStreamBatch(noASPaths)
+}
+
 // AttachmentCluster returns the attachment cluster of a prefix in the
 // pinned atlas — the identity feedback attribution and upstream
 // observation ingest key on. ok is false when the atlas cannot place the

@@ -41,9 +41,13 @@ const (
 
 // Link is one directed inter-cluster (or intra-AS cluster-to-cluster) link.
 type Link struct {
-	From, To  cluster.ClusterID
+	// From and To are the link's endpoint clusters, in traversal order.
+	From, To cluster.ClusterID
+	// LatencyMS is the annotated one-way latency estimate.
 	LatencyMS float32
-	Planes    uint8
+	// Planes records which measurement planes observed the link
+	// (PlaneToDst, PlaneFromSrc, or both).
+	Planes uint8
 }
 
 // LinkKey packs a directed cluster pair for indexing.
@@ -265,7 +269,11 @@ func (a *Atlas) RelOf(x, y netsim.ASN) netsim.Rel {
 }
 
 // Counts summarizes dataset cardinalities (the "No. of entries" column of
-// Table 2).
+// Table 2). Each field counts the entries of the same-named atlas dataset:
+// inter-cluster links, loss annotations, prefix-to-cluster and
+// prefix-to-origin-AS mappings, AS-graph degrees, observed 3-tuples,
+// next-hop preferences, provider records, AS relationships, and
+// late-exit AS pairs.
 type Counts struct {
 	Links, Loss, PrefixCluster, PrefixAS int
 	ASDegree, Tuples, Prefs, Providers   int

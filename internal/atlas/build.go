@@ -18,8 +18,11 @@ import (
 // stand-ins for probing real routers and reading RouteViews. All inference
 // operates on the observed traceroutes.
 type BuildInput struct {
-	Top   *netsim.Topology
-	Day   *bgpsim.Day
+	// Top is the simulated topology the campaign probed.
+	Top *netsim.Topology
+	// Day is the BGP feed snapshot for the build day.
+	Day *bgpsim.Day
+	// Meter annotates physical link latencies (the probing stand-in).
 	Meter *trace.Meter
 
 	// VPTraces are vantage-point traceroutes (the TO_DST plane).

@@ -765,9 +765,9 @@ func (a *Atlas) validate() error {
 
 // SectionSize describes one dataset's footprint (a row of Table 2).
 type SectionSize struct {
-	Name       string
-	Entries    int
-	Compressed int // bytes after per-section gzip
+	Name       string // dataset name as written in the section header
+	Entries    int    // number of entries in the dataset
+	Compressed int    // bytes after per-section gzip
 }
 
 // SectionSizes reports per-dataset entry counts and compressed sizes, the

@@ -23,6 +23,8 @@ const AdjustDecayEpsilonMS = 0.5
 // latencies), loss rates, 3-tuples, and the aggregated client corrections;
 // everything else refreshes with the monthly full atlas.
 type Delta struct {
+	// FromDay and ToDay bound the update: a client holding FromDay's
+	// atlas applies the delta to reach ToDay.
 	FromDay, ToDay int
 
 	// UpLinks adds new links or re-annotates existing ones.
@@ -32,8 +34,10 @@ type Delta struct {
 
 	// UpLoss sets loss rates (keyed by LinkKey); DelLoss clears them.
 	UpLoss  map[uint64]float32
-	DelLoss []uint64
+	DelLoss []uint64 // LinkKeys whose loss annotation is cleared
 
+	// AddTuples and DelTuples adjust the observed 3-tuple set (PackTriple
+	// keys).
 	AddTuples []uint64
 	DelTuples []uint64
 
@@ -42,7 +46,7 @@ type Delta struct {
 	// sheds its correction with the next delta instead of keeping it
 	// forever.
 	UpAdjust  map[netsim.Prefix]float32
-	DelAdjust []uint64
+	DelAdjust []uint64 // prefixes whose correction is cleared
 
 	// AddClusterAS grows the cluster space: the owning ASes of the
 	// clusters the new day's registry allocated beyond the old day's

@@ -37,7 +37,10 @@ import (
 // the page cache. A Flat is immutable after Compile/OpenFlat; all methods
 // are safe for unbounded concurrent use.
 type Flat struct {
-	Day         int32
+	// Day is the atlas day this snapshot was compiled from.
+	Day int32
+	// NumClusters bounds the cluster ID space: every ClusterID in the
+	// tables below is < NumClusters.
 	NumClusters int32
 	// ClusterAS maps each cluster to its owning AS (index = cluster ID).
 	ClusterAS []netsim.ASN
@@ -56,7 +59,9 @@ type Flat struct {
 	EdgeToAS   []netsim.ASN
 	EdgeToDeg  []int32 // observed AS-graph degree of the edge's To AS
 
-	// Sorted prefix tables (parallel key/value slices).
+	// Sorted prefix tables (parallel key/value slices): destination /24
+	// to attachment cluster, destination /24 to BGP origin AS, and
+	// infrastructure /24 to owning cluster.
 	PrefixClKeys []netsim.Prefix
 	PrefixClVals []cluster.ClusterID
 	PrefixASKeys []netsim.Prefix
@@ -83,6 +88,12 @@ type Flat struct {
 	DegVals  []int32
 	LossKeys []uint64
 	LossVals []float32
+
+	// idx holds the derived Eytzinger-layout search indexes over the
+	// sorted key tables above (see eytzinger.go). It is rebuilt by
+	// buildIndex after Compile or a codec decode, never serialized, and
+	// never aliases the mmap; the sorted slices stay the canonical form.
+	idx flatIndex
 }
 
 // Per-edge flag bits in EdgeFlags.
@@ -178,6 +189,7 @@ func Compile(a *Atlas) *Flat {
 	}
 	sort.Slice(provs, func(i, j int) bool { return provs[i] < provs[j] })
 	f.Providers = provs
+	f.buildIndex()
 	return f
 }
 
@@ -322,6 +334,9 @@ func searchASN(keys []netsim.ASN, k netsim.ASN) (int, bool) {
 
 // ClusterOf returns the attachment cluster of a prefix.
 func (f *Flat) ClusterOf(p netsim.Prefix) (cluster.ClusterID, bool) {
+	if f.idx.prefixCl.built() {
+		return f.idx.prefixCl.find(p)
+	}
 	if i, ok := searchPrefix(f.PrefixClKeys, p); ok {
 		return f.PrefixClVals[i], true
 	}
@@ -330,6 +345,10 @@ func (f *Flat) ClusterOf(p netsim.Prefix) (cluster.ClusterID, bool) {
 
 // OriginAS returns the BGP origin of a prefix (0 when unknown).
 func (f *Flat) OriginAS(p netsim.Prefix) netsim.ASN {
+	if f.idx.prefixAS.built() {
+		as, _ := f.idx.prefixAS.find(p)
+		return as // zero when absent
+	}
 	if i, ok := searchPrefix(f.PrefixASKeys, p); ok {
 		return f.PrefixASVals[i]
 	}
@@ -338,6 +357,9 @@ func (f *Flat) OriginAS(p netsim.Prefix) netsim.ASN {
 
 // IfaceClusterOf returns the cluster owning an infrastructure /24.
 func (f *Flat) IfaceClusterOf(p netsim.Prefix) (cluster.ClusterID, bool) {
+	if f.idx.iface.built() {
+		return f.idx.iface.find(p)
+	}
 	if i, ok := searchPrefix(f.IfaceKeys, p); ok {
 		return f.IfaceVals[i], true
 	}
@@ -347,6 +369,10 @@ func (f *Flat) IfaceClusterOf(p netsim.Prefix) (cluster.ClusterID, bool) {
 // Adjust returns the shipped (global) and client-local residual correction
 // terms for a destination prefix; ok is false when neither is carried.
 func (f *Flat) Adjust(p netsim.Prefix) (global, local float32, ok bool) {
+	if f.idx.adjust.built() {
+		v, found := f.idx.adjust.find(p)
+		return v.global, v.local, found
+	}
 	i, found := searchPrefix(f.AdjustKeys, p)
 	if !found {
 		return 0, 0, false
@@ -356,13 +382,21 @@ func (f *Flat) Adjust(p netsim.Prefix) (global, local float32, ok bool) {
 
 // HasTuple reports whether the 3-tuple (x,y,z) was observed.
 func (f *Flat) HasTuple(x, y, z netsim.ASN) bool {
-	_, ok := searchU64(f.Tuples, PackTriple(x, y, z))
+	k := PackTriple(x, y, z)
+	if f.idx.tuples.built() {
+		return f.idx.tuples.contains(k)
+	}
+	_, ok := searchU64(f.Tuples, k)
 	return ok
 }
 
 // Prefers reports whether AS at prefers next-hop b over next-hop c.
 func (f *Flat) Prefers(at, b, c netsim.ASN) bool {
-	_, ok := searchU64(f.Prefs, PackTriple(at, b, c))
+	k := PackTriple(at, b, c)
+	if f.idx.prefs.built() {
+		return f.idx.prefs.contains(k)
+	}
+	_, ok := searchU64(f.Prefs, k)
 	return ok
 }
 
@@ -370,6 +404,14 @@ func (f *Flat) Prefers(at, b, c netsim.ASN) bool {
 // into the destination origin AS: true when the atlas has no provider data
 // for origin, or records fromAS as one of its providers.
 func (f *Flat) ProviderCheck(origin, fromAS netsim.ASN) bool {
+	if f.idx.provs.built() {
+		// Lower-bound probe: is any provider entry recorded for origin?
+		key, _, any := f.idx.provs.ceil(uint64(origin) << 32)
+		if !any || netsim.ASN(key>>32) != origin {
+			return true // no provider data: cannot enforce
+		}
+		return f.idx.provs.contains(uint64(origin)<<32 | uint64(fromAS))
+	}
 	lo, _ := searchU64(f.Providers, uint64(origin)<<32)
 	if lo >= len(f.Providers) || netsim.ASN(f.Providers[lo]>>32) != origin {
 		return true // no provider data: cannot enforce
@@ -380,11 +422,20 @@ func (f *Flat) ProviderCheck(origin, fromAS netsim.ASN) bool {
 
 // RelOf returns the inferred relationship of y from x's perspective.
 func (f *Flat) RelOf(x, y netsim.ASN) netsim.Rel {
-	i, ok := searchU64(f.RelKeys, netsim.ASPairKey(x, y))
+	k := netsim.ASPairKey(x, y)
+	var r netsim.Rel
+	var ok bool
+	if f.idx.rels.built() {
+		r, ok = f.idx.rels.find(k)
+	} else {
+		var i int
+		if i, ok = searchU64(f.RelKeys, k); ok {
+			r = f.RelVals[i]
+		}
+	}
 	if !ok {
 		return netsim.RelNone
 	}
-	r := f.RelVals[i]
 	if x <= y {
 		return r
 	}

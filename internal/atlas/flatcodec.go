@@ -330,6 +330,7 @@ func parseFlat(data []byte, alias bool) (*Flat, error) {
 	if r.off != len(payload) {
 		return nil, fmt.Errorf("atlas: flat: %d trailing bytes after last section", len(payload)-r.off)
 	}
+	f.buildIndex()
 	return f, nil
 }
 

@@ -106,9 +106,13 @@ const MinObservedLatencyMS = 0.1
 // latency estimates derived from the reporters' hop RTTs
 // (len(LinkMS) == len(Clusters)-1).
 type ObservedPath struct {
-	Dst      netsim.Prefix
+	// Dst is the destination /24 the reporters reached.
+	Dst netsim.Prefix
+	// Clusters is the agreed cluster sequence, source end first.
 	Clusters []cluster.ClusterID
-	LinkMS   []float64
+	// LinkMS carries per-link one-way latency estimates
+	// (len(LinkMS) == len(Clusters)-1).
+	LinkMS []float64
 }
 
 // PathFoldStats summarizes one FoldPaths run.

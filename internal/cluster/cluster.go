@@ -39,7 +39,9 @@ func DefaultConfig() Config {
 
 // Clustering is the inferred interface-to-cluster mapping.
 type Clustering struct {
-	ClusterOf   map[netsim.IP]ClusterID
+	// ClusterOf maps every clustered interface IP to its cluster.
+	ClusterOf map[netsim.IP]ClusterID
+	// NumClusters bounds the ID space: IDs run [0, NumClusters).
 	NumClusters int
 	// ClusterAS is the AS owning each cluster (from prefix origins, which
 	// BGP feeds provide comprehensively).

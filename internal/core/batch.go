@@ -81,9 +81,9 @@ func (e *Engine) groupByDestination(pairs [][2]netsim.Prefix) []*batchGroup {
 func (e *Engine) predictBatchRaw(ctx context.Context, pairs [][2]netsim.Prefix) ([]Prediction, error) {
 	out := make([]Prediction, len(pairs))
 	groups := e.groupByDestination(pairs)
-	if err := e.runGroups(ctx, groups, func(g *batchGroup) {
+	if err := e.runGroups(ctx, groups, groupFunc(func(g *batchGroup) {
 		e.predictInto(ctx, g, pairs, out)
-	}); err != nil {
+	})); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -131,6 +131,7 @@ func (e *Engine) QueryBatch(ctx context.Context, pairs [][2]netsim.Prefix) ([]Pa
 // PairReq is one entry of a per-pair-deadline batch: a (src, dst) prefix
 // pair plus an optional absolute deadline (zero = none).
 type PairReq struct {
+	// Src and Dst are the query pair's endpoint /24 prefixes.
 	Src, Dst netsim.Prefix
 	// Deadline bounds this pair only. A pair whose deadline passes before
 	// its prediction trees are available is reported expired; the rest of
@@ -158,9 +159,9 @@ func (e *Engine) QueryBatchPartial(ctx context.Context, reqs []PairReq) ([]PathI
 	preds := make([]Prediction, len(dbl))
 	legExpired := make([]bool, len(dbl))
 	groups := e.groupByDestination(dbl)
-	if err := e.runGroups(ctx, groups, func(g *batchGroup) {
+	if err := e.runGroups(ctx, groups, groupFunc(func(g *batchGroup) {
 		e.predictPartial(ctx, g, reqs, dbl, preds, legExpired)
-	}); err != nil {
+	})); err != nil {
 		return nil, nil, err
 	}
 	out := make([]PathInfo, len(reqs))
@@ -300,9 +301,23 @@ func (e *Engine) QueryStream(ctx context.Context, pairs iter.Seq[[2]netsim.Prefi
 	}
 }
 
-// runGroups executes work(g) for every group on a pool of up to GOMAXPROCS
-// workers, stopping early (without draining) once ctx is cancelled.
-func (e *Engine) runGroups(ctx context.Context, groups []*batchGroup, work func(*batchGroup)) error {
+// groupRunner is the per-group work hook runGroups fans out. It is an
+// interface rather than a func parameter so allocation-free callers
+// (StreamBatch passes itself) don't pay a heap closure per window;
+// one-shot callers wrap their closure in groupFunc.
+type groupRunner interface {
+	runGroup(*batchGroup)
+}
+
+// groupFunc adapts a closure to groupRunner for the one-shot batch shapes.
+type groupFunc func(*batchGroup)
+
+func (f groupFunc) runGroup(g *batchGroup) { f(g) }
+
+// runGroups executes r.runGroup(g) for every group on a pool of up to
+// GOMAXPROCS workers, stopping early (without draining) once ctx is
+// cancelled.
+func (e *Engine) runGroups(ctx context.Context, groups []*batchGroup, r groupRunner) error {
 	if len(groups) == 0 {
 		return ctx.Err()
 	}
@@ -315,7 +330,7 @@ func (e *Engine) runGroups(ctx context.Context, groups []*batchGroup, work func(
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			work(g)
+			r.runGroup(g)
 		}
 		// ctx may have expired during the last group's work (e.g. while
 		// joining an in-flight tree build), leaving zero-value results;
@@ -332,7 +347,7 @@ func (e *Engine) runGroups(ctx context.Context, groups []*batchGroup, work func(
 				if ctx.Err() != nil {
 					continue // cancelled: drain without working
 				}
-				work(g)
+				r.runGroup(g)
 			}
 		}()
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"inano/internal/atlas"
@@ -516,6 +518,56 @@ func TestFlatQueryParity(t *testing.T) {
 				if math.Abs(info.LossRate-want) > 1e-12 {
 					t.Fatalf("%s: loss %v, reference %v", name, info.LossRate, want)
 				}
+			}
+			if pairs++; pairs >= 60 {
+				break
+			}
+		}
+	}
+}
+
+// TestFlatQueryParityAfterReload pins the serialized serving form: an
+// engine over a WriteFlat -> ReadFlat round trip must answer every query
+// byte-identically to the engine over the directly compiled Flat, across
+// every option variant. This is the codec-loaded path inanod takes with
+// -atlas-flat, and it exercises the Eytzinger index the decoder rebuilds
+// (the sorted slices are the serialized form; the index is derived) —
+// parity here proves the rebuilt index equals the Compile-built one.
+func TestFlatQueryParityAfterReload(t *testing.T) {
+	w := buildWorld(t, 65)
+	for i, p := range w.targets {
+		if i%4 == 0 {
+			w.a.GlobalAdjustMS[p] = float32(3 - i%9)
+			w.a.AdjustMS[p] = float32(i%5 - 2)
+		}
+	}
+	compiled := atlas.Compile(w.a)
+	var buf bytes.Buffer
+	if err := atlas.WriteFlat(&buf, compiled); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := atlas.ReadFlat(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range allOptionVariants() {
+		e := NewFromFlat(compiled, opts)
+		re := NewFromFlat(reloaded, opts)
+		pairs := 0
+		for i, src := range w.targets {
+			dst := w.targets[(i+7)%len(w.targets)]
+			if src == dst {
+				continue
+			}
+			want, got := e.Query(src, dst), re.Query(src, dst)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: reloaded answer differs for %v->%v:\ncompiled %+v\nreloaded %+v",
+					name, src, dst, want, got)
+			}
+			wp, gp := e.PredictForward(src, dst), re.PredictForward(src, dst)
+			if !reflect.DeepEqual(wp, gp) {
+				t.Fatalf("%s: reloaded forward differs for %v->%v:\ncompiled %+v\nreloaded %+v",
+					name, src, dst, wp, gp)
 			}
 			if pairs++; pairs >= 60 {
 				break

@@ -9,6 +9,7 @@ import (
 
 // Prediction is a one-way predicted path with composed link annotations.
 type Prediction struct {
+	// Found reports whether a path to the destination was predicted.
 	Found bool
 	// DstCluster is the destination attachment cluster whose prediction
 	// tree produced this path — the provenance key the measurement
@@ -42,7 +43,9 @@ func (p *Prediction) reset() {
 // reverse paths ... and composes the properties of the inter-cluster
 // links").
 type PathInfo struct {
-	Found    bool
+	// Found reports whether both directions produced a prediction.
+	Found bool
+	// Fwd and Rev are the per-direction path predictions.
 	Fwd, Rev Prediction
 	// RTTMS is the predicted round-trip latency (forward + reverse).
 	RTTMS float64

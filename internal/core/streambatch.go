@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"inano/internal/netsim"
+)
+
+// StreamBatch is a reusable batch runner for streamed serving: one per
+// NDJSON stream, with Run called once per flush window. It answers the
+// same contract as QueryBatchPartial — per-pair deadlines, partial
+// results — but every per-window allocation (the doubled leg slice, the
+// destination-grouping map, the group list, the result slices) is hoisted
+// into buffers that survive across windows, so a long-lived stream's
+// steady state performs zero heap allocations per window once its trees
+// are warm and its buffers have grown to the window size (CI-gated by
+// TestStreamBatchZeroAlloc).
+//
+// A StreamBatch is bound to one Engine snapshot and is not safe for
+// concurrent use; the slices returned by Run are owned by the StreamBatch
+// and valid only until the next Run call.
+type StreamBatch struct {
+	e *Engine
+
+	// noASPaths skips the AS-level path derivation on every leg. The
+	// server's batch endpoint never serializes AS paths, so the work (and
+	// the per-leg ASPath buffer growth) is pure waste there.
+	noASPaths bool
+
+	// Per-window state, reused across Run calls.
+	reqs    []PairReq          // current window (caller-owned, aliased during Run)
+	dbl     [][2]netsim.Prefix // doubled legs: even = forward, odd = reverse
+	legExp  []bool             // per-leg deadline expiry
+	out     []PathInfo         // composed answers, aligned with reqs
+	expired []bool             // per-pair expiry, aligned with reqs
+	byKey   map[uint64]int32   // treeKey -> index into groups
+	groups  []batchGroup       // backing store for the window's groups
+	order   []*batchGroup      // stable pointers into groups, built post-grouping
+	ctx     context.Context    // current Run's context, for runGroup
+}
+
+// NewStreamBatch returns a reusable windowed batch runner bound to this
+// engine. noASPaths skips AS-path derivation on every answer (Fwd.ASPath
+// and Rev.ASPath stay empty) — the shape the NDJSON batch endpoint wants,
+// since it never serializes them.
+func (e *Engine) NewStreamBatch(noASPaths bool) *StreamBatch {
+	return &StreamBatch{
+		e:         e,
+		noASPaths: noASPaths,
+		byKey:     make(map[uint64]int32, 16),
+	}
+}
+
+// Run answers one window of pair requests. Results align with reqs:
+// out[i] is the composed bidirectional answer (zero-valued when not
+// found) and expired[i] reports that pair i's deadline passed before its
+// answer was ready, exactly as QueryBatchPartial. Both returned slices
+// are reused by the next Run call. Cancellation of ctx aborts the whole
+// window with ctx.Err().
+func (b *StreamBatch) Run(ctx context.Context, reqs []PairReq) ([]PathInfo, []bool, error) {
+	n := len(reqs)
+	b.reqs = reqs
+	if cap(b.dbl) < 2*n {
+		b.dbl = make([][2]netsim.Prefix, 2*n)
+	} else {
+		b.dbl = b.dbl[:2*n]
+	}
+	for i, rq := range reqs {
+		b.dbl[2*i] = [2]netsim.Prefix{rq.Src, rq.Dst}
+		b.dbl[2*i+1] = [2]netsim.Prefix{rq.Dst, rq.Src}
+	}
+	if cap(b.legExp) < 2*n {
+		b.legExp = make([]bool, 2*n)
+	} else {
+		b.legExp = b.legExp[:2*n]
+		clear(b.legExp)
+	}
+	if cap(b.expired) < n {
+		b.expired = make([]bool, n)
+	} else {
+		b.expired = b.expired[:n]
+		clear(b.expired)
+	}
+	// Grow out by copying so reused entries keep their Clusters/ASPath
+	// slice capacities — that reuse is the whole point of the runner.
+	if cap(b.out) < n {
+		grown := make([]PathInfo, n)
+		copy(grown, b.out)
+		b.out = grown
+	} else {
+		b.out = b.out[:n]
+	}
+	for i := range b.out {
+		b.out[i].resetKeepCap()
+	}
+	b.group()
+	b.ctx = ctx
+	err := b.e.runGroups(ctx, b.order, b)
+	b.ctx = nil
+	b.reqs = nil
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range b.out {
+		if b.legExp[2*i] || b.legExp[2*i+1] {
+			b.expired[i] = true
+			b.out[i].resetKeepCap()
+			continue
+		}
+		b.e.finishQuery(&b.out[i], reqs[i].Dst)
+	}
+	return b.out, b.expired, nil
+}
+
+// group buckets the doubled legs by destination tree, reusing the map,
+// the group backing store, and each group's idxs capacity from previous
+// windows. order is rebuilt after grouping completes because appends may
+// move the groups backing array.
+func (b *StreamBatch) group() {
+	clear(b.byKey)
+	b.groups = b.groups[:0]
+	for i, pr := range b.dbl {
+		dstCl, ok := b.e.f.ClusterOf(pr[1])
+		if !ok {
+			continue
+		}
+		origin := b.e.f.OriginAS(pr[1])
+		k := treeKey(dstCl, origin)
+		gi, seen := b.byKey[k]
+		if !seen {
+			gi = int32(len(b.groups))
+			if cap(b.groups) > len(b.groups) {
+				b.groups = b.groups[:gi+1]
+				g := &b.groups[gi]
+				g.dstCl, g.origin = dstCl, origin
+				g.idxs = g.idxs[:0]
+			} else {
+				b.groups = append(b.groups, batchGroup{dstCl: dstCl, origin: origin})
+			}
+			b.byKey[k] = gi
+		}
+		g := &b.groups[gi]
+		g.idxs = append(g.idxs, i)
+	}
+	b.order = b.order[:0]
+	for i := range b.groups {
+		b.order = append(b.order, &b.groups[i])
+	}
+}
+
+// runGroup answers one destination group's legs in place — the
+// groupRunner hook runGroups invokes, possibly from worker goroutines
+// (groups are disjoint, and even/odd legs of one pair write disjoint
+// PathInfo fields, so concurrent groups never race). Deadline semantics
+// mirror predictPartial: the tree build runs under the latest member
+// deadline, and members whose own deadline has passed when the tree is
+// ready expire individually.
+func (b *StreamBatch) runGroup(g *batchGroup) {
+	e := b.e
+	var groupDl time.Time
+	bounded := true
+	for _, i := range g.idxs {
+		dl := b.reqs[i/2].Deadline
+		if dl.IsZero() {
+			bounded = false
+			break
+		}
+		if dl.After(groupDl) {
+			groupDl = dl
+		}
+	}
+	ctx := b.ctx
+	if bounded {
+		if !groupDl.After(time.Now()) {
+			for _, i := range g.idxs {
+				b.legExp[i] = true
+			}
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, groupDl)
+		defer cancel()
+	}
+	t, err := e.treeFor(ctx, g.dstCl, g.origin)
+	if err != nil {
+		for _, i := range g.idxs {
+			b.legExp[i] = true
+		}
+		return
+	}
+	now := time.Now()
+	for _, i := range g.idxs {
+		if dl := b.reqs[i/2].Deadline; !dl.IsZero() && now.After(dl) {
+			b.legExp[i] = true
+			continue
+		}
+		src, dst := b.dbl[i][0], b.dbl[i][1]
+		srcCl, ok := e.f.ClusterOf(src)
+		if !ok {
+			continue
+		}
+		p := b.legAt(i)
+		e.pathFromInto(t, srcCl, p)
+		if !p.Found {
+			continue
+		}
+		p.DstCluster = g.dstCl
+		if !b.noASPaths {
+			p.ASPath = e.asPathInto(p.ASPath, p.Clusters, e.f.OriginAS(src), e.f.OriginAS(dst))
+		}
+	}
+}
+
+// legAt maps a doubled-leg index to its in-place Prediction: even legs
+// are the pair's forward leg, odd its reverse.
+func (b *StreamBatch) legAt(i int) *Prediction {
+	if i%2 == 0 {
+		return &b.out[i/2].Fwd
+	}
+	return &b.out[i/2].Rev
+}
+
+// resetKeepCap clears info for reuse, keeping the capacity of both legs'
+// path slices.
+func (info *PathInfo) resetKeepCap() {
+	info.Found = false
+	info.RTTMS = 0
+	info.LossRate = 0
+	info.Fwd.reset()
+	info.Rev.reset()
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestStreamBatchMatchesQueryBatchPartial is the parity property for the
+// reusable runner: across consecutive windows on one StreamBatch (the
+// buffer-reuse shape), under every algorithm variant, Run must return
+// exactly what a fresh QueryBatchPartial returns for the same window.
+func TestStreamBatchMatchesQueryBatchPartial(t *testing.T) {
+	w := buildWorld(t, 83)
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			e := New(w.a, opts)
+			sb := e.NewStreamBatch(false)
+			ctx := context.Background()
+			for window := 0; window < 4; window++ {
+				pairs := randomPairs(rng, w, 20+window*17)
+				reqs := make([]PairReq, len(pairs))
+				for i, pr := range pairs {
+					reqs[i] = PairReq{Src: pr[0], Dst: pr[1]}
+				}
+				got, gotExp, err := sb.Run(ctx, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantExp, err := e.QueryBatchPartial(ctx, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range reqs {
+					if gotExp[i] != wantExp[i] {
+						t.Fatalf("window %d pair %d: expired %v != %v", window, i, gotExp[i], wantExp[i])
+					}
+					if !samePathInfo(got[i], want[i]) {
+						t.Fatalf("window %d pair %d (%v->%v):\nstream  %+v\npartial %+v",
+							window, i, reqs[i].Src, reqs[i].Dst, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// samePathInfo compares answers treating nil and empty path slices as
+// equal: the reusable runner keeps slice capacity across windows, so a
+// not-reached leg holds an empty (not nil) slice.
+func samePathInfo(a, b PathInfo) bool {
+	normPred := func(p *Prediction) {
+		if len(p.Clusters) == 0 {
+			p.Clusters = nil
+		}
+		if len(p.ASPath) == 0 {
+			p.ASPath = nil
+		}
+	}
+	normPred(&a.Fwd)
+	normPred(&a.Rev)
+	normPred(&b.Fwd)
+	normPred(&b.Rev)
+	return reflect.DeepEqual(a, b)
+}
+
+// TestStreamBatchNoASPaths checks the server shape: AS paths are skipped
+// but every other field matches the full answer.
+func TestStreamBatchNoASPaths(t *testing.T) {
+	w := buildWorld(t, 84)
+	e := New(w.a, INanoOptions())
+	sb := e.NewStreamBatch(true)
+	rng := rand.New(rand.NewSource(84))
+	pairs := randomPairs(rng, w, 60)
+	reqs := make([]PairReq, len(pairs))
+	for i, pr := range pairs {
+		reqs[i] = PairReq{Src: pr[0], Dst: pr[1]}
+	}
+	got, _, err := sb.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.QueryBatchPartial(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if len(got[i].Fwd.ASPath) != 0 || len(got[i].Rev.ASPath) != 0 {
+			t.Fatalf("pair %d: noASPaths answer carries AS paths", i)
+		}
+		want[i].Fwd.ASPath = nil
+		want[i].Rev.ASPath = nil
+		if !samePathInfo(got[i], want[i]) {
+			t.Fatalf("pair %d: stream %+v != partial-sans-aspath %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamBatchDeadlines checks the per-pair deadline contract on the
+// reusable runner: already-expired pairs report expired with a zero
+// answer, patient pairs of the same window still answer.
+func TestStreamBatchDeadlines(t *testing.T) {
+	w := buildWorld(t, 85)
+	e := New(w.a, INanoOptions())
+	src, dst := pickFoundPair(t, w, e)
+	sb := e.NewStreamBatch(false)
+	reqs := []PairReq{
+		{Src: src, Dst: dst, Deadline: time.Now().Add(-time.Second)},
+		{Src: src, Dst: dst, Deadline: time.Now().Add(time.Minute)},
+		{Src: src, Dst: dst},
+	}
+	out, expired, err := sb.Run(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expired[0] || out[0].Found {
+		t.Fatalf("past-deadline pair: expired=%v found=%v, want true,false", expired[0], out[0].Found)
+	}
+	for i := 1; i < 3; i++ {
+		if expired[i] || !out[i].Found {
+			t.Fatalf("pair %d: expired=%v found=%v, want false,true", i, expired[i], out[i].Found)
+		}
+	}
+}
+
+// TestStreamBatchCancelled checks that context cancellation aborts the
+// window with the context error, like QueryBatchPartial.
+func TestStreamBatchCancelled(t *testing.T) {
+	w := buildWorld(t, 85)
+	e := New(w.a, INanoOptions())
+	sb := e.NewStreamBatch(false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := sb.Run(ctx, []PairReq{{Src: w.vps[0], Dst: w.targets[0]}})
+	if err != context.Canceled {
+		t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamBatchZeroAlloc is the allocation gate for the streamed batch
+// path, the window-level sibling of TestWarmQueryZeroAlloc: once a
+// window's trees are cached and the runner's buffers have grown, a whole
+// Run — doubling, grouping, prediction, composition — must not allocate.
+// CI runs this in the bench job.
+func TestStreamBatchZeroAlloc(t *testing.T) {
+	w := buildWorld(t, 61)
+	e := New(w.a, INanoOptions())
+	sb := e.NewStreamBatch(true)
+
+	reqs := make([]PairReq, 0, 64)
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, PairReq{
+			Src: w.vps[i%len(w.vps)],
+			Dst: w.targets[(i*7)%len(w.targets)],
+		})
+	}
+	ctx := context.Background()
+	if _, _, err := sb.Run(ctx, reqs); err != nil { // warm trees + buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := sb.Run(ctx, reqs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm StreamBatch.Run allocates %v times per window, want 0", allocs)
+	}
+}
+
+// BenchmarkStreamBatch_Warm is the steady-state streamed serving loop:
+// one reusable runner, repeated 64-pair windows over cached trees.
+// pairs/s = 64 * ops/s.
+func BenchmarkStreamBatch_Warm(b *testing.B) {
+	w := buildWorld(b, 61)
+	e := New(w.a, INanoOptions())
+	sb := e.NewStreamBatch(true)
+	reqs := make([]PairReq, 0, 64)
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, PairReq{
+			Src: w.vps[i%len(w.vps)],
+			Dst: w.targets[(i*7)%len(w.targets)],
+		})
+	}
+	ctx := context.Background()
+	if _, _, err := sb.Run(ctx, reqs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sb.Run(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"math"
+	"strconv"
+
+	inano "inano"
+)
+
+// The /v1/batch fast path: a strict-canonical NDJSON line parser and a
+// hand-rolled answer encoder that together make the streamed batch loop
+// allocation-free per line (paired with core.StreamBatch for the
+// per-window prediction work).
+//
+// Correctness contract: the fast parser claims a line only when it is
+// byte-for-byte in the canonical shape
+//
+//	{"src":"A.B.C.D","dst":"A.B.C.D"}
+//	{"src":"A.B.C.D","dst":"A.B.C.D","deadline_ms":N}
+//
+// with strictly canonical dotted quads (digit-only octets, no leading
+// zeros, 0-255) and a plain non-negative integer deadline. Everything
+// else — reordered fields, whitespace, escapes, exponents, and the
+// non-canonical addresses feedback.ParseIPv4 happens to accept (leading
+// '+', "-0") — falls back to the json.Unmarshal path, which echoes the
+// original strings and produces the same errors it always has. The
+// encoder replicates encoding/json's output for queryResult byte for
+// byte (field order, omitempty, float formatting, trailing newline),
+// pinned by TestAppendResultLineMatchesEncoder.
+
+var (
+	fastLineSrc = []byte(`{"src":"`)
+	fastLineDst = []byte(`","dst":"`)
+	fastLineEnd = []byte(`"}`)
+	fastLineDMS = []byte(`","deadline_ms":`)
+)
+
+// parseCanonIPv4 parses a strictly canonical dotted quad at the start of
+// b, returning the address and the number of bytes consumed (-1 when b
+// does not start with one).
+func parseCanonIPv4(b []byte) (inano.IP, int) {
+	var ip uint32
+	i := 0
+	for oct := 0; oct < 4; oct++ {
+		if oct > 0 {
+			if i >= len(b) || b[i] != '.' {
+				return 0, -1
+			}
+			i++
+		}
+		start := i
+		v := 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' && i-start < 3 {
+			v = v*10 + int(b[i]-'0')
+			i++
+		}
+		if i == start || v > 255 {
+			return 0, -1
+		}
+		if b[start] == '0' && i-start > 1 {
+			return 0, -1 // leading zero: not canonical
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return inano.IP(ip), i
+}
+
+// parseBatchLine parses one canonical batch request line without
+// allocating. ok is false when the line is anything but the exact
+// canonical shape; the caller must then fall back to json.Unmarshal.
+func parseBatchLine(line []byte) (src, dst inano.IP, deadlineMS int64, ok bool) {
+	if len(line) < len(fastLineSrc) || string(line[:len(fastLineSrc)]) != string(fastLineSrc) {
+		return 0, 0, 0, false
+	}
+	i := len(fastLineSrc)
+	src, n := parseCanonIPv4(line[i:])
+	if n < 0 {
+		return 0, 0, 0, false
+	}
+	i += n
+	if len(line)-i < len(fastLineDst) || string(line[i:i+len(fastLineDst)]) != string(fastLineDst) {
+		return 0, 0, 0, false
+	}
+	i += len(fastLineDst)
+	dst, n = parseCanonIPv4(line[i:])
+	if n < 0 {
+		return 0, 0, 0, false
+	}
+	i += n
+	rest := line[i:]
+	if len(rest) == len(fastLineEnd) && string(rest) == string(fastLineEnd) {
+		return src, dst, 0, true
+	}
+	if len(rest) < len(fastLineDMS) || string(rest[:len(fastLineDMS)]) != string(fastLineDMS) {
+		return 0, 0, 0, false
+	}
+	rest = rest[len(fastLineDMS):]
+	if len(rest) < 2 || rest[len(rest)-1] != '}' {
+		return 0, 0, 0, false
+	}
+	digits := rest[:len(rest)-1]
+	// 1-18 plain digits: no sign, no exponent, no int64 overflow. A lone
+	// "0" is fine ("no deadline", same as the slow path). Longer numbers
+	// fall back so json.Unmarshal reports overflow exactly as before.
+	if len(digits) == 0 || len(digits) > 18 {
+		return 0, 0, 0, false
+	}
+	if len(digits) > 1 && digits[0] == '0' {
+		return 0, 0, 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, 0, 0, false
+		}
+		deadlineMS = deadlineMS*10 + int64(c-'0')
+	}
+	return src, dst, deadlineMS, true
+}
+
+// appendIPv4 appends the canonical dotted-quad form of ip. For addresses
+// claimed by parseCanonIPv4 this regenerates the request bytes exactly,
+// so fast-path lines need not retain their src/dst strings at all.
+func appendIPv4(b []byte, ip inano.IP) []byte {
+	for shift := 24; shift >= 0; shift -= 8 {
+		if shift < 24 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendUint(b, uint64(uint8(ip>>uint(shift))), 10)
+	}
+	return b
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64:
+// shortest representation, 'f' form unless the magnitude calls for 'e'
+// form, with the exponent's leading zero stripped.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json cleans "e-09" to "e-9" etc.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// jsonSafe reports whether s can be embedded in a JSON string without
+// any escaping, under json.Encoder's default HTML-escaping rules. Every
+// string feedback.ParseIPv4 accepts is safe (digits, '.', '+', '-');
+// the check guards the fast encoder against that ever changing — an
+// unsafe echo string routes its line through the generic encoder.
+func jsonSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// batchEcho is what a batch stream retains per buffered pair to echo the
+// request's src/dst back on its answer line. Fast-parsed lines store
+// only the addresses (src == "") and regenerate the canonical text;
+// slow-parsed lines keep the original strings verbatim.
+type batchEcho struct {
+	src, dst     string
+	srcIP, dstIP inano.IP
+}
+
+// appendEchoString appends the echoed address: the retained string when
+// present, the canonical regeneration otherwise.
+func appendEchoString(b []byte, s string, ip inano.IP) []byte {
+	if s == "" {
+		return appendIPv4(b, ip)
+	}
+	return append(b, s...)
+}
+
+// appendResultLine appends one /v1/batch answer line + '\n', byte-for-
+// byte identical to json.Encoder encoding the equivalent queryResult
+// (withPaths=false shape): declared field order, found/day always
+// present, zero-valued floats omitted, error last. errMsg must need no
+// JSON escaping (the only caller passes a literal) and the echo strings
+// must be jsonSafe (the caller checks).
+func appendResultLine(buf []byte, e *batchEcho, day int, info *inano.PathInfo, errMsg string) []byte {
+	buf = append(buf, `{"src":"`...)
+	buf = appendEchoString(buf, e.src, e.srcIP)
+	buf = append(buf, `","dst":"`...)
+	buf = appendEchoString(buf, e.dst, e.dstIP)
+	buf = append(buf, `","found":`...)
+	if info.Found {
+		buf = append(buf, "true"...)
+		if info.RTTMS != 0 {
+			buf = append(buf, `,"rtt_ms":`...)
+			buf = appendJSONFloat(buf, info.RTTMS)
+		}
+		if info.LossRate != 0 {
+			buf = append(buf, `,"loss_rate":`...)
+			buf = appendJSONFloat(buf, info.LossRate)
+		}
+		if info.Fwd.LatencyMS != 0 {
+			buf = append(buf, `,"fwd_ms":`...)
+			buf = appendJSONFloat(buf, info.Fwd.LatencyMS)
+		}
+		if info.Rev.LatencyMS != 0 {
+			buf = append(buf, `,"rev_ms":`...)
+			buf = appendJSONFloat(buf, info.Rev.LatencyMS)
+		}
+	} else {
+		buf = append(buf, "false"...)
+	}
+	buf = append(buf, `,"day":`...)
+	buf = strconv.AppendInt(buf, int64(day), 10)
+	if errMsg != "" {
+		buf = append(buf, `,"error":"`...)
+		buf = append(buf, errMsg...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}

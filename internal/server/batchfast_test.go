@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	inano "inano"
+	"inano/internal/core"
+	"inano/internal/netsim"
+)
+
+func TestParseBatchLine(t *testing.T) {
+	cases := []struct {
+		line     string
+		ok       bool
+		src, dst string // canonical echo when ok
+		dms      int64
+	}{
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8"}`, ok: true, src: "1.2.3.4", dst: "5.6.7.8", dms: 0},
+		{line: `{"src":"0.0.0.0","dst":"255.255.255.255"}`, ok: true, src: "0.0.0.0", dst: "255.255.255.255"},
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","deadline_ms":250}`, ok: true, src: "1.2.3.4", dst: "5.6.7.8", dms: 250},
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","deadline_ms":0}`, ok: true, src: "1.2.3.4", dst: "5.6.7.8", dms: 0},
+		// Everything below must fall back to the generic decoder.
+		{line: `{"src": "1.2.3.4","dst":"5.6.7.8"}`},                                  // whitespace
+		{line: `{"dst":"5.6.7.8","src":"1.2.3.4"}`},                                   // reordered
+		{line: `{"src":"+1.2.3.4","dst":"5.6.7.8"}`},                                  // ParseIPv4 quirk form
+		{line: `{"src":"01.2.3.4","dst":"5.6.7.8"}`},                                  // leading zero
+		{line: `{"src":"1.2.3.256","dst":"5.6.7.8"}`},                                 // octet overflow
+		{line: `{"src":"1.2.3","dst":"5.6.7.8"}`},                                     // 3 octets
+		{line: `{"src":"1.2.3.4.5","dst":"5.6.7.8"}`},                                 // 5 octets
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","deadline_ms":-1}`},                  // negative
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","deadline_ms":1e3}`},                 // exponent
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","deadline_ms":01}`},                  // leading zero
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","deadline_ms":9999999999999999999}`}, // overflow
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8"} `},                                  // trailing junk
+		{line: `{"src":"1.2.3.4","dst":"5.6.7.8","x":1}`},                             // unknown field
+		{line: `{"src":"1.2.3.4"}`},
+		{line: ``},
+	}
+	for _, tc := range cases {
+		src, dst, dms, ok := parseBatchLine([]byte(tc.line))
+		if ok != tc.ok {
+			t.Errorf("parseBatchLine(%q) ok=%v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		gotSrc := string(appendIPv4(nil, src))
+		gotDst := string(appendIPv4(nil, dst))
+		if gotSrc != tc.src || gotDst != tc.dst || dms != tc.dms {
+			t.Errorf("parseBatchLine(%q) = %s,%s,%d want %s,%s,%d",
+				tc.line, gotSrc, gotDst, dms, tc.src, tc.dst, tc.dms)
+		}
+		// Round trip through the strict parser must agree with the
+		// shared production parser.
+		want, err := parseIP(tc.src)
+		if err != nil || want != src {
+			t.Errorf("parseBatchLine(%q) src %v != ParseIPv4 %v (%v)", tc.line, src, want, err)
+		}
+	}
+}
+
+// TestAppendResultLineMatchesEncoder pins the hand-rolled answer encoder
+// to encoding/json byte for byte, across found/not-found, expired, zero
+// and extreme float values — the property that lets the fast path and
+// the generic path interleave on one stream without a client noticing.
+func TestAppendResultLineMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	floats := []float64{0, 0.05, 12.5, 1.0 / 3, 9.999999999e-7, 1e-7, 3e21, 123456789.000001}
+	randInfo := func() inano.PathInfo {
+		var info inano.PathInfo
+		info.Found = rng.Intn(4) > 0
+		if info.Found {
+			info.RTTMS = floats[rng.Intn(len(floats))]
+			info.LossRate = floats[rng.Intn(len(floats))]
+			info.Fwd.LatencyMS = floats[rng.Intn(len(floats))]
+			info.Rev.LatencyMS = floats[rng.Intn(len(floats))]
+		}
+		return info
+	}
+	for trial := 0; trial < 2000; trial++ {
+		info := randInfo()
+		e := batchEcho{srcIP: inano.IP(rng.Uint32()), dstIP: inano.IP(rng.Uint32())}
+		if trial%3 == 0 {
+			e.src = "+1.2.3.4" // slow-path echo string, kept verbatim
+			e.dst = "9.9.9.9"
+		}
+		errMsg := ""
+		if trial%5 == 0 {
+			info = inano.PathInfo{}
+			errMsg = "deadline_ms exceeded"
+		}
+		day := rng.Intn(1000)
+
+		got := appendResultLine(nil, &e, day, &info, errMsg)
+
+		srcStr, dstStr := e.src, e.dst
+		if srcStr == "" {
+			srcStr = string(appendIPv4(nil, e.srcIP))
+			dstStr = string(appendIPv4(nil, e.dstIP))
+		}
+		res := resultFor(srcStr, dstStr, day, info, false)
+		res.Error = errMsg
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(res); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("trial %d:\nappend  %q\nencoder %q\ninfo %+v", trial, got, want.Bytes(), info)
+		}
+	}
+}
+
+// TestBatchFastPathParity runs one mixed stream — canonical lines,
+// whitespace variants, ParseIPv4-quirk addresses, per-pair deadlines,
+// unknown destinations, blank lines — through a fast-path server and a
+// fast-path-disabled server and requires byte-identical response bodies.
+func TestBatchFastPathParity(t *testing.T) {
+	f := buildFixture(t, 210)
+	_, tsFast := start(t, f, nil)
+	_, tsSlow := start(t, f, func(c *Config) { c.DisableBatchFastPath = true })
+
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		src := ipStr(f.vps[i%len(f.vps)])
+		dst := ipStr(f.targets[(i*7)%len(f.targets)])
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&b, "{\"src\":%q,\"dst\":%q}\n", src, dst)
+		case 1: // whitespace: generic path, same answer
+			fmt.Fprintf(&b, "{\"src\": %q, \"dst\": %q}\n", src, dst)
+		case 2: // generous per-pair deadline on the fast shape
+			fmt.Fprintf(&b, "{\"src\":%q,\"dst\":%q,\"deadline_ms\":60000}\n", src, dst)
+		case 3: // unknown destination: found=false line
+			fmt.Fprintf(&b, "{\"src\":%q,\"dst\":\"255.255.255.254\"}\n", src)
+		case 4: // quirk address ParseIPv4 accepts; echo must stay verbatim
+			fmt.Fprintf(&b, "{\"src\":\"+%s\",\"dst\":%q}\n\n", src, dst)
+		}
+	}
+	body := b.String()
+
+	post := func(url string) string {
+		resp, err := http.Post(url+"/v1/batch?window=7", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, out)
+		}
+		return string(out)
+	}
+	fast, slow := post(tsFast.URL), post(tsSlow.URL)
+	if fast != slow {
+		t.Fatalf("fast and slow batch bodies differ:\nfast:\n%s\nslow:\n%s", fast, slow)
+	}
+	if n := strings.Count(fast, "\n"); n != 40 {
+		t.Fatalf("batch answered %d lines, want 40", n)
+	}
+}
+
+// TestBatchFastPathExpiredParity checks the expired-pair line shape
+// through the fast path: src/dst echoed, found false, the deadline error
+// — and that it matches the disabled path byte for byte.
+func TestBatchFastPathExpiredParity(t *testing.T) {
+	f := buildFixture(t, 211)
+	_, tsFast := start(t, f, nil)
+	_, tsSlow := start(t, f, func(c *Config) { c.DisableBatchFastPath = true })
+	// deadline_ms:1 expires during window buffering (the server only
+	// answers at flush, and the producer holds the stream open past the
+	// deadline), so the pair comes back expired; the second pair has no
+	// deadline and must still answer.
+	body := fmt.Sprintf("{\"src\":%q,\"dst\":%q,\"deadline_ms\":1}\n{\"src\":%q,\"dst\":%q}\n",
+		ipStr(f.vps[0]), ipStr(f.targets[1]), ipStr(f.vps[1]), ipStr(f.targets[2]))
+	post := func(url string) string {
+		pr, pw := io.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			io.WriteString(pw, body)
+			time.Sleep(100 * time.Millisecond) // let deadline_ms=1 lapse
+			pw.Close()                         // EOF triggers the flush
+		}()
+		resp, err := http.Post(url+"/v1/batch", "application/x-ndjson", pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		<-done
+		return string(out)
+	}
+	fast, slow := post(tsFast.URL), post(tsSlow.URL)
+	if fast != slow {
+		t.Fatalf("expired-pair bodies differ:\nfast:\n%s\nslow:\n%s", fast, slow)
+	}
+	if !strings.Contains(fast, "deadline_ms exceeded") {
+		t.Fatalf("expired pair not reported: %s", fast)
+	}
+}
+
+// TestBatchFastPathZeroAlloc is the CI allocation gate for the streamed
+// batch fast path, mirroring TestWarmQueryZeroAlloc: one warm window's
+// full serving loop — strict line parse, StreamBatch run, answer-line
+// encode — must not allocate. It drives the same functions handleBatch
+// does, outside HTTP (the transport writes are covered by bufio either
+// way).
+func TestBatchFastPathZeroAlloc(t *testing.T) {
+	f := buildFixture(t, 212)
+	snap := f.client.Snapshot()
+	sb := snap.StreamBatch(true)
+	day := snap.Day()
+
+	lines := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		lines = append(lines, fmt.Appendf(nil, "{\"src\":%q,\"dst\":%q}",
+			ipStr(f.vps[i%len(f.vps)]), ipStr(f.targets[(i*7)%len(f.targets)])))
+	}
+	reqs := make([]core.PairReq, 0, len(lines))
+	echoes := make([]batchEcho, 0, len(lines))
+	var lineBuf []byte
+	var sink int
+	window := func() {
+		reqs, echoes = reqs[:0], echoes[:0]
+		for _, line := range lines {
+			src, dst, _, ok := parseBatchLine(line)
+			if !ok {
+				t.Fatal("fixture line not canonical")
+			}
+			reqs = append(reqs, core.PairReq{Src: netsim.PrefixOf(src), Dst: netsim.PrefixOf(dst)})
+			echoes = append(echoes, batchEcho{srcIP: src, dstIP: dst})
+		}
+		infos, expired, err := sb.Run(context.Background(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range infos {
+			errMsg := ""
+			if expired[i] {
+				errMsg = "deadline_ms exceeded"
+			}
+			lineBuf = appendResultLine(lineBuf[:0], &echoes[i], day, &infos[i], errMsg)
+			sink += len(lineBuf)
+		}
+	}
+	window() // warm trees + buffers
+	allocs := testing.AllocsPerRun(50, window)
+	if allocs != 0 {
+		t.Fatalf("warm batch fast-path window allocates %v times, want 0 (sink %d)", allocs, sink)
+	}
+}
+
+// BenchmarkBatchStream measures the streamed /v1/batch serving loop
+// end-to-end over HTTP: 64-pair windows, warm trees, fast path on
+// ("fast") and off ("generic") for an A/B of the zero-alloc line
+// parser/encoder against the json.Unmarshal/Encoder path.
+// pairs/s = 64 * window ops/s.
+func BenchmarkBatchStream(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		disable bool
+	}{{"fast", false}, {"generic", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			f := buildFixture(b, 212)
+			_, ts := start(b, f, func(c *Config) {
+				c.StreamWindow = 64
+				c.DisableBatchFastPath = bc.disable
+			})
+			var body bytes.Buffer
+			for i := 0; i < 64; i++ {
+				fmt.Fprintf(&body, "{\"src\":%q,\"dst\":%q}\n",
+					ipStr(f.vps[i%len(f.vps)]), ipStr(f.targets[(i*7)%len(f.targets)]))
+			}
+			lines := body.Bytes()
+			run := func() {
+				resp, err := http.Post(ts.URL+"/v1/batch", "application/x-ndjson", bytes.NewReader(lines))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+			run() // warm trees
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}

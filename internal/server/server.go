@@ -20,6 +20,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -27,7 +28,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +81,13 @@ type Config struct {
 	// and as an X-Inano-Peer response header so routers and harnesses can
 	// tell replicas apart. Empty = standalone (no header).
 	PeerID string
+	// DisableBatchFastPath turns off the zero-allocation /v1/batch fast
+	// path (strict-canonical line parser + hand-rolled NDJSON answer
+	// encoder + reusable core.StreamBatch runner) and serves every stream
+	// through the generic json.Unmarshal/Encoder path instead. Answers
+	// are byte-identical either way — this exists as an operational
+	// escape hatch (inanod -batch-fastpath=false), not a behavior switch.
+	DisableBatchFastPath bool
 	// Logf logs serving events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -581,9 +588,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	snap := s.c.Snapshot()
 	day := snap.Day()
 
-	type echo struct{ src, dst string }
+	useFast := !s.cfg.DisableBatchFastPath
+	var sb *inano.StreamBatch
+	if useFast {
+		// The reusable runner keeps the stream's per-window buffers alive
+		// across flushes (and skips AS-path derivation: batch lines never
+		// serialize them), so steady-state windows allocate nothing.
+		sb = snap.StreamBatch(true)
+	}
 	reqs := make([]core.PairReq, 0, window)
-	echoes := make([]echo, 0, window)
+	echoes := make([]batchEcho, 0, window)
+	var lineBuf []byte // reused fast-path answer line
 	answered := 0
 	var streamErr error
 	// flushWindow answers the buffered window in one per-pair-deadline
@@ -595,18 +610,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		if len(reqs) == 0 {
 			return nil
 		}
-		infos, expired, err := snap.QueryReqs(ctx, reqs)
+		var infos []inano.PathInfo
+		var expired []bool
+		var err error
+		if useFast {
+			infos, expired, err = sb.Run(ctx, reqs)
+		} else {
+			infos, expired, err = snap.QueryReqs(ctx, reqs)
+		}
 		if err != nil {
 			streamErr = err
 			return nil
 		}
 		for i := range infos {
-			res := resultFor(echoes[i].src, echoes[i].dst, day, infos[i], false)
+			errMsg := ""
 			if expired[i] {
-				res.Error = "deadline_ms exceeded"
+				errMsg = "deadline_ms exceeded"
 			}
-			if encErr := enc.Encode(res); encErr != nil {
-				return fmt.Errorf("writing batch response: %w", encErr)
+			if useFast && jsonSafe(echoes[i].src) && jsonSafe(echoes[i].dst) {
+				lineBuf = appendResultLine(lineBuf[:0], &echoes[i], day, &infos[i], errMsg)
+				if _, encErr := bw.Write(lineBuf); encErr != nil {
+					return fmt.Errorf("writing batch response: %w", encErr)
+				}
+			} else {
+				res := resultFor(echoes[i].src, echoes[i].dst, day, infos[i], false)
+				res.Error = errMsg
+				if encErr := enc.Encode(res); encErr != nil {
+					return fmt.Errorf("writing batch response: %w", encErr)
+				}
 			}
 			answered++
 		}
@@ -619,35 +650,48 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	now := time.Now
 	for scanner.Scan() {
 		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
+		line := bytes.TrimSpace(scanner.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		var req pairRequest
-		if err := json.Unmarshal([]byte(line), &req); err != nil {
-			inputErr = fmt.Errorf("line %d: bad pair: %v", lineNo, err)
-			break
+		var src, dst inano.IP
+		var deadlineMS int64
+		var e batchEcho
+		fastOK := false
+		if useFast {
+			src, dst, deadlineMS, fastOK = parseBatchLine(line)
 		}
-		src, err := parseIP(req.Src)
-		if err != nil {
-			inputErr = fmt.Errorf("line %d: src: %v", lineNo, err)
-			break
-		}
-		dst, err := parseIP(req.Dst)
-		if err != nil {
-			inputErr = fmt.Errorf("line %d: dst: %v", lineNo, err)
-			break
-		}
-		if req.DeadlineMS < 0 {
-			inputErr = fmt.Errorf("line %d: bad deadline_ms %d", lineNo, req.DeadlineMS)
-			break
+		if fastOK {
+			e = batchEcho{srcIP: src, dstIP: dst}
+		} else {
+			var req pairRequest
+			if err := json.Unmarshal(line, &req); err != nil {
+				inputErr = fmt.Errorf("line %d: bad pair: %v", lineNo, err)
+				break
+			}
+			src, err = parseIP(req.Src)
+			if err != nil {
+				inputErr = fmt.Errorf("line %d: src: %v", lineNo, err)
+				break
+			}
+			dst, err = parseIP(req.Dst)
+			if err != nil {
+				inputErr = fmt.Errorf("line %d: dst: %v", lineNo, err)
+				break
+			}
+			if req.DeadlineMS < 0 {
+				inputErr = fmt.Errorf("line %d: bad deadline_ms %d", lineNo, req.DeadlineMS)
+				break
+			}
+			deadlineMS = req.DeadlineMS
+			e = batchEcho{src: req.Src, dst: req.Dst}
 		}
 		pr := core.PairReq{Src: netsim.PrefixOf(src), Dst: netsim.PrefixOf(dst)}
-		if req.DeadlineMS > 0 {
-			pr.Deadline = now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+		if deadlineMS > 0 {
+			pr.Deadline = now().Add(time.Duration(deadlineMS) * time.Millisecond)
 		}
 		reqs = append(reqs, pr)
-		echoes = append(echoes, echo{req.Src, req.Dst})
+		echoes = append(echoes, e)
 		if len(reqs) >= window {
 			if err := flushWindow(); err != nil {
 				s.pairsTotal.Add(uint64(answered))
