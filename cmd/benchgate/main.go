@@ -143,11 +143,7 @@ func main() {
 	}
 
 	if *update {
-		for name, g := range base.Benchmarks {
-			if xs, ok := samples[name]; ok {
-				g.NsPerOp = median(xs)
-			}
-		}
+		updated := updateBaseline(&base, samples)
 		out, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -155,7 +151,7 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchgate: baseline %s updated from %d benchmarks\n", *baselinePath, len(samples))
+		fmt.Printf("benchgate: baseline %s updated (%d of %d gates refreshed)\n", *baselinePath, updated, len(base.Benchmarks))
 		return
 	}
 
@@ -172,6 +168,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: all gates passed")
+}
+
+// updateBaseline rewrites each gated benchmark's recorded ns_per_op to the
+// observed median, returning how many entries were refreshed. Gates whose
+// benchmark is absent from the input keep their old numbers: a partial
+// bench run must not zero out the rest of the baseline.
+func updateBaseline(base *Baseline, samples map[string][]float64) int {
+	updated := 0
+	for name, g := range base.Benchmarks {
+		if xs, ok := samples[name]; ok {
+			g.NsPerOp = median(xs)
+			updated++
+		}
+	}
+	return updated
 }
 
 // runGate evaluates every gate, appends human-readable lines to report,

@@ -127,6 +127,30 @@ func TestRatioGateFails(t *testing.T) {
 	}
 }
 
+func TestUpdateBaseline(t *testing.T) {
+	samples, _ := parse(t)
+	base := &Baseline{
+		Benchmarks: map[string]*BenchGate{
+			"BenchmarkQueryBatch_SharedDestination": {NsPerOp: 1_500_000, MaxRegress: 0.10},
+			"BenchmarkNotInThisRun":                 {NsPerOp: 777},
+		},
+	}
+	if updated := updateBaseline(base, samples); updated != 1 {
+		t.Fatalf("updated = %d, want 1", updated)
+	}
+	if got := base.Benchmarks["BenchmarkQueryBatch_SharedDestination"].NsPerOp; got != 2_100_000 {
+		t.Fatalf("refreshed ns_per_op = %v, want observed median 2100000", got)
+	}
+	// Tolerances are config, not measurements: -update must not touch them.
+	if got := base.Benchmarks["BenchmarkQueryBatch_SharedDestination"].MaxRegress; got != 0.10 {
+		t.Fatalf("max_regress = %v, want 0.10 preserved", got)
+	}
+	// A gate absent from this run keeps its recorded timing.
+	if got := base.Benchmarks["BenchmarkNotInThisRun"].NsPerOp; got != 777 {
+		t.Fatalf("absent benchmark ns_per_op = %v, want 777 untouched", got)
+	}
+}
+
 func TestRatioGateSkippedBelowMinProcs(t *testing.T) {
 	// A parallelism-dependent ratio must not fail on a machine with fewer
 	// procs than it needs — the speedup physically cannot exist there.

@@ -35,14 +35,64 @@ var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
 // not validated.
 var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
 
-func main() {
-	var files []string
-	var roots []string  // explicitly named files: reachability roots
-	var walked []string // dir-discovered files: must be reachable
-	for _, arg := range os.Args[1:] {
+// checkResult is what one doccheck run found.
+type checkResult struct {
+	// Checked counts every link examined; Files every markdown file read.
+	Checked, Files int
+	// Broken lists resolution failures ("file: broken link ..."); Orphans
+	// lists dir-walked pages no link chain from a root reaches.
+	Broken, Orphans []string
+}
+
+func (r *checkResult) ok() bool { return len(r.Broken) == 0 && len(r.Orphans) == 0 }
+
+// run is the whole check: args are markdown files (reachability roots) and
+// directories (whose .md files must all be reachable from the roots).
+func run(args []string) (*checkResult, error) {
+	files, roots, walked, err := collectFiles(args)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no markdown files given")
+	}
+	res := &checkResult{Files: len(files)}
+	// links[file] lists the cleaned paths of markdown files `file` links
+	// to — the edges of the reachability walk below.
+	links := make(map[string][]string)
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		body := codeFenceRe.ReplaceAllString(string(b), "")
+		for _, m := range linkRe.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			res.Checked++
+			if err := checkLink(f, target); err != nil {
+				res.Broken = append(res.Broken, fmt.Sprintf("%s: %v", f, err))
+				continue
+			}
+			if to, ok := mdTarget(f, target); ok {
+				links[filepath.Clean(f)] = append(links[filepath.Clean(f)], to)
+			}
+		}
+	}
+	for _, f := range unreachable(roots, walked, links) {
+		res.Orphans = append(res.Orphans, fmt.Sprintf(
+			"%s: orphan page (no link chain from %s reaches it)", f, strings.Join(roots, ", ")))
+	}
+	return res, nil
+}
+
+// collectFiles splits the arguments into the file set to scan, the
+// explicitly named reachability roots, and the dir-discovered pages that
+// must be reachable.
+func collectFiles(args []string) (files, roots, walked []string, err error) {
+	for _, arg := range args {
 		st, err := os.Stat(arg)
 		if err != nil {
-			fatal(err)
+			return nil, nil, nil, err
 		}
 		if !st.IsDir() {
 			files = append(files, arg)
@@ -57,38 +107,15 @@ func main() {
 			return err
 		})
 		if err != nil {
-			fatal(err)
+			return nil, nil, nil, err
 		}
 	}
-	if len(files) == 0 {
-		fatal(fmt.Errorf("no markdown files given"))
-	}
-	broken := 0
-	checked := 0
-	// links[file] lists the cleaned paths of markdown files `file` links
-	// to — the edges of the reachability walk below.
-	links := make(map[string][]string)
-	for _, f := range files {
-		b, err := os.ReadFile(f)
-		if err != nil {
-			fatal(err)
-		}
-		body := codeFenceRe.ReplaceAllString(string(b), "")
-		for _, m := range linkRe.FindAllStringSubmatch(body, -1) {
-			target := m[1]
-			checked++
-			if err := checkLink(f, target); err != nil {
-				fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", f, err)
-				broken++
-				continue
-			}
-			if to, ok := mdTarget(f, target); ok {
-				links[filepath.Clean(f)] = append(links[filepath.Clean(f)], to)
-			}
-		}
-	}
-	// Orphan check: BFS from the root files over the link graph; every
-	// dir-walked page must be reached.
+	return files, roots, walked, nil
+}
+
+// unreachable BFSes from the root files over the link graph and returns
+// the walked pages no chain of links reaches, in input order.
+func unreachable(roots, walked []string, links map[string][]string) []string {
 	reached := make(map[string]bool)
 	queue := append([]string(nil), roots...)
 	for len(queue) > 0 {
@@ -100,17 +127,29 @@ func main() {
 		reached[f] = true
 		queue = append(queue, links[f]...)
 	}
-	orphans := 0
+	var orphans []string
 	for _, f := range walked {
 		if !reached[f] {
-			fmt.Fprintf(os.Stderr, "doccheck: %s: orphan page (no link chain from %s reaches it)\n",
-				f, strings.Join(roots, ", "))
-			orphans++
+			orphans = append(orphans, f)
 		}
 	}
-	fmt.Printf("doccheck: %d links across %d files", checked, len(files))
-	if broken > 0 || orphans > 0 {
-		fmt.Printf(", %d broken, %d orphaned\n", broken, orphans)
+	return orphans
+}
+
+func main() {
+	res, err := run(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	for _, msg := range res.Broken {
+		fmt.Fprintf(os.Stderr, "doccheck: %s\n", msg)
+	}
+	for _, msg := range res.Orphans {
+		fmt.Fprintf(os.Stderr, "doccheck: %s\n", msg)
+	}
+	fmt.Printf("doccheck: %d links across %d files", res.Checked, res.Files)
+	if !res.ok() {
+		fmt.Printf(", %d broken, %d orphaned\n", len(res.Broken), len(res.Orphans))
 		os.Exit(1)
 	}
 	fmt.Println(", all resolvable and reachable")

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> content under a fresh
+// temp dir and returns its root.
+func writeTree(t *testing.T, tree map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, body := range tree {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runIn runs the check from inside root so link targets resolve the same
+// way they do in CI (which runs from the repo root).
+func runIn(t *testing.T, root string, args ...string) *checkResult {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	res, err := run(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCleanTreePasses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":     "# Top\n\nSee the [guide](docs/guide.md#setup) and [site](https://example.com).\n",
+		"docs/guide.md": "# Guide\n\n## Setup\n\nBack to [README](../README.md).\n",
+	})
+	res := runIn(t, root, "README.md", "docs")
+	if !res.ok() {
+		t.Fatalf("clean tree reported problems: broken=%v orphans=%v", res.Broken, res.Orphans)
+	}
+	if res.Checked != 3 || res.Files != 2 {
+		t.Fatalf("checked=%d files=%d, want 3 links across 2 files", res.Checked, res.Files)
+	}
+}
+
+func TestBrokenLinkAndAnchor(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "[gone](missing.md)\n[bad anchor](guide.md#nope)\n",
+		"guide.md":  "# Guide\n",
+	})
+	res := runIn(t, root, "README.md", "guide.md")
+	if len(res.Broken) != 2 {
+		t.Fatalf("broken = %v, want 2 entries", res.Broken)
+	}
+	if !strings.Contains(res.Broken[0], "missing.md") || !strings.Contains(res.Broken[1], "#nope") {
+		t.Fatalf("broken messages don't name the failures: %v", res.Broken)
+	}
+}
+
+func TestOrphanPageDetected(t *testing.T) {
+	// linked.md is reachable from the root; lost.md is walked but nothing
+	// links to it — the rot doccheck exists to catch.
+	root := writeTree(t, map[string]string{
+		"README.md":      "[linked](docs/linked.md)\n",
+		"docs/linked.md": "# Linked\n",
+		"docs/lost.md":   "# Lost\n",
+	})
+	res := runIn(t, root, "README.md", "docs")
+	if len(res.Orphans) != 1 || !strings.Contains(res.Orphans[0], filepath.Join("docs", "lost.md")) {
+		t.Fatalf("orphans = %v, want exactly docs/lost.md", res.Orphans)
+	}
+}
+
+func TestTransitiveReachabilityCountsAsLinked(t *testing.T) {
+	// root -> a -> b: b has no direct link from the root but is not an
+	// orphan, because a chain reaches it.
+	root := writeTree(t, map[string]string{
+		"README.md": "[a](docs/a.md)\n",
+		"docs/a.md": "[b](b.md)\n",
+		"docs/b.md": "# B\n",
+	})
+	res := runIn(t, root, "README.md", "docs")
+	if len(res.Orphans) != 0 {
+		t.Fatalf("transitively linked page reported as orphan: %v", res.Orphans)
+	}
+}
+
+func TestCodeFenceLinksSkipped(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "Real: [ok](guide.md)\n\n```\n[example](does-not-exist.md)\n```\n",
+		"guide.md":  "# Guide\n",
+	})
+	res := runIn(t, root, "README.md", "guide.md")
+	if !res.ok() {
+		t.Fatalf("fenced example link was validated: %v", res.Broken)
+	}
+	if res.Checked != 1 {
+		t.Fatalf("checked = %d, want 1 (the fenced link skipped)", res.Checked)
+	}
+}
+
+func TestUnreachableWalk(t *testing.T) {
+	links := map[string][]string{
+		"root.md": {"a.md"},
+		"a.md":    {"b.md", "a.md"}, // self-link must not loop the BFS
+	}
+	got := unreachable([]string{"root.md"}, []string{"a.md", "b.md", "c.md"}, links)
+	if len(got) != 1 || got[0] != "c.md" {
+		t.Fatalf("unreachable = %v, want [c.md]", got)
+	}
+}
+
+func TestAnchorOf(t *testing.T) {
+	cases := map[string]string{
+		"Plain Heading":            "plain-heading",
+		"With `code` and *stars*":  "with-code-and-stars",
+		"Punct! (drops)  spaces":   "punct-drops--spaces",
+		"under_scores-and-hyphens": "under_scores-and-hyphens",
+	}
+	for in, want := range cases {
+		if got := anchorOf(in); got != want {
+			t.Errorf("anchorOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMdTarget(t *testing.T) {
+	if to, ok := mdTarget("docs/a.md", "../README.md#intro"); !ok || to != "README.md" {
+		t.Fatalf("mdTarget = %q, %v; want README.md, true", to, ok)
+	}
+	for _, target := range []string{"https://example.com/x.md", "#local-anchor", "diagram.svg"} {
+		if _, ok := mdTarget("a.md", target); ok {
+			t.Errorf("mdTarget(%q) resolved; want external/anchor/non-md skipped", target)
+		}
+	}
+}

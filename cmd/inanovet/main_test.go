@@ -1,0 +1,104 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inano/internal/analysis"
+)
+
+func TestParseEscapeLine(t *testing.T) {
+	cases := []struct {
+		in      string
+		file    string
+		ln, col int
+		msg     string
+		ok      bool
+	}{
+		{"./internal/core/path.go:110:28: ctx escapes to heap", "./internal/core/path.go", 110, 28, "ctx escapes to heap", true},
+		{"path.go:7: moved to heap: x", "path.go", 7, 0, "moved to heap: x", true},
+		{"# inano/internal/core", "", 0, 0, "", false},
+		{"notafile.txt:3:1: whatever", "", 0, 0, "", false},
+		{"bad.go:notanumber: msg", "", 0, 0, "", false},
+	}
+	for _, c := range cases {
+		file, ln, col, msg, ok := parseEscapeLine(c.in)
+		if ok != c.ok || file != c.file || ln != c.ln || col != c.col || msg != c.msg {
+			t.Errorf("parseEscapeLine(%q) = (%q,%d,%d,%q,%v), want (%q,%d,%d,%q,%v)",
+				c.in, file, ln, col, msg, ok, c.file, c.ln, c.col, c.msg, c.ok)
+		}
+	}
+}
+
+const annotatedSrc = `package p
+
+// Hot is on the zero-alloc path.
+//
+//inano:zeroalloc
+func Hot() {
+	_ = 1
+	//inano:alloc-ok amortized
+	_ = 2
+	_ = 3
+}
+
+func Cold() {}
+`
+
+func TestAnnotatedRanges(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", annotatedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := annotatedRanges(fset, []*analysis.Unit{{Fset: fset, Files: []*ast.File{f}}})
+	fr, ok := ranges["p.go"]
+	if !ok || len(fr) != 1 {
+		t.Fatalf("ranges = %v, want one entry for p.go", ranges)
+	}
+	r := fr[0]
+	if r.name != "Hot" {
+		t.Fatalf("annotated function = %q, want Hot (Cold is unannotated)", r.name)
+	}
+	// The extent must span the body; the alloc-ok comment line and the line
+	// after it are suppressed.
+	if !(r.start <= 6 && r.end >= 11) {
+		t.Fatalf("range [%d,%d] does not span Hot's body", r.start, r.end)
+	}
+	if !r.suppressed[8] {
+		t.Fatalf("suppressed = %v, want the //inano:alloc-ok line marked", r.suppressed)
+	}
+}
+
+func TestRelPos(t *testing.T) {
+	d := analysis.Diagnostic{Pos: token.Position{Filename: "/repo/internal/core/path.go", Line: 3, Column: 7}}
+	if got := relPos(d, "/repo"); got != "internal/core/path.go:3:7" {
+		t.Fatalf("relPos inside root = %q", got)
+	}
+	if got := relPos(d, "/elsewhere"); got != "/repo/internal/core/path.go:3:7" {
+		t.Fatalf("relPos outside root = %q, want absolute path kept", got)
+	}
+}
+
+func TestModuleRootFrom(t *testing.T) {
+	root := t.TempDir()
+	nested := filepath.Join(root, "internal", "core")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := moduleRootFrom(nested); got != root {
+		t.Fatalf("moduleRootFrom(%q) = %q, want %q", nested, got, root)
+	}
+	// Without a go.mod anywhere above, the starting dir comes back.
+	orphan := t.TempDir()
+	if got := moduleRootFrom(orphan); got != orphan {
+		t.Fatalf("moduleRootFrom with no go.mod = %q, want %q", got, orphan)
+	}
+}

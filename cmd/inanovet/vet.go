@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"inano/internal/analysis"
+	"inano/internal/analysis/loader"
+)
+
+// vetConfig is the per-package configuration cmd/go hands a vet tool (the
+// unitchecker protocol). Field names match the JSON cmd/go emits.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes one package under go vet -vettool. Facts from
+// dependencies arrive as gob-encoded .vetx files (PackageVetx); this
+// package's collected facts are written to VetxOutput for its dependents.
+// Exit status: 0 clean, 2 findings or failure — matching vet tools, where
+// any nonzero status surfaces the stderr output through cmd/go.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inanovet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "inanovet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	imp := loader.ExportLookup(fset, cfg.PackageFile, cfg.ImportMap)
+	unit, err := loader.CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "inanovet:", err)
+		return 2
+	}
+
+	facts := analysis.NewFactStore()
+	for dep, path := range cfg.PackageVetx {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inanovet: facts of %s: %v\n", dep, err)
+			return 2
+		}
+		var flat map[string][]string
+		err = gob.NewDecoder(f).Decode(&flat)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inanovet: decoding facts of %s: %v\n", dep, err)
+			return 2
+		}
+		facts.Merge(flat)
+	}
+
+	// The analyzers that read repository files resolve paths from the
+	// module root; under the vet protocol the package Dir is the closest
+	// stand-in (correct for this single-module repo).
+	diags, err := analysis.RunAnalyzers([]*analysis.Unit{unit}, analysis.All(), facts, moduleRootFrom(cfg.Dir))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inanovet:", err)
+		return 2
+	}
+
+	if cfg.VetxOutput != "" {
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inanovet:", err)
+			return 2
+		}
+		err = gob.NewEncoder(f).Encode(facts.Export())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inanovet: writing facts:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleRootFrom walks up from dir to the directory holding go.mod.
+func moduleRootFrom(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(d + "/go.mod"); err == nil {
+			return d
+		}
+		parent := d[:max(0, lastSlash(d))]
+		if parent == "" || parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation contract (docs/development.md):
+//
+//	//inano:zeroalloc   on a function's doc comment: the body must contain
+//	                    no allocation-introducing construct.
+//	//inano:alloc-ok reason
+//	                    on (or immediately above) a line inside a
+//	                    //inano:zeroalloc function: that line's allocation
+//	                    is accepted (e.g. amortized buffer growth).
+//	//inano:mmap        on a struct field: the slice may alias a read-only
+//	                    mmap; writes through it are forbidden everywhere.
+const (
+	directivePrefix   = "//inano:"
+	DirectiveZeroArc  = "zeroalloc"
+	DirectiveAllocOK  = "alloc-ok"
+	DirectiveMmapSafe = "mmap"
+)
+
+// parseDirective returns the directive name in a comment line, "" if the
+// comment is not an //inano: directive.
+func parseDirective(text string) string {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// hasDirective reports whether a doc comment group carries the directive.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if parseDirective(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines maps source line -> directive names present on that line,
+// for suppression lookups ("is this allocation //inano:alloc-ok'd?").
+func directiveLines(fset *token.FileSet, file *ast.File) map[int][]string {
+	out := make(map[int][]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d := parseDirective(c.Text); d != "" {
+				line := fset.Position(c.Pos()).Line
+				out[line] = append(out[line], d)
+			}
+		}
+	}
+	return out
+}
+
+// HasZeroAllocDirective reports whether fd is annotated //inano:zeroalloc
+// (exported for cmd/inanovet's escape-log cross-check).
+func HasZeroAllocDirective(fd *ast.FuncDecl) bool {
+	return hasDirective(fd.Doc, DirectiveZeroArc)
+}
+
+// AllocOKLines returns the lines of file carrying //inano:alloc-ok.
+func AllocOKLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for line, ds := range directiveLines(fset, file) {
+		for _, d := range ds {
+			if d == DirectiveAllocOK {
+				out[line] = true
+			}
+		}
+	}
+	return out
+}
+
+// suppressedAt reports whether directive name appears on pos's line or the
+// line directly above it (both placements read naturally in source).
+func suppressedAt(lines map[int][]string, fset *token.FileSet, pos token.Pos, name string) bool {
+	l := fset.Position(pos).Line
+	for _, d := range lines[l] {
+		if d == name {
+			return true
+		}
+	}
+	for _, d := range lines[l-1] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}

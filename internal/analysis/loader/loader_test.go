@@ -1,0 +1,136 @@
+package loader
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inano/internal/analysis"
+)
+
+// TestLoadModulePackage exercises the real driver path: go list -export
+// over a small module package, export-data importing for its stdlib deps,
+// and type-checking from source (the analyzers need comments and bodies).
+func TestLoadModulePackage(t *testing.T) {
+	// An import-path pattern, not a ./ one: the test's cwd is this package's
+	// directory, but import paths resolve anywhere inside the module.
+	pkgs, fset, root, err := Load([]string{"inano/internal/metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fset == nil || root == "" {
+		t.Fatalf("fset=%v root=%q", fset, root)
+	}
+	var metrics *Package
+	for _, p := range pkgs {
+		if p.ImportPath == "inano/internal/metrics" {
+			metrics = p
+		}
+	}
+	if metrics == nil {
+		t.Fatalf("inano/internal/metrics not among %d loaded packages", len(pkgs))
+	}
+	if metrics.Unit == nil || metrics.Unit.Pkg == nil || len(metrics.Unit.Files) == 0 {
+		t.Fatal("metrics package loaded without a typed unit")
+	}
+	// Comments must survive: the analyzers read //inano: directives.
+	hasComment := false
+	for _, f := range metrics.Unit.Files {
+		if len(f.Comments) > 0 {
+			hasComment = true
+		}
+	}
+	if !hasComment {
+		t.Fatal("parsed files carry no comments; analyzers need ParseComments")
+	}
+	if !filepath.IsAbs(root) {
+		t.Fatalf("module root %q is not absolute", root)
+	}
+}
+
+// TestLoadReportsBrokenPackage: a pattern that matches nothing loadable
+// must surface go list's error, not silently analyze zero packages.
+func TestLoadReportsBrokenPackage(t *testing.T) {
+	_, _, _, err := Load([]string{"./does/not/exist"})
+	if err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded")
+	}
+}
+
+func TestTypeCheckDirSingle(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "lockorder")
+	unit, err := TypeCheckDir(dir, "lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unit.Pkg.Path() != "lockorder" {
+		t.Fatalf("pkg path = %q", unit.Pkg.Path())
+	}
+}
+
+func TestTypeCheckDirsCrossPackage(t *testing.T) {
+	// mmapuse imports mmapflat by package path: the later spec must resolve
+	// the earlier one from the typed map, not from export data.
+	base := filepath.Join("..", "testdata", "src")
+	units, fset, err := TypeCheckDirs([][2]string{
+		{filepath.Join(base, "mmapflat"), "mmapflat"},
+		{filepath.Join(base, "mmapuse"), "mmapuse"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("units = %d, want 2", len(units))
+	}
+	use := units[1]
+	found := false
+	for _, imp := range use.Pkg.Imports() {
+		if imp.Path() == "mmapflat" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mmapuse imports %v, missing mmapflat", use.Pkg.Imports())
+	}
+	if fset != units[0].Fset || fset != use.Fset {
+		t.Fatal("units do not share the FileSet; analyzer positions would disagree")
+	}
+}
+
+func TestTypeCheckDirsRejectsEmptyDir(t *testing.T) {
+	if _, _, err := TypeCheckDirs([][2]string{{t.TempDir(), "empty"}}); err == nil {
+		t.Fatal("empty dir type-checked successfully")
+	}
+}
+
+// TestCheckFilesTypeError: the vettool entry point must return the type
+// error (cmd/go decides via SucceedOnTypecheckFailure what to do with it).
+func TestCheckFilesTypeError(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(bad, []byte("package bad\n\nfunc f() { undefined() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := CheckFiles(token.NewFileSet(), "bad", []string{bad}, ExportLookup(token.NewFileSet(), nil, nil))
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("err = %v, want type-checking failure", err)
+	}
+}
+
+// Checked units from TypeCheckDirs must be usable by the framework as-is.
+func TestUnitsRunThroughFramework(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "lockorder")
+	unit, err := TypeCheckDir(dir, "lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Unit{unit}, []*analysis.Analyzer{analysis.LockOrder}, nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("lockorder fixture produced no diagnostics through the framework")
+	}
+}

@@ -1,0 +1,77 @@
+// Package lockorder exercises the lockorder analyzer: copy-by-value,
+// missing-unlock paths, and inconsistent acquisition order, next to the
+// clean idioms (defer unlock, unlock-and-early-return) it must accept.
+package lockorder
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func byValueParam(g guarded) int { // want `passed by value contains a mutex`
+	return g.n
+}
+
+func takes(g guarded) { // want `passed by value contains a mutex`
+	_ = g.n
+}
+
+func copies(g *guarded) {
+	local := *g // want `assignment copies a mutex-containing value`
+	local.n++
+}
+
+func passesByValue(g *guarded) {
+	takes(*g) // want `call passes a mutex-containing value by value`
+}
+
+func missingUnlockOnReturn(g *guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		return g.n // want `return while lockorder\.guarded\.mu is held`
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func forgottenUnlock(g *guarded) {
+	g.mu.Lock() // want `lockorder\.guarded\.mu is still held when the function returns`
+	g.n++
+}
+
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func earlyReturn(g *guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		g.mu.Unlock()
+		return g.n
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `inconsistent lock order: lockorder\.pair\.b acquired while holding lockorder\.pair\.a`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package mmapflat declares a struct whose slices alias a read-only file
+// mapping, marked //inano:mmap for the mmapalias analyzer — the fixture
+// mirror of atlas.Flat.
+package mmapflat
+
+// Flat holds slices built by unsafe.Slice over a shared mapping.
+type Flat struct {
+	//inano:mmap
+	EdgeLat []uint16
+	//inano:mmap
+	EdgeFrom []uint32
+	Scratch  []uint16 // unmarked: writable
+}
+
+// Build constructs a Flat from private memory; writes during construction
+// are allowed (fresh-local exemption).
+func Build(n int) *Flat {
+	f := &Flat{}
+	f.EdgeLat = make([]uint16, n)
+	f.EdgeFrom = make([]uint32, n)
+	for i := range f.EdgeLat {
+		f.EdgeLat[i] = uint16(i)
+	}
+	return f
+}

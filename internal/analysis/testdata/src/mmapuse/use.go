@@ -1,0 +1,46 @@
+// Package mmapuse consumes mmapflat.Flat outside its declaring package:
+// reads and transient aliasing are fine, writes and retention are flagged.
+package mmapuse
+
+import "mmapflat"
+
+var leaked []uint16
+
+type holder struct {
+	lat []uint16
+}
+
+func reads(f *mmapflat.Flat) uint16 {
+	var sum uint16
+	for _, v := range f.EdgeLat {
+		sum += v
+	}
+	view := f.EdgeLat[1:] // transient local aliasing is fine
+	if len(view) > 0 {
+		sum += view[0]
+	}
+	return sum
+}
+
+func writes(f *mmapflat.Flat, src []uint16) {
+	f.EdgeLat[0] = 1                 // want `write to mmap-aliased slice f\.EdgeLat`
+	f.EdgeLat[0]++                   // want `write to mmap-aliased slice f\.EdgeLat`
+	copy(f.EdgeLat, src)             // want `copy into mmap-aliased slice f\.EdgeLat`
+	f.EdgeLat = append(f.EdgeLat, 9) // want `append to mmap-aliased slice f\.EdgeLat` `reassignment of mmap-aliased field f\.EdgeLat outside mmapflat`
+	f.Scratch[0] = 1                 // unmarked field: writable
+}
+
+func aliasChain(f *mmapflat.Flat) {
+	lat := f.EdgeLat
+	sub := lat[2:]
+	sub[0] = 3 // want `write to mmap-aliased slice sub`
+}
+
+func retains(f *mmapflat.Flat) {
+	leaked = f.EdgeLat // want `mmap-aliased slice retained in package-level leaked`
+}
+
+func retainsField(f *mmapflat.Flat, h *holder) {
+	h.lat = f.EdgeLat                       // want `mmap-aliased slice retained in struct field h\.lat`
+	h.lat = make([]uint16, len(f.EdgeFrom)) // a fresh slice is not retention
+}

@@ -1,0 +1,8 @@
+// Package snapatlas is the fixture atlas type for the snapmut analyzer.
+package snapatlas
+
+// Atlas mirrors the mutable map-based atlas the engine snapshots.
+type Atlas struct {
+	PrefixCluster map[string]int
+	Clusters      []int
+}

@@ -1,0 +1,11 @@
+// Package snapcore is the fixture engine constructor for the snapmut
+// analyzer: New compiles its atlas argument into a snapshot.
+package snapcore
+
+import "snapatlas"
+
+// Engine is the fixture engine.
+type Engine struct{ a *snapatlas.Atlas }
+
+// New snapshots a.
+func New(a *snapatlas.Atlas) *Engine { return &Engine{a: a} }

@@ -1,0 +1,30 @@
+// Package snapuse exercises the snapmut analyzer: mutating an atlas after
+// the engine snapshotted it is flagged; building beforehand is not.
+package snapuse
+
+import (
+	"snapatlas"
+	"snapcore"
+)
+
+func mutatesAfterSnapshot() *snapcore.Engine {
+	a := &snapatlas.Atlas{PrefixCluster: map[string]int{}}
+	a.PrefixCluster["p"] = 1 // building before the snapshot is fine
+	eng := snapcore.New(a)
+	a.PrefixCluster["q"] = 2           // want `mutates atlas a in place after snapcore\.New`
+	delete(a.PrefixCluster, "p")       // want `mutates atlas a in place after snapcore\.New`
+	a.Clusters = append(a.Clusters, 3) // want `field reassignment a\.Clusters mutates atlas a` `append to a\.Clusters mutates atlas a`
+	return eng
+}
+
+func buildsOnly() *snapatlas.Atlas {
+	a := &snapatlas.Atlas{PrefixCluster: map[string]int{}}
+	a.PrefixCluster["p"] = 1
+	a.Clusters = append(a.Clusters, 1)
+	return a
+}
+
+func snapshotLast() *snapcore.Engine {
+	a := &snapatlas.Atlas{PrefixCluster: map[string]int{"p": 1}}
+	return snapcore.New(a)
+}

@@ -1,0 +1,75 @@
+// Package zeroalloc exercises the zeroalloc analyzer: every construct the
+// check flags, the //inano:alloc-ok suppression, and the compiler-elided
+// conversion idioms it must stay silent on.
+package zeroalloc
+
+type sink interface{ m() }
+
+type val struct{ x int }
+
+func (v val) m() {}
+
+var global interface{}
+
+func helper() {}
+
+func variadicInt(xs ...int) int { return len(xs) }
+
+func variadicIface(xs ...interface{}) int { return len(xs) }
+
+// cold carries no annotation: nothing in it is reported.
+func cold(n int) []int {
+	s := make([]int, n)
+	return append(s, 1)
+}
+
+//inano:zeroalloc
+func allocators(n int, b []byte, s string) {
+	_ = make([]int, n)   // want `make allocates`
+	_ = new(val)         // want `new allocates`
+	_ = []int{1, 2}      // want `slice literal allocates its backing array`
+	_ = map[string]int{} // want `map literal allocates`
+	_ = &val{x: 1}       // want `&composite literal escapes to the heap`
+	go helper()          // want `go statement allocates a goroutine stack`
+	f := func() {}       // want `closure literal allocates`
+	f()
+	_ = string(b) // want `\[\]byte/\[\]rune to string conversion allocates`
+	_ = []byte(s) // want `string to \[\]byte/\[\]rune conversion allocates`
+	_ = s + s     // want `string concatenation allocates`
+}
+
+//inano:zeroalloc
+func boxing(n int, v val, sk sink) {
+	global = v      // want `conversion of zeroalloc\.val to interface`
+	var si sink = v // want `conversion of zeroalloc\.val to interface`
+	_ = si
+	g := v.m // want `method value allocates a bound-method closure`
+	_ = g
+	_ = variadicInt(n, n) // want `variadic call allocates its argument slice`
+	_ = variadicIface(n)  // want `conversion of int to interface` `variadic call allocates its argument slice`
+	sk.m()                // calling through an interface does not box
+}
+
+//inano:zeroalloc
+func retIface(n int) interface{} {
+	return n // want `conversion of int to interface`
+}
+
+//inano:zeroalloc
+func appends(dst []int, n int) []int {
+	out := append([]int{}, n) // want `slice literal allocates its backing array` `append to a fresh slice literal allocates`
+	_ = out
+	dst = append(dst, n) // capacity is the caller's contract: not reported
+	//inano:alloc-ok amortized regrow on overflow
+	grown := make([]int, 2*n)
+	_ = grown
+	return dst
+}
+
+//inano:zeroalloc
+func compares(b, key []byte, m map[string]int) int {
+	if string(b) == string(key) { // comparison operands: the copy is elided
+		return m[string(b)] // map-key conversion is elided too
+	}
+	return 0
+}

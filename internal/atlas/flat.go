@@ -43,50 +43,80 @@ type Flat struct {
 	// tables below is < NumClusters.
 	NumClusters int32
 	// ClusterAS maps each cluster to its owning AS (index = cluster ID).
+	//inano:mmap
 	ClusterAS []netsim.ASN
 
 	// CSR link table, bucketed by destination (To) cluster. Buckets
 	// preserve the Links slice order, so the engine relaxes edges in
 	// exactly the order the map-based engine did (tie-break parity).
-	EdgeStart  []uint32            // len NumClusters+1
-	EdgeFrom   []cluster.ClusterID // source cluster of the edge
-	EdgeLat    []float32
-	EdgeLoss   []float32 // 0 when the link has no loss annotation
+	//inano:mmap
+	EdgeStart []uint32 // len NumClusters+1
+	//inano:mmap
+	EdgeFrom []cluster.ClusterID // source cluster of the edge
+	//inano:mmap
+	EdgeLat []float32
+	//inano:mmap
+	EdgeLoss []float32 // 0 when the link has no loss annotation
+	//inano:mmap
 	EdgePlanes []uint8
-	EdgeFlags  []uint8      // EdgeSameAS | EdgeLate
-	EdgeRel    []netsim.Rel // relationship of To's AS from From's perspective
+	//inano:mmap
+	EdgeFlags []uint8 // EdgeSameAS | EdgeLate
+	//inano:mmap
+	EdgeRel []netsim.Rel // relationship of To's AS from From's perspective
+	//inano:mmap
 	EdgeFromAS []netsim.ASN
-	EdgeToAS   []netsim.ASN
-	EdgeToDeg  []int32 // observed AS-graph degree of the edge's To AS
+	//inano:mmap
+	EdgeToAS []netsim.ASN
+	//inano:mmap
+	EdgeToDeg []int32 // observed AS-graph degree of the edge's To AS
 
 	// Sorted prefix tables (parallel key/value slices): destination /24
 	// to attachment cluster, destination /24 to BGP origin AS, and
 	// infrastructure /24 to owning cluster.
+	//inano:mmap
 	PrefixClKeys []netsim.Prefix
+	//inano:mmap
 	PrefixClVals []cluster.ClusterID
+	//inano:mmap
 	PrefixASKeys []netsim.Prefix
+	//inano:mmap
 	PrefixASVals []netsim.ASN
-	IfaceKeys    []netsim.Prefix
-	IfaceVals    []cluster.ClusterID
+	//inano:mmap
+	IfaceKeys []netsim.Prefix
+	//inano:mmap
+	IfaceVals []cluster.ClusterID
 	// Residual corrections: the union of the atlas's shipped
 	// (GlobalAdjustMS) and client-local (AdjustMS) tables, key-aligned so
 	// one binary search answers both terms.
-	AdjustKeys   []netsim.Prefix
+	//inano:mmap
+	AdjustKeys []netsim.Prefix
+	//inano:mmap
 	AdjustGlobal []float32
-	AdjustLocal  []float32
+	//inano:mmap
+	AdjustLocal []float32
 
 	// Sorted policy sets.
-	Tuples    []uint64 // PackTriple keys
-	Prefs     []uint64 // PackTriple keys
+	//inano:mmap
+	Tuples []uint64 // PackTriple keys
+	//inano:mmap
+	Prefs []uint64 // PackTriple keys
+	//inano:mmap
 	Providers []uint64 // origin<<32 | provider
-	RelKeys   []uint64 // netsim.ASPairKey
-	RelVals   []netsim.Rel
-	LateExit  []uint64 // netsim.ASPairKey
+	//inano:mmap
+	RelKeys []uint64 // netsim.ASPairKey
+	//inano:mmap
+	RelVals []netsim.Rel
+	//inano:mmap
+	LateExit []uint64 // netsim.ASPairKey
 	// Full degree and loss tables (the per-edge arrays above carry the
 	// hot-path values; these exist so Inflate can reconstruct the maps).
-	DegKeys  []netsim.ASN
-	DegVals  []int32
+	//inano:mmap
+	DegKeys []netsim.ASN
+	//inano:mmap
+	DegVals []int32
+	//inano:mmap
 	LossKeys []uint64
+	//inano:mmap
 	LossVals []float32
 
 	// idx holds the derived Eytzinger-layout search indexes over the

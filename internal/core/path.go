@@ -98,6 +98,14 @@ func (e *Engine) predictForwardRaw(src, dst netsim.Prefix) Prediction {
 // predictForwardRawInto fills p with the residual-uncorrected forward
 // prediction, reusing p's slice capacity. This is the allocation-free
 // core of every query shape.
+//
+// bgCtx hoists context.Background() out of the query hot path: building
+// the Context interface value per call is an escape-analysis hit inside a
+// //inano:zeroalloc function (found by inanovet -escape), and the
+// singleton is what every call produced anyway.
+var bgCtx = context.Background()
+
+//inano:zeroalloc
 func (e *Engine) predictForwardRawInto(p *Prediction, src, dst netsim.Prefix) {
 	p.reset()
 	srcCl, okS := e.f.ClusterOf(src)
@@ -105,7 +113,7 @@ func (e *Engine) predictForwardRawInto(p *Prediction, src, dst netsim.Prefix) {
 	if !okS || !okD {
 		return
 	}
-	t, _ := e.treeFor(context.Background(), dstCl, e.f.OriginAS(dst))
+	t, _ := e.treeFor(bgCtx, dstCl, e.f.OriginAS(dst))
 	e.pathFromInto(t, srcCl, p)
 	if !p.Found {
 		return
@@ -261,6 +269,8 @@ func (e *Engine) Query(src, dst netsim.Prefix) PathInfo {
 // both directions are warm (cached), a QueryInto performs zero heap
 // allocations — the serving loop's steady state. The previous contents of
 // info are overwritten; its slices must not be aliased elsewhere.
+//
+//inano:zeroalloc
 func (e *Engine) QueryInto(info *PathInfo, src, dst netsim.Prefix) {
 	e.predictForwardRawInto(&info.Fwd, src, dst)
 	e.predictForwardRawInto(&info.Rev, dst, src)

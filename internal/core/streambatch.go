@@ -58,10 +58,13 @@ func (e *Engine) NewStreamBatch(noASPaths bool) *StreamBatch {
 // answer was ready, exactly as QueryBatchPartial. Both returned slices
 // are reused by the next Run call. Cancellation of ctx aborts the whole
 // window with ctx.Err().
+//
+//inano:zeroalloc
 func (b *StreamBatch) Run(ctx context.Context, reqs []PairReq) ([]PathInfo, []bool, error) {
 	n := len(reqs)
 	b.reqs = reqs
 	if cap(b.dbl) < 2*n {
+		//inano:alloc-ok amortized growth, capacity-guarded
 		b.dbl = make([][2]netsim.Prefix, 2*n)
 	} else {
 		b.dbl = b.dbl[:2*n]
@@ -71,12 +74,14 @@ func (b *StreamBatch) Run(ctx context.Context, reqs []PairReq) ([]PathInfo, []bo
 		b.dbl[2*i+1] = [2]netsim.Prefix{rq.Dst, rq.Src}
 	}
 	if cap(b.legExp) < 2*n {
+		//inano:alloc-ok amortized growth, capacity-guarded
 		b.legExp = make([]bool, 2*n)
 	} else {
 		b.legExp = b.legExp[:2*n]
 		clear(b.legExp)
 	}
 	if cap(b.expired) < n {
+		//inano:alloc-ok amortized growth, capacity-guarded
 		b.expired = make([]bool, n)
 	} else {
 		b.expired = b.expired[:n]
@@ -85,6 +90,7 @@ func (b *StreamBatch) Run(ctx context.Context, reqs []PairReq) ([]PathInfo, []bo
 	// Grow out by copying so reused entries keep their Clusters/ASPath
 	// slice capacities — that reuse is the whole point of the runner.
 	if cap(b.out) < n {
+		//inano:alloc-ok amortized growth, entries keep slice capacity
 		grown := make([]PathInfo, n)
 		copy(grown, b.out)
 		b.out = grown

@@ -38,6 +38,8 @@ var (
 // parseCanonIPv4 parses a strictly canonical dotted quad at the start of
 // b, returning the address and the number of bytes consumed (-1 when b
 // does not start with one).
+//
+//inano:zeroalloc
 func parseCanonIPv4(b []byte) (inano.IP, int) {
 	var ip uint32
 	i := 0
@@ -68,6 +70,8 @@ func parseCanonIPv4(b []byte) (inano.IP, int) {
 // parseBatchLine parses one canonical batch request line without
 // allocating. ok is false when the line is anything but the exact
 // canonical shape; the caller must then fall back to json.Unmarshal.
+//
+//inano:zeroalloc
 func parseBatchLine(line []byte) (src, dst inano.IP, deadlineMS int64, ok bool) {
 	if len(line) < len(fastLineSrc) || string(line[:len(fastLineSrc)]) != string(fastLineSrc) {
 		return 0, 0, 0, false
@@ -189,6 +193,8 @@ func appendEchoString(b []byte, s string, ip inano.IP) []byte {
 // present, zero-valued floats omitted, error last. errMsg must need no
 // JSON escaping (the only caller passes a literal) and the echo strings
 // must be jsonSafe (the caller checks).
+//
+//inano:zeroalloc
 func appendResultLine(buf []byte, e *batchEcho, day int, info *inano.PathInfo, errMsg string) []byte {
 	buf = append(buf, `{"src":"`...)
 	buf = appendEchoString(buf, e.src, e.srcIP)

@@ -31,7 +31,9 @@ workdir="$(mktemp -d)"
 pids=()
 cleanup() {
   for pid in "${pids[@]:-}"; do
-    [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+    if [[ -n "$pid" ]]; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
   done
   rm -rf "$workdir"
 }

@@ -74,7 +74,7 @@ grep -q '"src":' <<<"$answer" || { echo "FAIL: no query answer"; exit 1; }
 echo "== /v1/batch (streamed, 500 pairs)"
 n_pairs=500
 batch_out="$workdir/batch.ndjson"
-for i in $(seq 1 "$n_pairs"); do printf '{"src":"%s","dst":"%s"}\n' "$src" "$dst"; done \
+for _ in $(seq 1 "$n_pairs"); do printf '{"src":"%s","dst":"%s"}\n' "$src" "$dst"; done \
   | curl -fsS --data-binary @- -H 'Content-Type: application/x-ndjson' \
       "$base/v1/batch?window=64" > "$batch_out"
 lines=$(wc -l < "$batch_out")
