@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	inano "inano"
+	"inano/internal/atlas"
+	"inano/internal/netsim"
+	"inano/internal/trace"
+)
+
+// scaleBuildConfig sizes the -scale-build mode.
+type scaleBuildConfig struct {
+	seed         int64
+	ases         int
+	prefixes     int
+	vps          int
+	targetsPerVP int
+	clients      int
+	verifyPairs  int
+	maxRSSMB     int
+}
+
+// runScaleBuild generates an internet-scale synthetic world, builds its
+// atlas out-of-core via the streaming two-pass builder (the traceroute
+// corpus is synthesized twice and never materialized), writes the .bin
+// and flat serving forms to disk, and verifies that both load paths
+// serve byte-identical answers on a deterministic query workload.
+// With -max-rss-mb it also gates the process's peak RSS — the proof the
+// build stayed out-of-core.
+func runScaleBuild(cfg scaleBuildConfig, stdout, stderr io.Writer) int {
+	g := &gate{stderr: stderr}
+	wc := netsim.DefaultScaleConfig(cfg.seed)
+	wc.ASes = cfg.ases
+	wc.Prefixes = cfg.prefixes
+	if cfg.ases >= 20000 {
+		// Big worlds get the million-scale shape (more tier-1s, denser
+		// peering) so the graph stays realistic as it grows.
+		wc = netsim.MillionScaleConfig(cfg.seed)
+		wc.ASes = cfg.ases
+		wc.Prefixes = cfg.prefixes
+	}
+	if err := wc.Validate(); err != nil {
+		fmt.Fprintln(stderr, "inano-eval: scale config:", err)
+		return 2
+	}
+
+	start := time.Now()
+	fmt.Fprintf(stdout, "# iPlane Nano out-of-core scale build — seed=%d\n", cfg.seed)
+	w := netsim.GenerateScale(wc)
+	fmt.Fprintf(stdout, "world: %s [generated in %v]\n", w.Stats(), time.Since(start).Round(time.Millisecond))
+
+	vps, clients := w.Population(cfg.vps, cfg.clients)
+	camp := &trace.ScaleCampaign{
+		W: w, VPs: vps, TargetsPerVP: cfg.targetsPerVP,
+		ClientSrcs: clients, ClientDsts: 50,
+	}
+	sb := atlas.NewStreamBuilder(atlas.StreamInput{
+		Tools:         atlas.NewScaleTools(w, 8),
+		Day:           0,
+		PrefsMaxDests: 512,
+	})
+	t0 := time.Now()
+	traces := 0
+	camp.Run(func(tr *trace.Traceroute, _ bool) bool { sb.ObserveIfaces(tr); traces++; return true })
+	sb.StartTraces()
+	camp.Run(func(tr *trace.Traceroute, fromVP bool) bool { sb.AddTrace(tr, fromVP); return true })
+	a := sb.Finish()
+	c := a.Counts()
+	fmt.Fprintf(stdout, "build: %d traces/pass (streamed, never materialized), %d clusters, %d links, %d prefix attachments [%v]\n",
+		traces, a.NumClusters, c.Links, c.PrefixCluster, time.Since(t0).Round(time.Millisecond))
+	if !g.Check(c.Links > 0 && c.PrefixCluster > 0 && c.PrefixAS > 0, "streamed atlas is populated (%+v)", c) {
+		return g.Code()
+	}
+
+	// Ship both serving forms to disk, then reload through the two load
+	// paths clients actually take.
+	dir, err := os.MkdirTemp("", "inano-scale")
+	if !g.Check(err == nil, "temp dir: %v", err) {
+		return g.Code()
+	}
+	defer os.RemoveAll(dir)
+	binPath := filepath.Join(dir, "atlas.bin")
+	flatPath := filepath.Join(dir, "atlas.flat")
+
+	bf, err := os.Create(binPath)
+	if !g.Check(err == nil, "create %s: %v", binPath, err) {
+		return g.Code()
+	}
+	bw := bufio.NewWriterSize(bf, 1<<20)
+	if err := a.Encode(bw); !g.Check(err == nil, "encode atlas: %v", err) {
+		return g.Code()
+	}
+	if err := bw.Flush(); !g.Check(err == nil, "flush atlas: %v", err) {
+		return g.Code()
+	}
+	bf.Close()
+	binInfo, _ := os.Stat(binPath)
+
+	ff, err := os.Open(binPath)
+	if !g.Check(err == nil, "open %s: %v", binPath, err) {
+		return g.Code()
+	}
+	dec, err := atlas.Decode(bufio.NewReaderSize(ff, 1<<20))
+	ff.Close()
+	if !g.Check(err == nil, "decode atlas.bin: %v", err) {
+		return g.Code()
+	}
+	flat := atlas.Compile(dec.Clone())
+	wf, err := os.Create(flatPath)
+	if !g.Check(err == nil, "create %s: %v", flatPath, err) {
+		return g.Code()
+	}
+	fw := bufio.NewWriterSize(wf, 1<<20)
+	if err := atlas.WriteFlat(fw, flat); !g.Check(err == nil, "write flat: %v", err) {
+		return g.Code()
+	}
+	if err := fw.Flush(); !g.Check(err == nil, "flush flat: %v", err) {
+		return g.Code()
+	}
+	wf.Close()
+	flatInfo, _ := os.Stat(flatPath)
+	fmt.Fprintf(stdout, "serving forms: atlas.bin %d MB, atlas.flat %d MB\n",
+		binInfo.Size()>>20, flatInfo.Size()>>20)
+
+	mm, err := atlas.OpenFlat(flatPath, true)
+	if !g.Check(err == nil, "open flat: %v", err) {
+		return g.Code()
+	}
+	defer mm.Close()
+	engBin := inano.FromAtlas(dec)
+	engFlat := inano.FromFlat(mm.Flat)
+
+	// Deterministic verification workload: each client source queries a
+	// stride of edge prefixes; both load paths must agree byte-for-byte.
+	t1 := time.Now()
+	total := w.NumPrefixes()
+	per := cfg.verifyPairs / len(clients)
+	if per < 1 {
+		per = 1
+	}
+	checked, found, mismatches := 0, 0, 0
+	for ci, src := range clients {
+		for k := 0; k < per; k++ {
+			dst := w.EdgePrefixAt((ci*7919 + k*104729) % total)
+			if src == dst {
+				continue
+			}
+			ib := engBin.QueryPrefix(src, dst)
+			fb := engFlat.QueryPrefix(src, dst)
+			if fmt.Sprintf("%+v", ib) != fmt.Sprintf("%+v", fb) {
+				mismatches++
+			}
+			if ib.Found {
+				found++
+			}
+			checked++
+		}
+	}
+	fmt.Fprintf(stdout, "verify: %d pairs, %d answered, %d load-path mismatches [%v]\n",
+		checked, found, mismatches, time.Since(t1).Round(time.Millisecond))
+	g.Check(found > 0, "scale atlas answered %d/%d verification pairs", found, checked)
+	g.Check(mismatches == 0, ".bin and flat load paths byte-identical on %d pairs (%d mismatches)", checked, mismatches)
+
+	if rss, ok := peakRSSMB(); ok {
+		fmt.Fprintf(stdout, "peak RSS: %d MB\n", rss)
+		if cfg.maxRSSMB > 0 {
+			g.Check(rss <= cfg.maxRSSMB, "peak RSS %d MB within bound %d MB", rss, cfg.maxRSSMB)
+		}
+	} else if cfg.maxRSSMB > 0 {
+		g.Check(false, "peak RSS unavailable on this platform but -max-rss-mb set")
+	}
+	fmt.Fprintf(stdout, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	return g.Code()
+}
+
+// peakRSSMB reads the process's peak resident set (VmHWM) from
+// /proc/self/status. ok is false where procfs is unavailable.
+func peakRSSMB() (int, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := strings.Fields(string(line))
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, false
+		}
+		return kb >> 10, true
+	}
+	return 0, false
+}

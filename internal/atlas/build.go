@@ -6,7 +6,6 @@ import (
 
 	"inano/internal/bgpsim"
 	"inano/internal/cluster"
-	"inano/internal/frontier"
 	"inano/internal/netsim"
 	"inano/internal/trace"
 )
@@ -74,355 +73,24 @@ func DefaultFeeds(top *netsim.Topology, n int) []netsim.ASN {
 	return out
 }
 
-// Build processes one day's measurements into an atlas.
+// Build processes one day's measurements into an atlas. It is a
+// materialized-slice convenience over StreamBuilder: two passes over the
+// same traces (VP plane first, then clients) produce an atlas
+// byte-identical to what the streaming path yields from an equivalent
+// out-of-core trace stream.
 func Build(in BuildInput) *Atlas {
-	if in.LossProbes <= 0 {
-		in.LossProbes = 100
-	}
-	if in.Redundancy <= 0 {
-		in.Redundancy = 2
-	}
-	if in.DegreeThreshold <= 0 {
-		in.DegreeThreshold = 5
-	}
-	a := New()
-	a.Day = in.Day.DayNum()
-
-	// 1. Cluster every observed infrastructure interface (unless the
-	// caller supplied a registry-stabilized clustering).
-	cl := in.Clusters
-	if cl == nil {
-		var ifaces []netsim.IP
-		forEachTrace(in, func(tr *trace.Traceroute, _ bool) {
-			for _, h := range tr.Hops {
-				if h.IP != 0 {
-					ifaces = append(ifaces, h.IP)
-				}
-			}
-		})
-		cl = cluster.Cluster(in.Top, ifaces, in.ClusterCfg)
-	}
-	a.NumClusters = cl.NumClusters
-	a.ClusterAS = append([]netsim.ASN(nil), cl.ClusterAS...)
-
-	// 2. Extract directed cluster-level links from adjacent responsive
-	// hops, remembering which VP observed each (for frontier assignment)
-	// and an exemplar physical PoP pair (for the measurement tools).
-	type linkInfo struct {
-		planes    uint8
-		popA      netsim.PoPID
-		popB      netsim.PoPID
-		observers map[int]bool
-	}
-	links := make(map[uint64]*linkInfo)
-	vpIndex := make(map[netsim.Prefix]int)
-	for _, tr := range in.VPTraces {
-		if _, ok := vpIndex[tr.Src]; !ok {
-			vpIndex[tr.Src] = len(vpIndex)
-		}
-	}
-	forEachTrace(in, func(tr *trace.Traceroute, fromVP bool) {
-		plane := PlaneFromSrc
-		if fromVP {
-			plane = PlaneToDst
-		}
-		originAS := in.Top.PrefixOrigin[tr.Dst]
-		add := func(ip1, ip2 netsim.IP, c1, c2 cluster.ClusterID) *linkInfo {
-			k := LinkKey(c1, c2)
-			li := links[k]
-			if li == nil {
-				li = &linkInfo{
-					popA:      in.Top.RouterPoP(ip1),
-					popB:      in.Top.RouterPoP(ip2),
-					observers: make(map[int]bool),
-				}
-				links[k] = li
-			}
-			li.planes |= plane
-			if fromVP {
-				li.observers[vpIndex[tr.Src]] = true
-			}
-			return li
-		}
-		for i := 0; i+1 < len(tr.Hops); i++ {
-			ip1, ip2 := tr.Hops[i].IP, tr.Hops[i+1].IP
-			if ip1 == 0 || ip2 == 0 {
-				continue
-			}
-			c1, ok1 := cl.ClusterOf[ip1]
-			c2, ok2 := cl.ClusterOf[ip2]
-			if !ok1 || !ok2 || c1 == c2 {
-				continue
-			}
-			add(ip1, ip2, c1, c2)
-			// Access-tail reversal: links inside (or entering) the
-			// destination's origin AS also yield the reverse direction.
-			// Stubs never transit, so traceroutes can only ever *enter*
-			// them; without this, no path out of a stub-attached source
-			// is ever predictable. Physically these access tails are the
-			// same circuits in both directions, so the annotation holds.
-			if cl.ClusterAS[c2] == originAS && originAS != 0 {
-				add(ip2, ip1, c2, c1)
-			}
-		}
+	sb := NewStreamBuilder(StreamInput{
+		Tools:           NewSimTools(in.Top, in.Day, in.Meter, in.BGPFeeds, in.ClusterCfg),
+		Day:             in.Day.DayNum(),
+		Clusters:        in.Clusters,
+		LossProbes:      in.LossProbes,
+		Redundancy:      in.Redundancy,
+		DegreeThreshold: in.DegreeThreshold,
 	})
-
-	// 3. Frontier-assign links to vantage points and annotate.
-	keys := make([]uint64, 0, len(links))
-	for k := range links {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	observers := make([][]int, len(keys))
-	for i, k := range keys {
-		for vp := range links[k].observers {
-			observers[i] = append(observers[i], vp)
-		}
-		sort.Ints(observers[i])
-	}
-	assign := frontier.Assign(observers, in.Redundancy)
-	for i, k := range keys {
-		li := links[k]
-		phys := physicalLink(in.Top, li.popA, li.popB)
-		var lat float64
-		if len(assign[i]) > 0 && phys >= 0 {
-			// Assigned vantage points measure precisely; average the
-			// redundant samples.
-			sum := 0.0
-			for range assign[i] {
-				sum += in.Meter.MeasureLinkLatency(phys)
-			}
-			lat = sum / float64(len(assign[i]))
-		} else if phys >= 0 {
-			lat = in.Meter.CoarseLinkLatency(phys)
-		} else {
-			lat = 1.0 // adjacent clusters of one PoP pair we cannot place
-		}
-		a.Links = append(a.Links, Link{
-			From:      cluster.ClusterID(k >> 32),
-			To:        cluster.ClusterID(uint32(k)),
-			LatencyMS: float32(lat),
-			Planes:    li.planes,
-		})
-		if len(assign[i]) > 0 && phys >= 0 {
-			loss := in.Meter.MeasureLinkLoss(phys, li.popA, in.LossProbes)
-			if loss >= 0.005 {
-				a.Loss[k] = float32(loss)
-			}
-		}
-	}
-
-	// 4. Prefix attachment clusters: destinations vote with their last
-	// responsive infrastructure hop, sources with their first.
-	votes := make(map[netsim.Prefix]map[cluster.ClusterID]int)
-	addVote := func(p netsim.Prefix, c cluster.ClusterID) {
-		m := votes[p]
-		if m == nil {
-			m = make(map[cluster.ClusterID]int)
-			votes[p] = m
-		}
-		m[c]++
-	}
-	forEachTrace(in, func(tr *trace.Traceroute, _ bool) {
-		var first, last cluster.ClusterID = -1, -1
-		for _, h := range tr.Hops {
-			if h.IP == 0 {
-				continue
-			}
-			c, ok := cl.ClusterOf[h.IP]
-			if !ok {
-				continue
-			}
-			if first < 0 {
-				first = c
-			}
-			last = c
-		}
-		if first >= 0 {
-			addVote(tr.Src, first)
-		}
-		if tr.Reached && last >= 0 {
-			addVote(tr.Dst, last)
-		}
-	})
-	pickBest := func(vs map[cluster.ClusterID]int) cluster.ClusterID {
-		best, bestN := cluster.ClusterID(-1), -1
-		for c, n := range vs {
-			if n > bestN || (n == bestN && c < best) {
-				best, bestN = c, n
-			}
-		}
-		return best
-	}
-	for p, vs := range votes {
-		a.PrefixCluster[p] = pickBest(vs)
-	}
-
-	// 4b. Interface prefixes: every clustered interface votes its /24 for
-	// its own cluster, building the hop-placement table (IfaceCluster)
-	// the upstream-observation ingest resolves uploaded traceroute hops
-	// through. A /24 spanning several clusters goes to the majority — a
-	// coarsening the agreement voting downstream tolerates.
-	ifaceVotes := make(map[netsim.Prefix]map[cluster.ClusterID]int)
-	for ip, c := range cl.ClusterOf {
-		p := netsim.PrefixOf(ip)
-		m := ifaceVotes[p]
-		if m == nil {
-			m = make(map[cluster.ClusterID]int)
-			ifaceVotes[p] = m
-		}
-		m[c]++
-	}
-	for p, vs := range ifaceVotes {
-		a.IfaceCluster[p] = pickBest(vs)
-	}
-
-	// 5. BGP origin table (full, as RouteViews provides).
-	for p, asn := range in.Top.PrefixOrigin {
-		a.PrefixAS[p] = asn
-	}
-
-	// 6. AS-level paths from traceroutes and BGP feeds.
-	uniq := make(map[string]*weightedPath)
-	addPath := func(p []netsim.ASN, w int) {
-		if len(p) < 1 {
-			return
-		}
-		k := asPathKey(p)
-		if u, ok := uniq[k]; ok {
-			u.count += w
-			return
-		}
-		uniq[k] = &weightedPath{path: p, count: w}
-	}
-	forEachTrace(in, func(tr *trace.Traceroute, _ bool) {
-		ips := make([]netsim.IP, 0, len(tr.Hops))
-		for _, h := range tr.Hops {
-			ips = append(ips, h.IP)
-		}
-		if p, ok := cluster.ASPathOf(ips, in.Top.PrefixOrigin); ok {
-			addPath(p, 1)
-		}
-	})
-	// BGP feeds advertise paths for every prefix targeted by the
-	// campaign (a full-table stand-in).
-	feedTargets := make(map[netsim.Prefix]bool)
-	for _, tr := range in.VPTraces {
-		feedTargets[tr.Dst] = true
-	}
-	feedList := make([]netsim.Prefix, 0, len(feedTargets))
-	for p := range feedTargets {
-		feedList = append(feedList, p)
-	}
-	sort.Slice(feedList, func(i, j int) bool { return feedList[i] < feedList[j] })
-	for _, p := range feedList {
-		for _, feed := range in.BGPFeeds {
-			if fp, ok := in.Day.ASPath(feed, p); ok {
-				addPath(fp, 1)
-			}
-		}
-	}
-	paths := make([]*weightedPath, 0, len(uniq))
-	for _, u := range uniq {
-		paths = append(paths, u)
-	}
-	sort.Slice(paths, func(i, j int) bool { return asPathKey(paths[i].path) < asPathKey(paths[j].path) })
-
-	// 7. AS degrees over the observed AS graph.
-	asAdj := make(map[netsim.ASN]map[netsim.ASN]bool)
-	addAdj := func(x, y netsim.ASN) {
-		m := asAdj[x]
-		if m == nil {
-			m = make(map[netsim.ASN]bool)
-			asAdj[x] = m
-		}
-		m[y] = true
-	}
-	for _, u := range paths {
-		for i := 0; i+1 < len(u.path); i++ {
-			addAdj(u.path[i], u.path[i+1])
-			addAdj(u.path[i+1], u.path[i])
-		}
-	}
-	for asn, nbs := range asAdj {
-		a.ASDegree[asn] = int32(len(nbs))
-	}
-
-	// 8. 3-tuples with commutative closure, recorded only when the middle
-	// AS clears the degree threshold (low-degree edge ASes are too poorly
-	// observed for the check to be sound, §4.3.2).
-	for _, u := range paths {
-		p := u.path
-		for i := 0; i+2 < len(p); i++ {
-			if int(a.ASDegree[p[i+1]]) <= in.DegreeThreshold {
-				continue
-			}
-			a.Tuples[PackTriple(p[i], p[i+1], p[i+2])] = true
-			a.Tuples[PackTriple(p[i+2], p[i+1], p[i])] = true
-		}
-	}
-
-	// 9. Preference tuples (§4.3.3): for each observed route, any
-	// equal-length alternative visible in the observed AS graph that
-	// diverges at position k yields a vote (r[k]: r[k+1] > alternative).
-	a.Prefs = inferPreferences(paths, asAdj)
-
-	// 10. Provider mappings: penultimate ASes of paths that terminate at
-	// the origin.
-	provSet := make(map[netsim.ASN]map[netsim.ASN]bool)
-	for _, u := range paths {
-		p := u.path
-		if len(p) < 2 {
-			continue
-		}
-		d, up := p[len(p)-1], p[len(p)-2]
-		m := provSet[d]
-		if m == nil {
-			m = make(map[netsim.ASN]bool)
-			provSet[d] = m
-		}
-		m[up] = true
-	}
-	for d, ups := range provSet {
-		list := make([]netsim.ASN, 0, len(ups))
-		for u := range ups {
-			list = append(list, u)
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-		a.Providers[d] = list
-	}
-
-	// 11. Gao relationship inference for the GRAPH baseline.
-	plain := make([][]netsim.ASN, len(paths))
-	for i, u := range paths {
-		plain[i] = u.path
-	}
-	a.Rels = cluster.InferRelationships(plain)
-
-	// 12. Late-exit detection (Spring et al. [54] stand-in): adjacencies
-	// present in the observed link set are tested against the ground
-	// truth with a 90% detection rate.
-	seenPairs := make(map[uint64]bool)
-	for _, l := range a.Links {
-		x, y := a.ClusterAS[l.From], a.ClusterAS[l.To]
-		if x != y && x != 0 && y != 0 {
-			seenPairs[netsim.ASPairKey(x, y)] = true
-		}
-	}
-	for k := range seenPairs {
-		if in.Top.LateExit[k] && detect(k, 0.9) {
-			a.LateExit[k] = true
-		}
-	}
-
-	sort.Slice(a.Links, func(i, j int) bool {
-		if a.Links[i].From != a.Links[j].From {
-			return a.Links[i].From < a.Links[j].From
-		}
-		return a.Links[i].To < a.Links[j].To
-	})
-	a.invalidateIndex()
-	return a
+	forEachTrace(in, func(tr *trace.Traceroute, _ bool) { sb.ObserveIfaces(tr) })
+	sb.StartTraces()
+	forEachTrace(in, func(tr *trace.Traceroute, fromVP bool) { sb.AddTrace(tr, fromVP) })
+	return sb.Finish()
 }
 
 // forEachTrace visits VP traces (fromVP=true) then client traces.
@@ -473,16 +141,35 @@ type weightedPath struct {
 // when dist(x, dst) == len(r)-k-2 in the observed AS graph; each such
 // alternative casts a vote (r[k]: r[k+1] > x). A preference is kept only if
 // observed at least three times as often as its reverse.
-func inferPreferences(paths []*weightedPath, asAdj map[netsim.ASN]map[netsim.ASN]bool) map[uint64]bool {
+//
+// maxDests caps how many destination ASes get a BFS distance field
+// (0 = all of them, the materialized-build behavior). At internet scale
+// the per-destination BFS is the one superlinear stage left, so the
+// streaming builder keeps only the most-observed destinations; routes to
+// dropped destinations simply cast no preference votes.
+func inferPreferences(paths []*weightedPath, asAdj map[netsim.ASN]map[netsim.ASN]bool, maxDests int) map[uint64]bool {
 	// Hop distances from each destination AS over the observed graph.
-	dests := make(map[netsim.ASN]bool)
+	destWeight := make(map[netsim.ASN]int)
 	for _, u := range paths {
 		if len(u.path) >= 3 {
-			dests[u.path[len(u.path)-1]] = true
+			destWeight[u.path[len(u.path)-1]] += u.count
 		}
 	}
+	dests := make([]netsim.ASN, 0, len(destWeight))
+	for d := range destWeight {
+		dests = append(dests, d)
+	}
+	if maxDests > 0 && len(dests) > maxDests {
+		sort.Slice(dests, func(i, j int) bool {
+			if destWeight[dests[i]] != destWeight[dests[j]] {
+				return destWeight[dests[i]] > destWeight[dests[j]]
+			}
+			return dests[i] < dests[j]
+		})
+		dests = dests[:maxDests]
+	}
 	distTo := make(map[netsim.ASN]map[netsim.ASN]int32, len(dests))
-	for d := range dests {
+	for _, d := range dests {
 		distTo[d] = bfsDist(d, asAdj)
 	}
 	votes := make(map[uint64]int)

@@ -1,0 +1,111 @@
+package atlas
+
+import (
+	"sort"
+
+	"inano/internal/cluster"
+	"inano/internal/netsim"
+)
+
+// ScaleTools implements Tools over an arithmetic netsim.ScaleWorld: every
+// answer is computed from the world's seeded hash functions, so a
+// million-prefix build touches no materialized topology, routing table,
+// or meter. PoP IDs are AS indices (one infrastructure cluster per AS —
+// the scale world's /24-per-AS address plan makes that exact), link IDs
+// are scale-world edge indices.
+type ScaleTools struct {
+	W     *netsim.ScaleWorld
+	feeds []int32
+}
+
+// NewScaleTools wires the builder toolbox to a scale world with the
+// numFeeds highest-degree ASes acting as BGP route collectors.
+func NewScaleTools(w *netsim.ScaleWorld, numFeeds int) *ScaleTools {
+	return &ScaleTools{W: w, feeds: w.Feeds(numFeeds)}
+}
+
+// scaleToolMix is the measurement-noise hash (deterministic per link, so
+// repeated probes of one link agree and re-runs are byte-identical).
+func scaleToolMix(l netsim.LinkID, salt uint64) float64 {
+	h := uint64(l)*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+func (t *ScaleTools) RouterPoP(ip netsim.IP) netsim.PoPID {
+	return netsim.PoPID(t.W.ASOfIface(ip))
+}
+
+func (t *ScaleTools) OriginAS(p netsim.Prefix) netsim.ASN { return t.W.OriginAS(p) }
+
+func (t *ScaleTools) PhysicalLink(a, b netsim.PoPID) netsim.LinkID {
+	if a < 0 || b < 0 {
+		return -1
+	}
+	return netsim.LinkID(t.W.EdgeBetween(int32(a), int32(b)))
+}
+
+// MeasureLinkLatency is a precise probe: truth within ±2%.
+func (t *ScaleTools) MeasureLinkLatency(l netsim.LinkID) float64 {
+	return t.W.LinkLatencyMS(int32(l)) * (0.98 + 0.04*scaleToolMix(l, 0x11A7))
+}
+
+// CoarseLinkLatency is the unassigned-link fallback: truth within ±30%.
+func (t *ScaleTools) CoarseLinkLatency(l netsim.LinkID) float64 {
+	return t.W.LinkLatencyMS(int32(l)) * (0.7 + 0.6*scaleToolMix(l, 0xC0A53))
+}
+
+func (t *ScaleTools) MeasureLinkLoss(l netsim.LinkID, _ netsim.PoPID, _ int) float64 {
+	return t.W.LinkLossRate(int32(l))
+}
+
+// LateExitTruth: the scale world models early-exit routing everywhere.
+func (t *ScaleTools) LateExitTruth(uint64) bool { return false }
+
+func (t *ScaleTools) ForEachPrefixOrigin(emit func(p netsim.Prefix, as netsim.ASN)) {
+	t.W.ForEachPrefixOrigin(emit)
+}
+
+func (t *ScaleTools) FeedPaths(dst netsim.Prefix, emit func(path []netsim.ASN)) {
+	d := t.W.OriginIdx(dst)
+	if d < 0 {
+		return
+	}
+	for _, f := range t.feeds {
+		// Fresh slice per path: the builder retains first-seen paths.
+		if p := t.W.RouteASNs(f, d, nil); len(p) > 0 {
+			emit(p)
+		}
+	}
+}
+
+// Cluster groups observed interfaces one cluster per AS. The scale
+// world's address plan gives each AS exactly one infrastructure /24, so
+// sorting the interfaces groups each AS's addresses contiguously and the
+// alias-resolution outcome is exact by construction. Cluster IDs are
+// dense in sorted-IP (= AS index) order, matching the registry contract.
+func (t *ScaleTools) Cluster(ifaces []netsim.IP) *cluster.Clustering {
+	sorted := append([]netsim.IP(nil), ifaces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	cl := &cluster.Clustering{ClusterOf: make(map[netsim.IP]cluster.ClusterID, len(sorted))}
+	lastAS := int32(-1)
+	for i, ip := range sorted {
+		if i > 0 && ip == sorted[i-1] {
+			continue
+		}
+		as := t.W.ASOfIface(ip)
+		if as < 0 {
+			continue
+		}
+		if as != lastAS {
+			cl.ClusterAS = append(cl.ClusterAS, netsim.ASN(as+1))
+			cl.TruePoP = append(cl.TruePoP, netsim.PoPID(as))
+			cl.NumClusters++
+			lastAS = as
+		}
+		cl.ClusterOf[ip] = cluster.ClusterID(cl.NumClusters - 1)
+	}
+	return cl
+}

@@ -11,12 +11,20 @@ import (
 // collapse consecutive duplicates. ok is false if the result has an AS-level
 // loop (the paper discards such paths).
 func ASPathOf(hops []netsim.IP, prefixAS map[netsim.Prefix]netsim.ASN) (path []netsim.ASN, ok bool) {
+	return ASPathOfFunc(hops, func(p netsim.Prefix) netsim.ASN { return prefixAS[p] })
+}
+
+// ASPathOfFunc is ASPathOf over an origin-lookup function instead of a
+// materialized table, for callers (the streaming atlas builder) whose
+// origin data is arithmetic rather than a map. origin returns 0 for
+// unknown prefixes (0 is never a valid ASN).
+func ASPathOfFunc(hops []netsim.IP, origin func(netsim.Prefix) netsim.ASN) (path []netsim.ASN, ok bool) {
 	for _, ip := range hops {
 		if ip == 0 {
 			continue
 		}
-		asn, found := prefixAS[netsim.PrefixOf(ip)]
-		if !found {
+		asn := origin(netsim.PrefixOf(ip))
+		if asn == 0 {
 			continue
 		}
 		if n := len(path); n > 0 && path[n-1] == asn {

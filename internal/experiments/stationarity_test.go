@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []netsim.PoPID
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]netsim.PoPID{1, 2}, []netsim.PoPID{1, 2}, 1},
+		{[]netsim.PoPID{1, 2}, []netsim.PoPID{3, 4}, 0},
+		{[]netsim.PoPID{1, 2, 3}, []netsim.PoPID{2, 3, 4}, 0.5},
+		// Duplicates collapse: {1,1,2} is the set {1,2}.
+		{[]netsim.PoPID{1, 1, 2}, []netsim.PoPID{1, 2}, 1},
+	}
+	for _, c := range cases {
+		if got := jaccard(c.a, c.b); got != c.want {
+			t.Errorf("jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFig4RenderContents(t *testing.T) {
+	r := Fig4PathStationarity(testLab)
+	out := r.Render()
+	for _, want := range []string{"Fig 4", "similarity >=0.75", "identical:", "[0.95,1.00]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	sum := 0
+	for _, n := range r.Bins {
+		if n < 0 {
+			t.Fatalf("negative bin count in %v", r.Bins)
+		}
+		sum += n
+	}
+	if sum != r.Total {
+		t.Fatalf("bins sum to %d but Total is %d", sum, r.Total)
+	}
+	for _, f := range []float64{r.FracGE75, r.FracGE90, r.Identical} {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %v out of [0,1]", f)
+		}
+	}
+}
+
+func TestLossStationarityMonotone(t *testing.T) {
+	r := LossStationarity(testLab, 800)
+	if r.LossyPairs == 0 {
+		t.Fatal("no initially lossy pairs found")
+	}
+	for _, f := range []float64{r.StillLossy6, r.StillLossy12, r.StillLossy24} {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %v out of [0,1]", f)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"loss stationarity", "6h", "12h", "24h"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLossStationarityCapsPairs(t *testing.T) {
+	r := LossStationarity(testLab, 3)
+	if r.LossyPairs > 3 {
+		t.Fatalf("maxPairs ignored: checked %d pairs", r.LossyPairs)
+	}
+}

@@ -2,10 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
-	inano "inano"
 	"inano/internal/atlas"
 	"inano/internal/feedback"
 	"inano/internal/netsim"
@@ -65,50 +63,16 @@ func UpstreamLoop(l *Lab, reporters, minReporters int) UpstreamResult {
 	}
 	res.Reporters = len(reps)
 
-	// The shared probe-target set: every destination any validation pair
-	// names — the paper's clients traceroute a few hundred prefixes a
-	// day, so overlapping targets across reporters are the norm (and what
-	// gives the median its support).
-	dstSet := make(map[netsim.Prefix]bool)
-	for _, vp := range d0.Validation {
-		dstSet[vp.Dst] = true
-	}
-	dsts := make([]netsim.Prefix, 0, len(dstSet))
-	for d := range dstSet {
-		dsts = append(dsts, d)
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-
-	// Serve day-0 predictions the way /v1/observations computes residuals:
-	// against the build server's own (uncorrected) atlas.
-	serving := inano.FromAtlas(d0.Atlas.Clone())
-	snap := serving.Snapshot()
-	agg := feedback.NewAggregator(feedback.AggregatorConfig{})
-	honest := make(map[netsim.Prefix][]float64) // for the adversarial bound
-	for _, r := range reps {
-		srcCl, ok := snap.AttachmentCluster(r)
-		if !ok {
-			continue
-		}
-		for _, dst := range dsts {
-			trueRTT, ok := l.W.TrueRTT(0, r, dst)
-			if !ok {
-				continue
-			}
-			info := snap.Query(r.HostIP(), dst.HostIP())
-			if !info.Found {
-				continue
-			}
-			resid := trueRTT - info.RTTMS
-			agg.Record(srcCl, dst, resid)
-			honest[dst] = append(honest[dst], clampResid(resid))
-			res.Observations++
-		}
-	}
-
-	obsSnap := agg.Snapshot(0)
+	// Collect the reporters' day-0 residuals against the served atlas
+	// toward the shared target set (the extracted roll loop the scenario
+	// harness also drives).
+	dsts := SharedTargets(d0)
+	ro := CollectResiduals(l, 0, reps, dsts, minReporters, nil)
+	obsSnap, honest := ro.Snapshot, ro.Honest
+	agg := ro.Agg
+	res.Observations = ro.Observations
 	res.AggregatedPrefixes = len(obsSnap.Prefixes)
-	residuals := obsSnap.Residuals(minReporters)
+	residuals := ro.Residuals
 	res.FoldedPrefixes = len(residuals)
 
 	plainDelta := atlas.Diff(d0.Atlas, d1.Atlas)
@@ -116,38 +80,8 @@ func UpstreamLoop(l *Lab, reporters, minReporters int) UpstreamResult {
 	res.Corrections = folded
 
 	// Score the non-reporter's held-out pairs against day-1 truth.
-	var work []VPair
-	for _, vp := range d0.Validation {
-		if vp.Src == nonReporter {
-			work = append(work, vp)
-		}
-	}
-	res.Pairs = len(work)
-	score := func(d *atlas.Delta) (float64, int) {
-		a := d0.Atlas.Clone()
-		a.Apply(d)
-		client := inano.FromAtlas(a)
-		sum, answered := 0.0, 0
-		n := 0
-		for _, vp := range work {
-			trueRTT, ok := l.W.TrueRTT(1, vp.Src, vp.Dst)
-			if !ok {
-				continue
-			}
-			n++
-			info := client.QueryPrefix(vp.Src, vp.Dst)
-			if info.Found {
-				answered++
-			}
-			sum += feedback.RelErr(info.RTTMS, trueRTT, info.Found)
-		}
-		if n == 0 {
-			return 0, 0
-		}
-		return sum / float64(n), answered
-	}
-	res.ErrBefore, res.AnsweredBefore = score(plainDelta)
-	res.ErrAfter, res.AnsweredAfter = score(obsDelta)
+	res.ErrBefore, res.AnsweredBefore, res.Pairs = ScoreDelta(l, 0, 1, nonReporter, plainDelta)
+	res.ErrAfter, res.AnsweredAfter, _ = ScoreDelta(l, 0, 1, nonReporter, obsDelta)
 
 	// Poisoning bound: one adversarial reporter (a single source cluster,
 	// per the ingest's identity rule) claims the maximum positive residual

@@ -1,0 +1,520 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ScaleConfig sizes an internet-scale synthetic world. Unlike Config's
+// fully materialized tiered worlds (PoPs, routers, per-interface maps),
+// a ScaleWorld is a compact array-backed AS graph with an arithmetic
+// prefix/address plan: everything a streamed measurement campaign needs
+// is derived on demand from the seed, so a ~1M-prefix world fits in a
+// few hundred megabytes and re-emits its traceroute stream
+// deterministically as many times as an out-of-core build wants it.
+type ScaleConfig struct {
+	Seed int64
+	// ASes is the autonomous-system count.
+	ASes int
+	// Tier1 is the size of the seed clique of peered backbone ASes.
+	Tier1 int
+	// MinDegree is how many provider links each arriving AS requests;
+	// preferential attachment over the running degree distribution makes
+	// the final degrees power-law distributed (Barabási–Albert).
+	MinDegree int
+	// PeerFrac adds roughly PeerFrac*ASes settlement-free peer edges on
+	// top of the customer/provider tree.
+	PeerFrac float64
+	// Prefixes is the edge-prefix count, distributed Pareto-style across
+	// the non-tier-1 ASes.
+	Prefixes int
+	// MSPerUnit converts map distance to one-way link latency;
+	// LinkBaseMS is the per-hop forwarding floor.
+	MSPerUnit  float64
+	LinkBaseMS float64
+}
+
+// Address plan: infrastructure interfaces live in one /24 per AS starting
+// at ScaleInfraBase (16.0.0.0/24 onward), edge prefixes are numbered
+// densely from ScaleEdgeBase (64.0.0.0/24 onward). Both regions fit the
+// 24-bit prefix space with room for a million ASes and several million
+// edge prefixes.
+const (
+	ScaleInfraBase Prefix = 1 << 20
+	ScaleEdgeBase  Prefix = 4 << 20
+)
+
+// maxChainLen bounds provider-chain depth; Generate re-homes any AS whose
+// chain would exceed it, so route synthesis runs on small fixed buffers.
+const maxChainLen = 48
+
+// DefaultScaleConfig is a medium scale world for tests and local runs.
+func DefaultScaleConfig(seed int64) ScaleConfig {
+	return ScaleConfig{
+		Seed: seed, ASes: 3000, Tier1: 8, MinDegree: 2, PeerFrac: 0.15,
+		Prefixes: 20000, MSPerUnit: 0.02, LinkBaseMS: 0.4,
+	}
+}
+
+// MillionScaleConfig is the CI-nightly world: ~1M edge prefixes across
+// 50K ASes.
+func MillionScaleConfig(seed int64) ScaleConfig {
+	return ScaleConfig{
+		Seed: seed, ASes: 50000, Tier1: 12, MinDegree: 2, PeerFrac: 0.2,
+		Prefixes: 1_000_000, MSPerUnit: 0.02, LinkBaseMS: 0.4,
+	}
+}
+
+// Validate checks the configuration bounds.
+func (c ScaleConfig) Validate() error {
+	switch {
+	case c.Tier1 < 2:
+		return fmt.Errorf("scale config: Tier1 %d < 2", c.Tier1)
+	case c.ASes <= c.Tier1:
+		return fmt.Errorf("scale config: ASes %d must exceed Tier1 %d", c.ASes, c.Tier1)
+	case c.ASes > int(ScaleEdgeBase-ScaleInfraBase):
+		return fmt.Errorf("scale config: ASes %d exceeds the infra address region", c.ASes)
+	case c.MinDegree < 1:
+		return fmt.Errorf("scale config: MinDegree %d < 1", c.MinDegree)
+	case c.PeerFrac < 0 || c.PeerFrac > 1:
+		return fmt.Errorf("scale config: PeerFrac %v outside [0,1]", c.PeerFrac)
+	case c.Prefixes < 1:
+		return fmt.Errorf("scale config: Prefixes %d < 1", c.Prefixes)
+	case c.Prefixes > int(1<<24-uint32(ScaleEdgeBase)):
+		return fmt.Errorf("scale config: Prefixes %d exceeds the edge address region", c.Prefixes)
+	case c.MSPerUnit <= 0 || c.LinkBaseMS < 0:
+		return fmt.Errorf("scale config: non-positive latency parameters")
+	}
+	return nil
+}
+
+// ScaleWorld is a generated internet-scale AS graph: ASes are dense
+// indices 0..ASes-1 (ASN = index+1), edges carry customer/provider or
+// peer relationships, and prefixes/interfaces are pure arithmetic over
+// the plan above. All derived quantities (routes, latencies, loss,
+// interface addresses) are deterministic functions of the seed.
+type ScaleWorld struct {
+	Cfg ScaleConfig
+
+	// X, Y are AS map coordinates; Deg the final degrees.
+	X, Y []float32
+	Deg  []int32
+	// Edge i joins EdgeA[i] and EdgeB[i]; EdgeB is EdgeA's provider
+	// unless EdgePeer[i].
+	EdgeA, EdgeB []int32
+	EdgePeer     []bool
+
+	edgeAt   map[uint64]int32 // unordered idx pair -> edge
+	upParent []int32          // chosen provider per AS; -1 for tier-1s
+	// prefStart is the cumulative edge-prefix count per AS: AS i owns
+	// edge prefixes [prefStart[i], prefStart[i+1]).
+	prefStart []int32
+	owners    []int32 // ASes owning at least one edge prefix, ascending
+}
+
+func scalePairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// scaleMix is the deterministic hash behind every derived coin and value.
+func scaleMix(seed int64, salt, a, b uint64) uint64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9 ^ a*0x94d049bb133111eb ^ b*0xda942042e4dd58b5
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// scaleFrac maps a hash to [0,1).
+func scaleFrac(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// GenerateScale builds the world. It panics on an invalid config, which
+// is always a programming error (Validate reports reasons).
+func GenerateScale(c ScaleConfig) *ScaleWorld {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5ca1e))
+	n := c.ASes
+	w := &ScaleWorld{
+		Cfg:    c,
+		X:      make([]float32, n),
+		Y:      make([]float32, n),
+		Deg:    make([]int32, n),
+		edgeAt: make(map[uint64]int32, n*(c.MinDegree+1)),
+	}
+	for i := 0; i < n; i++ {
+		w.X[i] = float32(rng.Float64() * 5000)
+		w.Y[i] = float32(rng.Float64() * 3000)
+	}
+
+	// targets is the preferential-attachment multiset: every edge pushes
+	// both endpoints, so attachment probability tracks current degree.
+	targets := make([]int32, 0, 2*n*(c.MinDegree+1))
+	addEdge := func(a, b int32, peer bool) bool {
+		if a == b {
+			return false
+		}
+		k := scalePairKey(a, b)
+		if _, ok := w.edgeAt[k]; ok {
+			return false
+		}
+		w.edgeAt[k] = int32(len(w.EdgeA))
+		w.EdgeA = append(w.EdgeA, a)
+		w.EdgeB = append(w.EdgeB, b)
+		w.EdgePeer = append(w.EdgePeer, peer)
+		w.Deg[a]++
+		w.Deg[b]++
+		targets = append(targets, a, b)
+		return true
+	}
+
+	// Seed clique of peered tier-1s.
+	t1 := int32(c.Tier1)
+	for i := int32(0); i < t1; i++ {
+		for j := i + 1; j < t1; j++ {
+			addEdge(i, j, true)
+		}
+	}
+	// Every later AS buys transit from MinDegree existing ASes, chosen by
+	// preferential attachment; a tier-1 fallback guarantees connectivity.
+	for i := t1; i < int32(n); i++ {
+		added := 0
+		for tries := 0; added < c.MinDegree && tries < 8*c.MinDegree; tries++ {
+			if addEdge(i, targets[rng.Intn(len(targets))], false) {
+				added++
+			}
+		}
+		if added == 0 {
+			addEdge(i, int32(rng.Intn(int(t1))), false)
+		}
+	}
+	// Settlement-free peer edges on top.
+	for k := int(c.PeerFrac * float64(n)); k > 0; k-- {
+		a := t1 + int32(rng.Intn(n-int(t1)))
+		addEdge(a, targets[rng.Intn(len(targets))], true)
+	}
+
+	// Pick each AS's default provider (highest final degree, ties to the
+	// lower index); chains strictly decrease in index, ending at tier-1s.
+	w.upParent = make([]int32, n)
+	for i := range w.upParent {
+		w.upParent[i] = -1
+	}
+	for e := range w.EdgeA {
+		if w.EdgePeer[e] {
+			continue
+		}
+		cust, prov := w.EdgeA[e], w.EdgeB[e]
+		cur := w.upParent[cust]
+		if cur < 0 || w.Deg[prov] > w.Deg[cur] || (w.Deg[prov] == w.Deg[cur] && prov < cur) {
+			w.upParent[cust] = prov
+		}
+	}
+	// Bound chain depth: re-home any AS whose chain would run too deep
+	// directly onto a tier-1 (adding the provider edge if needed).
+	depth := make([]int32, n)
+	for i := t1; i < int32(n); i++ {
+		p := w.upParent[i]
+		depth[i] = depth[p] + 1
+		if depth[i] > maxChainLen-8 {
+			start := int32(rng.Intn(int(t1)))
+			for off := int32(0); off < t1; off++ {
+				t := (start + off) % t1
+				if e, ok := w.edgeAt[scalePairKey(i, t)]; ok {
+					if !w.EdgePeer[e] && w.EdgeA[e] == i {
+						w.upParent[i], depth[i] = t, 1
+						break
+					}
+					continue
+				}
+				if addEdge(i, t, false) {
+					w.upParent[i], depth[i] = t, 1
+					break
+				}
+			}
+		}
+	}
+
+	// Pareto-distributed edge-prefix counts over non-tier-1 ASes.
+	wgt := make([]float64, n)
+	var totalW float64
+	for i := int(t1); i < n; i++ {
+		u := rng.Float64()
+		wgt[i] = math.Pow(1-0.999*u, -0.7)
+		totalW += wgt[i]
+	}
+	w.prefStart = make([]int32, n+1)
+	counts := make([]int32, n)
+	assigned := 0
+	for i := int(t1); i < n; i++ {
+		k := int(float64(c.Prefixes) * wgt[i] / totalW)
+		counts[i] = int32(k)
+		assigned += k
+	}
+	for i := 0; assigned < c.Prefixes; i++ {
+		counts[int(t1)+i%(n-int(t1))]++
+		assigned++
+	}
+	for i := 0; i < n; i++ {
+		w.prefStart[i+1] = w.prefStart[i] + counts[i]
+		if counts[i] > 0 {
+			w.owners = append(w.owners, int32(i))
+		}
+	}
+	return w
+}
+
+// NumASes returns the AS count.
+func (w *ScaleWorld) NumASes() int { return len(w.X) }
+
+// NumEdges returns the AS-graph edge count.
+func (w *ScaleWorld) NumEdges() int { return len(w.EdgeA) }
+
+// NumPrefixes returns the edge-prefix count.
+func (w *ScaleWorld) NumPrefixes() int { return int(w.prefStart[len(w.X)]) }
+
+// EdgeBetween returns the edge joining ASes a and b, or -1.
+func (w *ScaleWorld) EdgeBetween(a, b int32) int32 {
+	if e, ok := w.edgeAt[scalePairKey(a, b)]; ok {
+		return e
+	}
+	return -1
+}
+
+// RelOf returns b's relationship from a's perspective.
+func (w *ScaleWorld) RelOf(a, b int32) Rel {
+	e := w.EdgeBetween(a, b)
+	if e < 0 {
+		return RelNone
+	}
+	if w.EdgePeer[e] {
+		return RelPeer
+	}
+	if w.EdgeA[e] == a {
+		return RelProvider // b is a's provider
+	}
+	return RelCustomer
+}
+
+// OriginIdx maps a prefix to its owning AS index, or -1.
+func (w *ScaleWorld) OriginIdx(p Prefix) int32 {
+	n := len(w.X)
+	if p >= ScaleInfraBase && p < ScaleInfraBase+Prefix(n) {
+		return int32(p - ScaleInfraBase)
+	}
+	if p >= ScaleEdgeBase {
+		j := int32(p - ScaleEdgeBase)
+		if j < w.prefStart[n] {
+			i := sort.Search(n, func(i int) bool { return w.prefStart[i+1] > j })
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// OriginAS maps a prefix to its origin ASN (index+1), or 0.
+func (w *ScaleWorld) OriginAS(p Prefix) ASN {
+	if i := w.OriginIdx(p); i >= 0 {
+		return ASN(i + 1)
+	}
+	return 0
+}
+
+// IfaceIP returns the stable infrastructure interface of AS `at` facing
+// neighbor AS `from` (use from==at for the AS's own access gateway).
+func (w *ScaleWorld) IfaceIP(at, from int32) IP {
+	h := scaleMix(w.Cfg.Seed, 0x1FACE, uint64(uint32(at)), uint64(uint32(from)))
+	return (ScaleInfraBase + Prefix(at)).FirstIP() + IP(1+h%250)
+}
+
+// ASOfIface maps an infrastructure interface back to its AS index, or -1.
+func (w *ScaleWorld) ASOfIface(ip IP) int32 {
+	p := PrefixOf(ip)
+	if p >= ScaleInfraBase && p < ScaleInfraBase+Prefix(len(w.X)) {
+		return int32(p - ScaleInfraBase)
+	}
+	return -1
+}
+
+// LinkLatencyMS is the ground-truth one-way latency of edge e: map
+// distance plus the forwarding floor, with a stable ±10% per-edge factor
+// decorrelating latency from pure geometry.
+func (w *ScaleWorld) LinkLatencyMS(e int32) float64 {
+	a, b := w.EdgeA[e], w.EdgeB[e]
+	dx := float64(w.X[a] - w.X[b])
+	dy := float64(w.Y[a] - w.Y[b])
+	lat := w.Cfg.LinkBaseMS + math.Sqrt(dx*dx+dy*dy)*w.Cfg.MSPerUnit
+	return lat * (0.9 + 0.2*scaleFrac(scaleMix(w.Cfg.Seed, 0x1A7, uint64(e), 0)))
+}
+
+// LinkLossRate is the ground-truth loss rate of edge e: ~3% of edges are
+// lossy with rates up to ~12%.
+func (w *ScaleWorld) LinkLossRate(e int32) float64 {
+	h := scaleMix(w.Cfg.Seed, 0x1055, uint64(e), 0)
+	if scaleFrac(h) >= 0.03 {
+		return 0
+	}
+	return 0.005 + 0.12*scaleFrac(scaleMix(w.Cfg.Seed, 0x1056, uint64(e), 0))
+}
+
+// AccessMS is the last-mile one-way latency of an edge prefix.
+func (w *ScaleWorld) AccessMS(p Prefix) float64 {
+	return 0.5 + 5.5*scaleFrac(scaleMix(w.Cfg.Seed, 0xACC, uint64(p), 0))
+}
+
+// upChain fills buf with x's provider chain (x first, then providers up
+// to a tier-1) and returns its length.
+func (w *ScaleWorld) upChain(x int32, buf []int32) int {
+	n := 0
+	for {
+		buf[n] = x
+		n++
+		p := w.upParent[x]
+		if p < 0 || n == len(buf) {
+			return n
+		}
+		x = p
+	}
+}
+
+// RoutePath synthesizes the valley-free BGP route from src to dst (AS
+// indices) into buf: both endpoints climb their provider chains, and the
+// pair of chain members joining at the lowest combined height — via a
+// shared AS or any direct edge — splices the route. The tier-1 clique
+// guarantees a join. The result is up*[cross]down*, hence valley-free,
+// and deterministic for a given world.
+func (w *ScaleWorld) RoutePath(src, dst int32, buf []int32) []int32 {
+	out := buf[:0]
+	if src == dst {
+		return append(out, src)
+	}
+	var cs, cd [maxChainLen]int32
+	ns := w.upChain(src, cs[:])
+	nd := w.upChain(dst, cd[:])
+	bestCost, bi, bj := int(1)<<30, -1, -1
+	bEdge := false
+	for i := 0; i < ns; i++ {
+		if i+1 >= bestCost {
+			break
+		}
+		for j := 0; j < nd; j++ {
+			if i+j >= bestCost {
+				break
+			}
+			if cs[i] == cd[j] {
+				bestCost, bi, bj, bEdge = i+j, i, j, false
+			} else if i+j+1 < bestCost && w.EdgeBetween(cs[i], cd[j]) >= 0 {
+				bestCost, bi, bj, bEdge = i+j+1, i, j, true
+			}
+		}
+	}
+	if bi < 0 {
+		return out // disconnected (never happens in a generated world)
+	}
+	for i := 0; i <= bi; i++ {
+		out = append(out, cs[i])
+	}
+	start := bj
+	if !bEdge {
+		start = bj - 1
+	}
+	for j := start; j >= 0; j-- {
+		out = append(out, cd[j])
+	}
+	return out
+}
+
+// RouteASNs is RoutePath in ASN terms, for BGP-feed emission.
+func (w *ScaleWorld) RouteASNs(src, dst int32, buf []ASN) []ASN {
+	var pb [2 * maxChainLen]int32
+	p := w.RoutePath(src, dst, pb[:])
+	out := buf[:0]
+	for _, i := range p {
+		out = append(out, ASN(i+1))
+	}
+	return out
+}
+
+// Feeds picks the n highest-degree ASes as BGP route collectors.
+func (w *ScaleWorld) Feeds(n int) []int32 {
+	idx := make([]int32, len(w.X))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if w.Deg[idx[a]] != w.Deg[idx[b]] {
+			return w.Deg[idx[a]] > w.Deg[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return append([]int32(nil), idx[:n]...)
+}
+
+// Population picks the measurement population: nVPs vantage-point
+// prefixes and nClients client prefixes, each in a distinct
+// prefix-owning AS, spread evenly across the ownership range.
+func (w *ScaleWorld) Population(nVPs, nClients int) (vps, clients []Prefix) {
+	total := nVPs + nClients
+	if total > len(w.owners) {
+		total = len(w.owners)
+		if nVPs > total {
+			nVPs = total
+		}
+		nClients = total - nVPs
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	picks := make([]Prefix, 0, total)
+	for k := 0; k < total; k++ {
+		i := w.owners[k*len(w.owners)/total]
+		picks = append(picks, ScaleEdgeBase+Prefix(w.prefStart[i]))
+	}
+	return picks[:nVPs], picks[nVPs:]
+}
+
+// EdgePrefixAt returns the j-th edge prefix (0 <= j < NumPrefixes).
+func (w *ScaleWorld) EdgePrefixAt(j int) Prefix { return ScaleEdgeBase + Prefix(j) }
+
+// ForEachPrefixOrigin streams the full BGP origin table (infrastructure
+// and edge prefixes) without materializing it.
+func (w *ScaleWorld) ForEachPrefixOrigin(emit func(p Prefix, as ASN)) {
+	n := len(w.X)
+	for i := 0; i < n; i++ {
+		emit(ScaleInfraBase+Prefix(i), ASN(i+1))
+	}
+	for i := 0; i < n; i++ {
+		for j := w.prefStart[i]; j < w.prefStart[i+1]; j++ {
+			emit(ScaleEdgeBase+Prefix(j), ASN(i+1))
+		}
+	}
+}
+
+// Stats summarizes the world for logging.
+func (w *ScaleWorld) Stats() string {
+	peers := 0
+	for _, p := range w.EdgePeer {
+		if p {
+			peers++
+		}
+	}
+	maxDeg := int32(0)
+	for _, d := range w.Deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return fmt.Sprintf("ASes=%d edges=%d (peer=%d c2p=%d) maxDeg=%d edgePrefixes=%d prefixOwners=%d",
+		w.NumASes(), w.NumEdges(), peers, w.NumEdges()-peers, maxDeg, w.NumPrefixes(), len(w.owners))
+}

@@ -1,0 +1,247 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// checkScaleInvariants asserts the structural invariants every generated
+// scale world must satisfy: no self-loops, no duplicate edges, a bounded
+// provider chain from every AS into the tier-1 clique (which implies
+// connectivity), acyclic provider edges, and a fully assigned prefix
+// plan. Shared by the unit tests and FuzzScaleConfig.
+func checkScaleInvariants(t *testing.T, w *ScaleWorld) {
+	t.Helper()
+	n := w.NumASes()
+	t1 := int32(w.Cfg.Tier1)
+	seen := make(map[uint64]bool, w.NumEdges())
+	for e := 0; e < w.NumEdges(); e++ {
+		a, b := w.EdgeA[e], w.EdgeB[e]
+		if a == b {
+			t.Fatalf("edge %d is a self-loop on AS %d", e, a)
+		}
+		k := scalePairKey(a, b)
+		if seen[k] {
+			t.Fatalf("duplicate edge %d between %d and %d", e, a, b)
+		}
+		seen[k] = true
+		if !w.EdgePeer[e] && w.EdgeB[e] >= w.EdgeA[e] {
+			t.Fatalf("provider edge %d: provider %d not earlier than customer %d (cycle risk)", e, w.EdgeB[e], w.EdgeA[e])
+		}
+	}
+	var buf [maxChainLen]int32
+	for i := int32(0); i < int32(n); i++ {
+		ln := w.upChain(i, buf[:])
+		top := buf[ln-1]
+		if top >= t1 {
+			t.Fatalf("AS %d: provider chain of length %d ends at %d, not a tier-1", i, ln, top)
+		}
+		for k := 0; k+1 < ln; k++ {
+			if w.RelOf(buf[k], buf[k+1]) != RelProvider {
+				t.Fatalf("AS %d: chain hop %d->%d is not a provider edge", i, buf[k], buf[k+1])
+			}
+		}
+	}
+	if got := w.NumPrefixes(); got != w.Cfg.Prefixes {
+		t.Fatalf("prefix plan assigned %d prefixes, config wants %d", got, w.Cfg.Prefixes)
+	}
+	for i := 0; i < n; i++ {
+		if w.prefStart[i+1] < w.prefStart[i] {
+			t.Fatalf("prefix plan not monotone at AS %d", i)
+		}
+	}
+}
+
+// checkValleyFree asserts a path is up*[x]down*: after any non-up step,
+// no further up steps.
+func checkValleyFree(t *testing.T, w *ScaleWorld, path []int32) {
+	t.Helper()
+	onMap := make(map[int32]bool, len(path))
+	for _, x := range path {
+		if onMap[x] {
+			t.Fatalf("path %v revisits AS %d", path, x)
+		}
+		onMap[x] = true
+	}
+	descending := false
+	for k := 0; k+1 < len(path); k++ {
+		rel := w.RelOf(path[k], path[k+1])
+		if rel == RelNone {
+			t.Fatalf("path %v: no edge between %d and %d", path, path[k], path[k+1])
+		}
+		up := rel == RelProvider
+		if up && descending {
+			t.Fatalf("path %v has a valley at hop %d", path, k)
+		}
+		if !up {
+			descending = true
+		}
+	}
+}
+
+func TestGenerateScaleInvariants(t *testing.T) {
+	w := GenerateScale(ScaleConfig{
+		Seed: 7, ASes: 600, Tier1: 6, MinDegree: 2, PeerFrac: 0.2,
+		Prefixes: 4000, MSPerUnit: 0.02, LinkBaseMS: 0.4,
+	})
+	checkScaleInvariants(t, w)
+
+	// Routes between sampled pairs are valley-free, loop-free, and join
+	// the requested endpoints.
+	var buf [2 * maxChainLen]int32
+	for s := 0; s < 40; s++ {
+		src := int32((s * 97) % w.NumASes())
+		dst := int32((s*131 + 17) % w.NumASes())
+		p := w.RoutePath(src, dst, buf[:])
+		if len(p) == 0 {
+			t.Fatalf("no route %d -> %d", src, dst)
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("route %d->%d got endpoints %v", src, dst, p)
+		}
+		checkValleyFree(t, w, p)
+	}
+}
+
+func TestGenerateScaleDeterministic(t *testing.T) {
+	cfg := DefaultScaleConfig(11)
+	cfg.ASes, cfg.Prefixes = 500, 3000
+	a, b := GenerateScale(cfg), GenerateScale(cfg)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %s vs %s", a.Stats(), b.Stats())
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.EdgeA[e] != b.EdgeA[e] || a.EdgeB[e] != b.EdgeB[e] || a.EdgePeer[e] != b.EdgePeer[e] {
+			t.Fatalf("edge %d diverges between identical seeds", e)
+		}
+	}
+	var ba, bb [2 * maxChainLen]int32
+	pa := a.RoutePath(3, 400, ba[:])
+	pb := b.RoutePath(3, 400, bb[:])
+	if len(pa) != len(pb) {
+		t.Fatalf("routes diverge: %v vs %v", pa, pb)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("routes diverge: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func TestScalePrefixPlan(t *testing.T) {
+	cfg := DefaultScaleConfig(3)
+	cfg.ASes, cfg.Prefixes = 400, 2500
+	w := GenerateScale(cfg)
+	// Every edge prefix resolves to its owner and back.
+	for j := 0; j < w.NumPrefixes(); j += 37 {
+		p := w.EdgePrefixAt(j)
+		i := w.OriginIdx(p)
+		if i < 0 {
+			t.Fatalf("prefix %v has no origin", p)
+		}
+		if int32(j) < w.prefStart[i] || int32(j) >= w.prefStart[i+1] {
+			t.Fatalf("prefix %v attributed to AS %d outside its range", p, i)
+		}
+		if w.OriginAS(p) != ASN(i+1) {
+			t.Fatalf("OriginAS mismatch for %v", p)
+		}
+	}
+	// Infra interfaces resolve to their AS; foreign space resolves to none.
+	for i := int32(0); i < 20; i++ {
+		ip := w.IfaceIP(i, (i+1)%20)
+		if got := w.ASOfIface(ip); got != i {
+			t.Fatalf("iface %v of AS %d resolved to %d", ip, i, got)
+		}
+		if w.OriginAS(PrefixOf(ip)) != ASN(i+1) {
+			t.Fatalf("infra prefix of AS %d has wrong origin", i)
+		}
+	}
+	if w.OriginIdx(Prefix(5)) != -1 || w.ASOfIface(IP(42)) != -1 {
+		t.Fatal("unallocated space resolved to an AS")
+	}
+	// Origin streaming covers exactly infra + edge prefixes, no dups.
+	seen := make(map[Prefix]ASN)
+	w.ForEachPrefixOrigin(func(p Prefix, as ASN) {
+		if _, dup := seen[p]; dup {
+			t.Fatalf("prefix %v emitted twice", p)
+		}
+		seen[p] = as
+	})
+	if len(seen) != w.NumASes()+w.NumPrefixes() {
+		t.Fatalf("origin table has %d entries, want %d", len(seen), w.NumASes()+w.NumPrefixes())
+	}
+}
+
+func TestScalePopulation(t *testing.T) {
+	cfg := DefaultScaleConfig(5)
+	cfg.ASes, cfg.Prefixes = 400, 2500
+	w := GenerateScale(cfg)
+	vps, clients := w.Population(10, 6)
+	if len(vps) != 10 || len(clients) != 6 {
+		t.Fatalf("population sizes %d/%d", len(vps), len(clients))
+	}
+	inAS := make(map[int32]bool)
+	for _, p := range append(append([]Prefix(nil), vps...), clients...) {
+		i := w.OriginIdx(p)
+		if i < 0 {
+			t.Fatalf("population prefix %v unowned", p)
+		}
+		if inAS[i] {
+			t.Fatalf("two population prefixes in AS %d", i)
+		}
+		inAS[i] = true
+	}
+}
+
+func TestScaleGroundTruthStable(t *testing.T) {
+	cfg := DefaultScaleConfig(9)
+	cfg.ASes, cfg.Prefixes = 300, 1000
+	w := GenerateScale(cfg)
+	for e := int32(0); e < 50; e++ {
+		if w.LinkLatencyMS(e) != w.LinkLatencyMS(e) || w.LinkLatencyMS(e) < w.Cfg.LinkBaseMS*0.9 {
+			t.Fatalf("edge %d latency unstable or below floor", e)
+		}
+		if l := w.LinkLossRate(e); l < 0 || l > 0.2 {
+			t.Fatalf("edge %d loss %v out of range", e, l)
+		}
+	}
+	p := w.EdgePrefixAt(5)
+	if w.AccessMS(p) != w.AccessMS(p) || w.AccessMS(p) < 0.5 {
+		t.Fatal("access latency unstable or below floor")
+	}
+}
+
+// FuzzScaleConfig pins the generator's structural invariants (connected
+// graph reaching the tier-1 clique, valley-free relationships, no
+// self-loops or duplicate edges, fully assigned prefix plan) across the
+// config space.
+func FuzzScaleConfig(f *testing.F) {
+	f.Add(int64(1), 100, 3, 1, 0.1, 500)
+	f.Add(int64(42), 800, 8, 2, 0.3, 5000)
+	f.Add(int64(-9), 20, 2, 4, 1.0, 7)
+	f.Fuzz(func(t *testing.T, seed int64, ases, tier1, minDeg int, peerFrac float64, prefixes int) {
+		// Clamp into the supported envelope; reject only what Validate
+		// rejects so the fuzzer explores the whole legal space cheaply.
+		if ases > 3000 || prefixes > 30000 {
+			t.Skip("capped for fuzz throughput")
+		}
+		cfg := ScaleConfig{
+			Seed: seed, ASes: ases, Tier1: tier1, MinDegree: minDeg,
+			PeerFrac: peerFrac, Prefixes: prefixes, MSPerUnit: 0.02, LinkBaseMS: 0.4,
+		}
+		if cfg.Validate() != nil {
+			t.Skip()
+		}
+		w := GenerateScale(cfg)
+		checkScaleInvariants(t, w)
+		var buf [2 * maxChainLen]int32
+		for s := 0; s < 8; s++ {
+			src := int32((s*17 + int(uint64(seed)%7)) % w.NumASes())
+			dst := int32((s*41 + 5) % w.NumASes())
+			p := w.RoutePath(src, dst, buf[:])
+			if len(p) == 0 || p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("bad route %d->%d: %v", src, dst, p)
+			}
+			checkValleyFree(t, w, p)
+		}
+	})
+}

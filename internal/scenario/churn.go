@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"inano/internal/atlas"
+	"inano/internal/experiments"
+	"inano/internal/netsim"
+)
+
+// churnScenario replays reporter churn: across several upstream rolls
+// the reporting population rotates (peers join and leave, as swarms do),
+// and each roll's folded delta is scored on a client that never reports.
+// Invariant: churn must never regress the non-reporter's RTT error
+// meaningfully past the plain (no-feedback) delta — folding residuals
+// from whoever happens to be around is strictly opportunistic, so a
+// shrinking or shifting reporter set may reduce the benefit but must not
+// poison the baseline.
+//
+// Mutation "poison": every reporter inflates every residual by +80ms
+// (a colluding-majority attack, beyond the single-liar median bound).
+// The folded corrections then drag served predictions far off truth and
+// the per-roll regression bound must trip.
+func churnScenario() Scenario {
+	return Scenario{
+		Name:      "churn",
+		Summary:   "rotating reporter population must never poison the non-reporter's predictions",
+		Mutations: []string{"poison"},
+		Run: func(cfg Config, rep *Report) {
+			l := cfg.lab()
+			d0, d1 := l.Day(0), l.Day(1)
+			nonReporter := l.ValSrcs[0]
+			pool := l.ValSrcs[1:]
+			if !rep.Check(len(pool) >= 3, "reporter pool has %d members, need >= 3 for churn", len(pool)) {
+				return
+			}
+			dsts := experiments.SharedTargets(d0)
+			plainDelta := atlas.Diff(d0.Atlas, d1.Atlas)
+			plainErr, _, pairs := experiments.ScoreDelta(l, 0, 1, nonReporter, plainDelta)
+			rep.Logf("plain day-roll delta: mean err %.4f over %d held-out pairs", plainErr, pairs)
+			rep.Check(pairs > 0, "non-reporter has %d held-out pairs", pairs)
+
+			var mut experiments.Mutator
+			if cfg.Mutation == "poison" {
+				mut = func(_, _ netsim.Prefix, resid float64) float64 { return resid + 80 }
+			}
+
+			// Three rolls with a rotating majority subset of the pool: roll
+			// i uses reporters i, i+1, ... i+k-1 (mod pool), so membership
+			// churns every roll but overlap keeps the median supported.
+			k := (len(pool) + 1) / 2
+			if k < 2 {
+				k = 2
+			}
+			foldSum, plainSum := 0.0, 0.0
+			for roll := 0; roll < 3; roll++ {
+				reps := make([]netsim.Prefix, 0, k)
+				for j := 0; j < k; j++ {
+					reps = append(reps, pool[(roll+j)%len(pool)])
+				}
+				ro := experiments.CollectResiduals(l, 0, reps, dsts, 2, mut)
+				obsDelta, _, folded := atlas.BuildDeltaWithObservations(d0.Atlas, d1.Atlas, ro.Residuals)
+				foldedErr, _, _ := experiments.ScoreDelta(l, 0, 1, nonReporter, obsDelta)
+				rep.Logf("roll %d: %d reporters, %d observations, %d folded prefixes, %d corrections, folded err %.4f",
+					roll, ro.Reporters, ro.Observations, len(ro.Residuals), folded, foldedErr)
+				rep.Check(ro.Observations > 0, "roll %d collected %d observations", roll, ro.Observations)
+				// The hard bound: a churned reporter set must not regress
+				// the non-reporter beyond 10% relative + 0.01 absolute.
+				rep.Check(foldedErr <= plainErr*1.10+0.01,
+					"roll %d: folded err %.4f within regression bound of plain %.4f", roll, foldedErr, plainErr)
+				foldSum += foldedErr
+				plainSum += plainErr
+			}
+			// Net across the churn, feedback must not be a loss.
+			rep.Check(foldSum <= plainSum+1e-9,
+				"net folded err %.4f no worse than net plain %.4f across churn", foldSum, plainSum)
+		},
+	}
+}

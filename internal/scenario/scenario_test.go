@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"inano/internal/experiments"
+)
+
+// sharedLab caches one quick lab across every subtest: scenarios must
+// never mutate lab-owned state (they clone before applying anything), so
+// replaying all of them — good and sabotaged — against one world is both
+// a speedup and an isolation check.
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+)
+
+func quickLab(t *testing.T) *experiments.Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		lab = experiments.NewLab(experiments.QuickConfig(42))
+	})
+	return lab
+}
+
+// TestScenariosKnownGood replays every scenario unmutated: all
+// invariants must hold.
+func TestScenariosKnownGood(t *testing.T) {
+	for _, sc := range All() {
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Replay(sc.Name, Config{Seed: 42, Scale: "quick", Lab: quickLab(t)})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("known-good replay failed:\n%s", rep.Render())
+			}
+			if !strings.Contains(rep.Render(), "PASS") {
+				t.Fatal("report records no passing checks")
+			}
+		})
+	}
+}
+
+// TestScenariosKnownBad arms every declared mutation: each sabotaged
+// replay MUST fail its invariants — a scenario that cannot detect its
+// own known-bad timeline is not testing anything.
+func TestScenariosKnownBad(t *testing.T) {
+	for _, sc := range All() {
+		if len(sc.Mutations) == 0 {
+			t.Fatalf("scenario %s declares no known-bad mutations", sc.Name)
+		}
+		for _, m := range sc.Mutations {
+			t.Run(sc.Name+"/"+m, func(t *testing.T) {
+				rep, err := Replay(sc.Name, Config{Seed: 42, Scale: "quick", Mutation: m, Lab: quickLab(t)})
+				if err != nil {
+					t.Fatalf("replay: %v", err)
+				}
+				if rep.Err() == nil {
+					t.Fatalf("mutation %q went undetected:\n%s", m, rep.Render())
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioIsolation replays one scenario twice against the shared
+// lab and requires identical verdicts — a scenario that mutates lab
+// state would diverge on the second run.
+func TestScenarioIsolation(t *testing.T) {
+	l := quickLab(t)
+	a, err := Replay("rollback", Config{Seed: 42, Lab: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay("rollback", Config{Seed: 42, Lab: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("replay not idempotent against a shared lab:\n--- first\n%s--- second\n%s", a.Render(), b.Render())
+	}
+}
+
+func TestReplayUsageErrors(t *testing.T) {
+	if _, err := Replay("no-such", Config{}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Replay("churn", Config{Mutation: "no-such"}); err == nil {
+		t.Fatal("unknown mutation accepted")
+	}
+}
+
+func TestReportVerdicts(t *testing.T) {
+	r := &Report{Name: "x"}
+	r.Logf("step %d", 1)
+	if !r.Check(true, "ok") || r.Err() != nil {
+		t.Fatal("passing check reported failure")
+	}
+	if r.Check(false, "broken %s", "thing") {
+		t.Fatal("failing check returned true")
+	}
+	if r.Err() == nil {
+		t.Fatal("failed check not surfaced by Err")
+	}
+	out := r.Render()
+	for _, want := range []string{"step 1", "PASS ok", "FAIL broken thing", "=> FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

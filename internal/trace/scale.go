@@ -1,0 +1,132 @@
+package trace
+
+import "inano/internal/netsim"
+
+// ScaleCampaign streams a measurement campaign over a ScaleWorld without
+// ever materializing it: Run synthesizes each traceroute from the world's
+// deterministic route function and yields it through a reused buffer, so
+// a million-trace campaign allocates O(1) and re-emits byte-identically
+// on every pass — the contract the out-of-core atlas builder's two-pass
+// ingestion relies on (ftsb-style seeded streaming emission).
+type ScaleCampaign struct {
+	W *netsim.ScaleWorld
+	// VPs are the vantage-point source prefixes (TO_DST plane). VP k
+	// probes the edge prefixes congruent to k modulo len(VPs) — together
+	// the VPs cover every edge prefix exactly once — plus every VP and
+	// client prefix (so reverse paths toward the population resolve).
+	VPs []netsim.Prefix
+	// TargetsPerVP caps each VP's stride walk (0 = full coverage).
+	TargetsPerVP int
+	// ClientSrcs contribute FROM_SRC-plane traceroutes, ClientDsts
+	// stride-sampled destinations each.
+	ClientSrcs []netsim.Prefix
+	ClientDsts int
+	// Day stamps the emitted traceroutes.
+	Day int
+}
+
+// Run emits the campaign. The *Traceroute passed to yield aliases an
+// internal buffer that the next emission overwrites: consumers must copy
+// anything they keep. Returning false from yield stops the run. fromVP
+// distinguishes the TO_DST (vantage point) plane from FROM_SRC (client).
+func (c *ScaleCampaign) Run(yield func(tr *Traceroute, fromVP bool) bool) {
+	w := c.W
+	var tr Traceroute
+	var pathBuf [96]int32
+	tr.Day = c.Day
+
+	emit := func(src, dst netsim.Prefix, fromVP bool) bool {
+		if src == dst {
+			return true
+		}
+		srcAS, dstAS := w.OriginIdx(src), w.OriginIdx(dst)
+		if srcAS < 0 || dstAS < 0 {
+			return true
+		}
+		path := w.RoutePath(srcAS, dstAS, pathBuf[:])
+		if len(path) == 0 {
+			return true
+		}
+		tr.Src, tr.Dst = src, dst
+		tr.Hops = tr.Hops[:0]
+		tr.Reached = true
+		access := w.AccessMS(src)
+		// First hop: the source AS's access gateway.
+		tr.Hops = append(tr.Hops, Hop{IP: w.IfaceIP(srcAS, srcAS), RTTMS: 2 * access})
+		oneway := access
+		for k := 1; k < len(path); k++ {
+			e := w.EdgeBetween(path[k-1], path[k])
+			oneway += w.LinkLatencyMS(e)
+			tr.Hops = append(tr.Hops, Hop{IP: w.IfaceIP(path[k], path[k-1]), RTTMS: 2 * oneway})
+		}
+		oneway += w.AccessMS(dst)
+		tr.Hops = append(tr.Hops, Hop{IP: dst.HostIP(), RTTMS: 2 * oneway})
+		return yield(&tr, fromVP)
+	}
+
+	nv := len(c.VPs)
+	total := w.NumPrefixes()
+	for k, vp := range c.VPs {
+		// Stride walk: VP k covers prefixes k, k+nv, k+2nv, ...
+		emitted := 0
+		for j := k; j < total; j += nv {
+			if c.TargetsPerVP > 0 && emitted >= c.TargetsPerVP {
+				break
+			}
+			if !emit(vp, w.EdgePrefixAt(j), true) {
+				return
+			}
+			emitted++
+		}
+		// The population itself is always probed.
+		for _, p := range c.VPs {
+			if !emit(vp, p, true) {
+				return
+			}
+		}
+		for _, p := range c.ClientSrcs {
+			if !emit(vp, p, true) {
+				return
+			}
+		}
+	}
+	for ci, src := range c.ClientSrcs {
+		for k := 0; k < c.ClientDsts; k++ {
+			// A client's own deterministic destination sample, offset per
+			// client so the FROM_SRC plane spreads across the edge.
+			j := (ci*7919 + k*104729) % total
+			if !emit(src, w.EdgePrefixAt(j), false) {
+				return
+			}
+		}
+		for _, p := range c.VPs {
+			if !emit(src, p, false) {
+				return
+			}
+		}
+	}
+}
+
+// TrueRTT returns the ground-truth round-trip time between two prefixes
+// of the world (the value the emitted traceroutes report end to end), or
+// false when either prefix is unallocated.
+func (c *ScaleCampaign) TrueRTT(src, dst netsim.Prefix) (float64, bool) {
+	w := c.W
+	srcAS, dstAS := w.OriginIdx(src), w.OriginIdx(dst)
+	if srcAS < 0 || dstAS < 0 {
+		return 0, false
+	}
+	var pathBuf [96]int32
+	path := w.RoutePath(srcAS, dstAS, pathBuf[:])
+	if len(path) == 0 {
+		return 0, false
+	}
+	// Accumulate in emission order so the value matches the emitted
+	// traces bit for bit.
+	oneway := w.AccessMS(src)
+	for k := 1; k < len(path); k++ {
+		oneway += w.LinkLatencyMS(w.EdgeBetween(path[k-1], path[k]))
+	}
+	oneway += w.AccessMS(dst)
+	return 2 * oneway, true
+}

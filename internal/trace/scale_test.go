@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"testing"
+
+	"inano/internal/netsim"
+)
+
+func scaleTestCampaign(t *testing.T) *ScaleCampaign {
+	t.Helper()
+	cfg := netsim.DefaultScaleConfig(21)
+	cfg.ASes, cfg.Prefixes = 300, 1200
+	w := netsim.GenerateScale(cfg)
+	vps, clients := w.Population(8, 4)
+	return &ScaleCampaign{W: w, VPs: vps, ClientSrcs: clients, ClientDsts: 30}
+}
+
+// fingerprint folds a trace into a comparable value without retaining it.
+func fingerprint(tr *Traceroute, fromVP bool) uint64 {
+	h := uint64(tr.Src)*0x9e3779b97f4a7c15 ^ uint64(tr.Dst)*0xbf58476d1ce4e5b9
+	if fromVP {
+		h ^= 0xF00F
+	}
+	for _, hop := range tr.Hops {
+		h = h*0x100000001b3 ^ uint64(hop.IP) ^ uint64(int64(hop.RTTMS*1000))
+	}
+	return h
+}
+
+func TestScaleCampaignReEmitsIdentically(t *testing.T) {
+	c := scaleTestCampaign(t)
+	var a, b []uint64
+	c.Run(func(tr *Traceroute, fromVP bool) bool { a = append(a, fingerprint(tr, fromVP)); return true })
+	c.Run(func(tr *Traceroute, fromVP bool) bool { b = append(b, fingerprint(tr, fromVP)); return true })
+	if len(a) == 0 {
+		t.Fatal("campaign emitted nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("passes emitted %d vs %d traces", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace %d differs between passes", i)
+		}
+	}
+}
+
+func TestScaleCampaignShape(t *testing.T) {
+	c := scaleTestCampaign(t)
+	w := c.W
+	covered := make(map[netsim.Prefix]bool)
+	vpTraces, clientTraces := 0, 0
+	c.Run(func(tr *Traceroute, fromVP bool) bool {
+		if !tr.Reached {
+			t.Fatal("scale traces are always reached")
+		}
+		if len(tr.Hops) < 2 {
+			t.Fatalf("trace %v->%v too short", tr.Src, tr.Dst)
+		}
+		// First hop sits in the source AS, last is the destination host.
+		if got := w.ASOfIface(tr.Hops[0].IP); got != w.OriginIdx(tr.Src) {
+			t.Fatalf("first hop of %v->%v in AS %d, want source AS", tr.Src, tr.Dst, got)
+		}
+		if tr.Hops[len(tr.Hops)-1].IP != tr.Dst.HostIP() {
+			t.Fatalf("last hop of %v->%v is not the destination host", tr.Src, tr.Dst)
+		}
+		// RTTs are monotone along the path.
+		for i := 1; i < len(tr.Hops); i++ {
+			if tr.Hops[i].RTTMS < tr.Hops[i-1].RTTMS {
+				t.Fatalf("non-monotone RTT in %v->%v", tr.Src, tr.Dst)
+			}
+		}
+		if fromVP {
+			vpTraces++
+			covered[tr.Dst] = true
+		} else {
+			clientTraces++
+		}
+		truth, ok := c.TrueRTT(tr.Src, tr.Dst)
+		if !ok || truth != tr.Hops[len(tr.Hops)-1].RTTMS {
+			t.Fatalf("end-to-end RTT of %v->%v disagrees with ground truth", tr.Src, tr.Dst)
+		}
+		return true
+	})
+	if vpTraces == 0 || clientTraces == 0 {
+		t.Fatalf("campaign planes empty: vp=%d client=%d", vpTraces, clientTraces)
+	}
+	// Full-coverage mode: every edge prefix is probed at least once
+	// (minus the population's own source prefixes, which skip self-pairs
+	// but are probed by every other VP anyway).
+	for j := 0; j < w.NumPrefixes(); j++ {
+		if !covered[w.EdgePrefixAt(j)] {
+			t.Fatalf("edge prefix %d never probed", j)
+		}
+	}
+}
+
+func TestScaleCampaignTargetCapAndStop(t *testing.T) {
+	c := scaleTestCampaign(t)
+	c.TargetsPerVP = 5
+	n := 0
+	c.Run(func(tr *Traceroute, fromVP bool) bool { n++; return true })
+	maxExpected := len(c.VPs)*(5+len(c.VPs)+len(c.ClientSrcs)) + len(c.ClientSrcs)*(c.ClientDsts+len(c.VPs))
+	if n == 0 || n > maxExpected {
+		t.Fatalf("capped campaign emitted %d traces, want (0, %d]", n, maxExpected)
+	}
+	// Early stop is honored.
+	n = 0
+	c.Run(func(tr *Traceroute, fromVP bool) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop after %d traces, want 3", n)
+	}
+}

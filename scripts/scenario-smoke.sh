@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Scenario smoke: replay every adversarial scenario on a quick seed and
+# prove the harness works in both directions — each known-good replay
+# must exit 0, and one armed known-bad mutation per scenario must exit
+# nonzero (the exit codes the nightly and per-PR CI gates rely on).
+# inano-eval is built to a real binary first: `go run` masks exit codes.
+# Run from the repo root; used by CI's scenario job and runnable locally.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+bin="$workdir/inano-eval"
+
+echo "== build"
+go build -o "$bin" ./cmd/inano-eval
+
+seed="${SCENARIO_SEED:-42}"
+scenarios=(churn partition flashcrowd rollback)
+declare -A mutations=(
+  [churn]=poison
+  [partition]=skip-missed
+  [flashcrowd]=cache-off
+  [rollback]=fossilize
+)
+
+for sc in "${scenarios[@]}"; do
+  echo "== scenario $sc (known-good, must pass)"
+  "$bin" -scenario "$sc" -scale quick -seed "$seed"
+
+  mut="${mutations[$sc]}"
+  echo "== scenario $sc -scenario-mutate $mut (known-bad, must fail)"
+  if "$bin" -scenario "$sc" -scale quick -seed "$seed" -scenario-mutate "$mut" >/dev/null 2>&1; then
+    echo "FATAL: mutated replay $sc/$mut exited 0 — the harness cannot detect sabotage" >&2
+    exit 1
+  fi
+  rc=0
+  "$bin" -scenario "$sc" -scale quick -seed "$seed" -scenario-mutate "$mut" >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "FATAL: mutated replay $sc/$mut exited $rc, want 1 (invariant failure, not usage error)" >&2
+    exit 1
+  fi
+done
+
+echo "== usage errors exit 2"
+for args in "-scenario nope" "-scenario churn -scenario-mutate nope" "-scenario churn -scale eval"; do
+  rc=0
+  # shellcheck disable=SC2086
+  "$bin" $args >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FATAL: '$args' exited $rc, want 2" >&2
+    exit 1
+  fi
+done
+
+echo "scenario smoke: all ${#scenarios[@]} scenarios pass, every mutation caught, exit codes clean"
